@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures or tables,
+saves the rendered ASCII artefact under ``benchmarks/results/`` and
+prints it, while pytest-benchmark times the regeneration itself.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def save(name: str, text: str) -> None:
+    """Persist a rendered artefact and echo it to stdout."""
+    RESULTS.mkdir(exist_ok=True)
+    path = RESULTS / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark's timer.
+
+    Figure regeneration is deterministic and seconds-scale; a single
+    round keeps the harness fast while still recording the cost.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

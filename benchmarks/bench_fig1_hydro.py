@@ -1,0 +1,24 @@
+"""Figure 1 — Skewed access pattern (Hydro Fragment, skew 11).
+
+Regenerates the paper's Figure 1 series: % of reads remote vs number
+of PEs, page sizes 32 and 64, cache on/off.  Expected shape: the
+No-Cache ps-32 series plateaus around 20-22%, the Cache series sits
+near 1%, and doubling the page size halves the boundary fraction.
+"""
+
+from __future__ import annotations
+
+from repro.bench import figure1, render
+
+from _util import once, save
+
+
+def test_figure1_hydro_fragment(benchmark):
+    fig = once(benchmark, lambda: figure1(n=1000))
+    save("figure1_hydro_fragment", render(fig))
+    plateau = fig.series["No Cache, ps 32"][-1]
+    cached = fig.series["Cache, ps 32"][-1]
+    benchmark.extra_info["remote_pct_nocache_ps32"] = plateau
+    benchmark.extra_info["remote_pct_cache_ps32"] = cached
+    assert 18.0 < plateau < 24.0  # paper: ~20%
+    assert cached < 1.5           # paper: ~1%

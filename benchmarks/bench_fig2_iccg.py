@@ -1,0 +1,25 @@
+"""Figure 2 — Cyclic access pattern (ICCG).
+
+Expected shape: without a cache most reads are remote (the access
+pattern "jumps from page to page"); the 256-element cache removes
+nearly all of them.  See EXPERIMENTS.md for the one shape deviation
+(our cached series is flat-low rather than decreasing in PE count).
+"""
+
+from __future__ import annotations
+
+from repro.bench import figure2, render
+
+from _util import once, save
+
+
+def test_figure2_iccg(benchmark):
+    fig = once(benchmark, lambda: figure2(n=1024))
+    save("figure2_iccg", render(fig))
+    no_cache = fig.series["No Cache, ps 32"][-1]
+    cached = fig.series["Cache, ps 32"][-1]
+    benchmark.extra_info["remote_pct_nocache_ps32"] = no_cache
+    benchmark.extra_info["remote_pct_cache_ps32"] = cached
+    assert no_cache > 80.0                     # most accesses remote
+    assert cached < 5.0                        # cache nearly perfect
+    assert no_cache / max(cached, 1e-9) > 20   # dramatic reduction

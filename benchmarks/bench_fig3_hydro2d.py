@@ -1,0 +1,24 @@
+"""Figure 3 — Cyclic + skewed combination (2-D Explicit Hydrodynamics).
+
+Expected shape: the No-Cache series is flat under ~10%; the Cache
+series *decreases* as PEs grow, because the machine-wide cache grows
+until each PE's page cycle fits ("the examples above are rather
+counter-intuitive, yet very important results").
+"""
+
+from __future__ import annotations
+
+from repro.bench import figure3, render
+
+from _util import once, save
+
+
+def test_figure3_hydro_2d(benchmark):
+    fig = once(benchmark, lambda: figure3(n=100))
+    save("figure3_hydro_2d", render(fig))
+    cached = fig.series["Cache, ps 32"]
+    no_cache = fig.series["No Cache, ps 32"]
+    benchmark.extra_info["cache_series_ps32"] = cached
+    # x axis is (1, 2, 4, 8, 16, 32, 64); compare 4 PEs to 64 PEs.
+    assert cached[-1] < 0.5 * cached[2]
+    assert all(v < 12.0 for v in no_cache)

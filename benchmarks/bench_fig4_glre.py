@@ -1,0 +1,23 @@
+"""Figure 4 — Random access pattern (General Linear Recurrence).
+
+Expected shape: remote ratios stay high and the 256-element cache is
+nearly indistinguishable from no cache ("the effect of the cache is
+minimal, because no page is being kept until it is needed again").
+"""
+
+from __future__ import annotations
+
+from repro.bench import figure4, render
+
+from _util import once, save
+
+
+def test_figure4_linear_recurrence(benchmark):
+    fig = once(benchmark, lambda: figure4(n=256))
+    save("figure4_linear_recurrence", render(fig))
+    cached = fig.series["Cache, ps 32"][-1]
+    no_cache = fig.series["No Cache, ps 32"][-1]
+    benchmark.extra_info["remote_pct_cache_ps32"] = cached
+    benchmark.extra_info["remote_pct_nocache_ps32"] = no_cache
+    assert cached > 15.0                                # stays high
+    assert (no_cache - cached) / no_cache < 0.35        # cache barely helps

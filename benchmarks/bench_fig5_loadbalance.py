@@ -1,0 +1,31 @@
+"""Figure 5 — Load balance of a typical loop (2-D hydro, 64 PEs).
+
+Expected shape: per-PE remote and local read counts are flat — "each
+of the sixty-four PEs performs a comparable number of remote reads and
+local reads" — because the area-of-responsibility rule hands every PE
+a near-equal share of array pages.
+"""
+
+from __future__ import annotations
+
+from repro.bench import bar_strip, figure5, render
+
+from _util import once, save
+
+
+def test_figure5_load_balance(benchmark):
+    fig = once(benchmark, lambda: figure5(n=510, n_pes=64, page_size=32))
+    strip = "\n".join(
+        f"PE {pe:2d} |{bar}"
+        for pe, bar in enumerate(
+            bar_strip(fig.series["Local with No Cache"], width=40)
+        )
+    )
+    save("figure5_load_balance", render(fig) + "\n\nlocal reads per PE:\n" + strip)
+    local = fig.load_balance["Local with No Cache"]
+    remote = fig.load_balance["Remote with No Cache"]
+    benchmark.extra_info["local_cv"] = local.cv
+    benchmark.extra_info["remote_cv"] = remote.cv
+    assert local.cv < 0.1      # near-flat local reads
+    assert remote.cv < 0.2     # near-flat remote reads
+    assert local.minimum > 0   # every PE participates

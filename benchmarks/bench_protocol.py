@@ -1,0 +1,47 @@
+"""Protocol cost — host-processor re-initialisation rounds (§5).
+
+Measures the message cost of recycling arrays under the paper's
+gather-then-broadcast protocol: 2N-1 messages per array per round,
+with hosts spread round-robin so no PE becomes a hot spot.
+"""
+
+from __future__ import annotations
+
+from repro.bench import render_table
+from repro.hostproto import ReinitCoordinator
+
+from _util import once, save
+
+
+def run_protocol(n_arrays=8, n_pes=64, rounds=10):
+    coord = ReinitCoordinator([f"A{i}" for i in range(n_arrays)], n_pes)
+    for _ in range(rounds):
+        for i in range(n_arrays):
+            for pe in range(n_pes):
+                coord.request_reinit(f"A{i}", pe)
+    return coord
+
+
+def test_protocol_message_cost(benchmark):
+    coord = once(benchmark, run_protocol)
+    stats = coord.stats
+    rows = [
+        ["rounds completed", stats.rounds],
+        ["request messages", stats.requests],
+        ["grant messages", stats.broadcasts],
+        ["total messages", stats.messages],
+        ["messages per round", stats.messages / stats.rounds],
+    ]
+    save(
+        "protocol_reinit_cost",
+        render_table(
+            ["quantity", "value"],
+            rows,
+            title="Host-processor re-initialisation cost, 64 PEs, 8 arrays (§5)",
+        ),
+    )
+    # 2N-1 messages per (array, round): N requests + N-1 grants.
+    n_pes = 64
+    assert stats.messages == stats.rounds * (2 * n_pes - 1)
+    load = coord.host_load()
+    assert max(load.values()) - min(load.values()) <= 1

@@ -1,0 +1,36 @@
+"""Simulator throughput — the harness's own performance.
+
+Times the two hot paths with pytest-benchmark's statistical timing
+(multiple rounds, unlike the figure benches): trace generation by the
+interpreter and configuration evaluation by the vectorised simulator.
+The second must be much cheaper than the first — that asymmetry is
+what makes the trace-once / sweep-many design worthwhile.
+"""
+
+from __future__ import annotations
+
+from repro.bench import kernel_trace
+from repro.core import MachineConfig, simulate
+from repro.kernels import get_kernel
+
+
+def test_perf_trace_generation(benchmark):
+    program, inputs = get_kernel("hydro_fragment").build(n=1000)
+    trace = benchmark(lambda: kernel_trace(program, inputs))
+    assert trace.n_instances == 1000
+
+
+def test_perf_simulate_one_config(benchmark):
+    program, inputs = get_kernel("hydro_2d").build(n=200)
+    trace = kernel_trace(program, inputs)
+    cfg = MachineConfig(n_pes=16, page_size=32, cache_elems=256)
+    result = benchmark(lambda: simulate(trace, cfg))
+    assert result.stats.total_reads == trace.n_reads
+
+
+def test_perf_simulate_no_cache_fast_path(benchmark):
+    program, inputs = get_kernel("hydro_2d").build(n=200)
+    trace = kernel_trace(program, inputs)
+    cfg = MachineConfig(n_pes=16, page_size=32, cache_elems=0)
+    result = benchmark(lambda: simulate(trace, cfg))
+    assert result.stats.cached_reads == 0

@@ -1,0 +1,23 @@
+"""Table T1 — access-distribution classes for every kernel (§7.1).
+
+Regenerates the class survey and asserts full agreement with every
+label the paper assigns ("The four classes we observed...").
+"""
+
+from __future__ import annotations
+
+from repro.bench import class_table, render_class_table
+
+from _util import once, save
+
+
+def test_table_t1_access_classes(benchmark):
+    rows = once(benchmark, class_table)
+    save("table_t1_classes", render_class_table(rows))
+    labelled = [r for r in rows if r.paper is not None]
+    agreements = [r for r in labelled if r.agrees]
+    benchmark.extra_info["agreement"] = f"{len(agreements)}/{len(labelled)}"
+    assert len(labelled) >= 12
+    assert len(agreements) == len(labelled), [
+        (r.kernel, str(r.final), str(r.paper)) for r in labelled if not r.agrees
+    ]

@@ -1,0 +1,50 @@
+"""Tables T2/T3 — the §8 conclusions survey and skew-reduction claim.
+
+T2: "For most access distributions, the percentages of remote accesses
+are less than 10% when using a cache of 256 elements (fairly small)."
+T3: "for an SD loop with large skew, we observed a reduction from 22%
+remote reads to 1% remote reads."
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    conclusions_table,
+    render_survey_table,
+    render_table,
+    skew_reduction,
+)
+from repro.core import AccessClass
+
+from _util import once, save
+
+
+def test_table_t2_conclusions_survey(benchmark):
+    rows = once(benchmark, conclusions_table)
+    save("table_t2_conclusions", render_survey_table(rows))
+    benchmark.extra_info["kernels"] = len(rows)
+    # Matched loops: exactly 0% remote (§7.1.1).
+    for row in rows:
+        if row.access_class is AccessClass.MATCHED:
+            assert row.remote_pct_cache == 0.0
+    # Skewed and cyclic loops: under 10% with the 256-element cache.
+    for row in rows:
+        if row.access_class in (AccessClass.SKEWED, AccessClass.CYCLIC):
+            assert row.remote_pct_cache < 10.0, row
+    # "For most access distributions ... less than 10%": a majority.
+    under_ten = sum(1 for r in rows if r.remote_pct_cache < 10.0)
+    assert under_ten > len(rows) / 2
+
+
+def test_table_t3_skew_reduction(benchmark):
+    no_cache, with_cache = once(benchmark, skew_reduction)
+    text = render_table(
+        ["configuration", "% of reads remote"],
+        [["no cache (paper: 22%)", no_cache], ["cache 256 (paper: 1%)", with_cache]],
+        title="T3: Hydro Fragment skew-11 reduction, 16 PEs, ps 32 (§8)",
+    )
+    save("table_t3_skew_reduction", text)
+    benchmark.extra_info["no_cache"] = no_cache
+    benchmark.extra_info["with_cache"] = with_cache
+    assert abs(no_cache - 22.0) < 1.5
+    assert abs(with_cache - 1.0) < 0.5

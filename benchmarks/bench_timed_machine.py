@@ -1,0 +1,93 @@
+"""Ablation A4 — timed execution: speedup, latency hiding, topology.
+
+The paper's §9 future work ("execution time and network contention"),
+realised: speedups over one PE for representative kernels, blocking vs
+multithreaded PEs, across interconnect topologies.
+"""
+
+from __future__ import annotations
+
+from repro.bench import kernel_trace, render_table
+from repro.core import MachineConfig
+from repro.kernels import get_kernel
+from repro.machine import CostModel, TimedMachine, serial_time
+
+from _util import once, save
+
+TOPOLOGIES = ("crossbar", "ring", "mesh2d", "hypercube", "bus")
+
+
+def run_speedups():
+    program, inputs = get_kernel("hydro_fragment").build(n=1000)
+    trace = kernel_trace(program, inputs)
+    base = serial_time(trace)
+    rows = []
+    for pes in (4, 16, 64):
+        for mode in ("blocking", "multithreaded"):
+            cfg = MachineConfig(n_pes=pes, page_size=32, cache_elems=256)
+            result = TimedMachine(trace, cfg, topology="mesh2d", mode=mode).run()
+            rows.append(
+                [
+                    pes,
+                    mode,
+                    result.finish_time,
+                    result.speedup(base),
+                    result.stall_time.sum(),
+                    result.messages,
+                ]
+            )
+    return base, rows
+
+
+def run_topologies():
+    program, inputs = get_kernel("iccg").build(n=512)
+    trace = kernel_trace(program, inputs)
+    base = serial_time(trace)
+    rows = []
+    for topo in TOPOLOGIES:
+        cfg = MachineConfig(n_pes=16, page_size=32, cache_elems=256)
+        result = TimedMachine(trace, cfg, topology=topo).run()
+        rows.append(
+            [
+                topo,
+                result.finish_time,
+                result.speedup(base),
+                result.total_hops,
+                result.contention["messages_per_link_max"],
+                result.deferred_reads,
+            ]
+        )
+    return rows
+
+
+def test_timed_speedup_and_latency_hiding(benchmark):
+    base, rows = once(benchmark, run_speedups)
+    save(
+        "ablation_a4_speedups",
+        render_table(
+            ["PEs", "mode", "finish (cycles)", "speedup", "stall", "messages"],
+            rows,
+            title=f"A4a: Hydro Fragment timed speedups (serial = {base:.0f} cycles)",
+        ),
+    )
+    by = {(r[0], r[1]): r[3] for r in rows}
+    assert by[(16, "blocking")] > 4.0           # real parallel speedup
+    assert by[(64, "blocking")] > by[(4, "blocking")]
+    # Latency hiding never loses in finish time.
+    for pes in (4, 16, 64):
+        assert by[(pes, "multithreaded")] >= by[(pes, "blocking")] * 0.95
+
+
+def test_timed_topology_contention(benchmark):
+    rows = once(benchmark, run_topologies)
+    save(
+        "ablation_a4_topologies",
+        render_table(
+            ["topology", "finish", "speedup", "hops", "max link load", "deferred"],
+            rows,
+            title="A4b: ICCG on 16 PEs across interconnect topologies",
+        ),
+    )
+    by = {r[0]: r for r in rows}
+    assert by["mesh2d"][3] >= by["crossbar"][3]       # more hops on mesh
+    assert by["ring"][1] >= by["crossbar"][1] * 0.99  # ring no faster

@@ -1,0 +1,87 @@
+"""Bring your own kernel: a 2-D Jacobi-style stencil under the IR.
+
+Shows the full authoring workflow on a kernel that is *not* in the
+Livermore registry:
+
+1. write the loop nest with :class:`ProgramBuilder`,
+2. statically verify single assignment (§5 data-path analysis),
+3. classify its access distribution,
+4. sweep PEs/page sizes and compare partition schemes.
+
+The stencil writes a fresh output grid while reading a 5-point
+neighbourhood of the input — the canonical single-assignment version
+of an iterative smoother.
+
+Run:  python examples/custom_stencil.py
+"""
+
+import numpy as np
+
+from repro import (
+    BlockPartition,
+    MachineConfig,
+    ModuloPartition,
+    ProgramBuilder,
+    check_program,
+    classify,
+    simulate,
+)
+from repro.bench import kernel_trace
+
+
+def build_stencil(n: int = 96, seed: int = 33):
+    b = ProgramBuilder(
+        "jacobi_2d", "5-point Jacobi smoothing step, single assignment."
+    )
+    V = b.output("V", (n, n))
+    U = b.input("U", (n, n))
+    W = b.scalar(W=0.25)
+    i, j = b.index("i"), b.index("j")
+    with b.loop(i, 1, n - 2):
+        with b.loop(j, 1, n - 2):
+            b.assign(
+                V[i, j],
+                (1.0 - 4.0 * W) * U[i, j]
+                + W * (U[i - 1, j] + U[i + 1, j] + U[i, j - 1] + U[i, j + 1]),
+            )
+    rng = np.random.default_rng(seed)
+    return b.build(), {"U": rng.random((n, n))}
+
+
+def main() -> None:
+    program, inputs = build_stencil()
+    # 1. static single-assignment verification
+    report = check_program(program)
+    print(f"single-assignment check: {report.verdict}")
+    # 2. access-distribution classification
+    verdict = classify(program, inputs)
+    print(f"access class: {verdict.final} (static hint: {verdict.static.hint})")
+    print(verdict.dynamic.table())
+    # 3. machine sweep
+    trace = kernel_trace(program, inputs)
+    print(f"\n{'PEs':>4} {'ps':>4} {'scheme':>8} {'remote% no-cache':>17} "
+          f"{'remote% cache':>14}")
+    for scheme in (ModuloPartition(), BlockPartition()):
+        for n_pes in (4, 16, 64):
+            for page_size in (32, 64):
+                cfg = MachineConfig(
+                    n_pes=n_pes,
+                    page_size=page_size,
+                    cache_elems=256,
+                    partition=scheme,
+                )
+                with_cache = simulate(trace, cfg).remote_read_pct
+                without = simulate(trace, cfg.without_cache()).remote_read_pct
+                print(
+                    f"{n_pes:>4} {page_size:>4} {scheme.name:>8} "
+                    f"{without:>17.2f} {with_cache:>14.2f}"
+                )
+    print(
+        "\nA row-major 2-D stencil behaves like the paper's 2-D hydro "
+        "fragment:\nskewed along rows, cyclic across them — and the "
+        "division scheme trades\nboundary traffic differently than modulo."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Quickstart: partition a Livermore loop and measure remote accesses.
+
+Reproduces the paper's headline experiment in a dozen lines: build the
+Hydro Fragment (Livermore kernel 1), simulate it on a 16-PE machine
+with page size 32, and watch the 256-element cache turn ~22% remote
+reads into ~1% (§8).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MachineConfig, simulate
+from repro.bench import kernel_trace
+from repro.kernels import get_kernel
+
+
+def main() -> None:
+    kernel = get_kernel("hydro_fragment")
+    program, inputs = kernel.build(n=1000)
+    print(f"kernel: {kernel.title} (Livermore #{kernel.number})")
+    print(f"        {program.description}")
+
+    # One interpreter run produces the access trace; every machine
+    # configuration is then evaluated against the same trace.
+    trace = kernel_trace(program, inputs)
+    print(f"trace:  {trace.n_instances} statement instances, "
+          f"{trace.n_reads} array reads\n")
+
+    print(f"{'PEs':>4} {'remote% (no cache)':>20} {'remote% (cache 256)':>20}")
+    for n_pes in (1, 4, 8, 16, 32, 64):
+        cfg = MachineConfig(n_pes=n_pes, page_size=32, cache_elems=256)
+        with_cache = simulate(trace, cfg).remote_read_pct
+        without = simulate(trace, cfg.without_cache()).remote_read_pct
+        print(f"{n_pes:>4} {without:>20.2f} {with_cache:>20.2f}")
+
+    print("\nThe paper quotes 22% -> 1% for this loop (a skew-11 SD "
+          "pattern);\nsingle assignment makes the cache coherence-free, "
+          "so the reduction is pure win.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""The automatic single-assignment translator (§5) in action.
+
+Takes a conventional accumulation loop (not single assignment: the
+same cells are rewritten every iteration), shows the static checker
+catching it with a concrete witness, converts it by array expansion,
+and verifies the converted program computes identical values — while
+reporting the memory growth the paper warns about ("these translators
+will tend to increase the amount of memory used for array storage").
+
+Run:  python examples/sa_translator.py
+"""
+
+import numpy as np
+
+from repro.ir import (
+    ProgramBuilder,
+    Ref,
+    auto_convert,
+    check_program,
+    expansion_cost,
+    run_program,
+)
+
+
+def build_conventional(n: int = 64):
+    """DO k = 1..n: HIST(j) = HIST(j) + W(k)   for three bins j."""
+    b = ProgramBuilder("histogram_accumulate")
+    HIST = b.inout("HIST", (3,))
+    W = b.input("W", (n + 1,))
+    j, k = b.index("j"), b.index("k")
+    with b.loop(j, 0, 2):
+        with b.loop(k, 1, n):
+            b.assign(HIST[j], Ref("HIST", [j]) + Ref("W", [k]))
+    return b.build()
+
+
+def main() -> None:
+    n = 64
+    program = build_conventional(n)
+
+    print("1. static data-path analysis (the §5 checker):")
+    report = check_program(program)
+    for finding in report.violations():
+        print(f"   {finding}")
+
+    print("\n2. translator cost estimate:")
+    plan = expansion_cost(program, "HIST", "k")
+    print(
+        f"   expanding HIST over k: {plan.trip_count} versions, "
+        f"+{plan.extra_elements} elements of storage"
+    )
+
+    print("\n3. auto-convert and re-check:")
+    converted = auto_convert(program)
+    print(f"   converted program: {converted.name}")
+    print(f"   verdict: {check_program(converted).verdict} "
+          f"(no definite violations remain)")
+    grew = converted.total_elements() - program.total_elements()
+    print(f"   memory growth: +{grew} elements "
+          f"({program.total_elements()} -> {converted.total_elements()})")
+
+    print("\n4. value equivalence:")
+    rng = np.random.default_rng(11)
+    w = rng.random(n + 1)
+    seeds = np.zeros(3)
+    plain = run_program(program, {"HIST": seeds, "W": w}, check_sa=False)
+    expanded_seed = np.full((n + 1, 3), np.nan)
+    expanded_seed[0] = seeds
+    conv = run_program(converted, {"HIST__sa": expanded_seed, "W": w})
+    final = conv.values["HIST__sa"][n]
+    print(f"   conventional result: {plain.values['HIST']}")
+    print(f"   converted result:    {final}")
+    assert np.allclose(final, plain.values["HIST"])
+    print("   identical — and the converted loop is machine-partitionable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Execution time on the discrete-event machine (the §9 simulation).
+
+Runs the Hydro Fragment on the timed machine model across PE counts,
+interconnect topologies and the two PE execution modes, reporting
+speedup over one PE, stall time, and network contention — the
+questions the paper's future-work section poses.
+
+Run:  python examples/timed_speedup.py
+"""
+
+from repro.bench import kernel_trace
+from repro.core import MachineConfig
+from repro.kernels import get_kernel
+from repro.machine import TimedMachine, serial_time
+
+
+def main() -> None:
+    program, inputs = get_kernel("hydro_fragment").build(n=1000)
+    trace = kernel_trace(program, inputs)
+    base = serial_time(trace)
+    print(f"serial execution: {base:.0f} cycles\n")
+
+    print("speedup vs PEs (mesh2d, blocking vs multithreaded PEs):")
+    print(f"{'PEs':>4} {'blocking':>10} {'multithreaded':>14} {'stall%':>8}")
+    for pes in (2, 4, 8, 16, 32, 64):
+        cfg = MachineConfig(n_pes=pes, page_size=32, cache_elems=256)
+        blocking = TimedMachine(trace, cfg, topology="mesh2d").run()
+        threaded = TimedMachine(
+            trace, cfg, topology="mesh2d", mode="multithreaded"
+        ).run()
+        stall_pct = 100 * blocking.stall_time.sum() / (
+            blocking.finish_time * pes
+        )
+        print(
+            f"{pes:>4} {blocking.speedup(base):>10.2f} "
+            f"{threaded.speedup(base):>14.2f} {stall_pct:>8.1f}"
+        )
+
+    print("\ntopology comparison at 16 PEs:")
+    print(f"{'topology':>10} {'finish':>10} {'speedup':>8} {'hops':>6} "
+          f"{'max link load':>14}")
+    cfg = MachineConfig(n_pes=16, page_size=32, cache_elems=256)
+    for topo in ("crossbar", "hypercube", "mesh2d", "ring", "bus"):
+        result = TimedMachine(trace, cfg, topology=topo).run()
+        print(
+            f"{topo:>10} {result.finish_time:>10.0f} "
+            f"{result.speedup(base):>8.2f} {result.total_hops:>6} "
+            f"{result.contention['messages_per_link_max']:>14.0f}"
+        )
+
+    print(
+        "\nBecause modulo partitioning sends this loop's skew traffic to "
+        "neighbouring\nPEs, a ring matches the crossbar — topology only "
+        "bites when traffic scatters."
+    )
+
+
+if __name__ == "__main__":
+    main()

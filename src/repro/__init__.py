@@ -1,0 +1,99 @@
+"""repro — reproduction of Bic, Nagel & Roy (1989),
+"Automatic Data/Program Partitioning Using the Single Assignment
+Principle" (UC Irvine ICS TR #89-08).
+
+The package provides:
+
+* :mod:`repro.ir` — a loop-nest IR with a reference interpreter,
+  static single-assignment checking and an automatic SA translator;
+* :mod:`repro.memory` — the single-assignment memory substrate
+  (I-structure cells, paging, distributed heap);
+* :mod:`repro.core` — the paper's contribution: automatic
+  data/program partitioning, the trace-driven multiprocessor
+  simulator, and the access-distribution classifier;
+* :mod:`repro.cache` — coherence-free per-PE page caches;
+* :mod:`repro.machine` — a timed discrete-event machine model with
+  network topologies (the paper's §9 future-work simulation);
+* :mod:`repro.hostproto` — the §5 host-processor re-initialisation
+  protocol;
+* :mod:`repro.kernels` — Livermore Loops workloads (IR + NumPy
+  references);
+* :mod:`repro.bench` — sweeps, figure and table generators.
+
+Quickstart::
+
+    from repro import MachineConfig, simulate_program
+    from repro.kernels import get_kernel
+
+    kernel = get_kernel("hydro_fragment")
+    program, inputs = kernel.build(n=1000)
+    result = simulate_program(
+        program, inputs, MachineConfig(n_pes=16, page_size=32)
+    )
+    print(f"{result.remote_read_pct:.2f}% of reads were remote")
+"""
+
+from .core import (
+    AccessClass,
+    AccessKind,
+    AccessStats,
+    BlockCyclicPartition,
+    BlockPartition,
+    Classification,
+    DataLayout,
+    LoadBalance,
+    MachineConfig,
+    ModuloPartition,
+    PartitionScheme,
+    SimResult,
+    classify,
+    simulate,
+    simulate_program,
+)
+from .ir import (
+    Program,
+    ProgramBuilder,
+    SingleAssignmentError,
+    Trace,
+    UndefinedReadError,
+    check_program,
+    run_program,
+)
+from .memory import (
+    DoubleWriteError,
+    IStructureMemory,
+    SingleAssignmentArray,
+    UndefinedElementError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessClass",
+    "AccessKind",
+    "AccessStats",
+    "BlockCyclicPartition",
+    "BlockPartition",
+    "Classification",
+    "DataLayout",
+    "DoubleWriteError",
+    "IStructureMemory",
+    "LoadBalance",
+    "MachineConfig",
+    "ModuloPartition",
+    "PartitionScheme",
+    "Program",
+    "ProgramBuilder",
+    "SimResult",
+    "SingleAssignmentArray",
+    "SingleAssignmentError",
+    "Trace",
+    "UndefinedElementError",
+    "UndefinedReadError",
+    "__version__",
+    "check_program",
+    "classify",
+    "run_program",
+    "simulate",
+    "simulate_program",
+]

@@ -1,0 +1,48 @@
+"""Benchmark harness: sweeps, figure series, and table generators."""
+
+from .figures import (
+    FigureData,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    render,
+)
+from .report import bar_strip, render_series_table, render_table
+from .sweep import DEFAULT_CACHES, DEFAULT_PAGE_SIZES, DEFAULT_PES, Sweep, SweepPoint, kernel_trace
+from .tables import (
+    ClassRow,
+    SurveyRow,
+    class_table,
+    conclusions_table,
+    render_class_table,
+    render_survey_table,
+    skew_reduction,
+)
+
+__all__ = [
+    "ClassRow",
+    "DEFAULT_CACHES",
+    "DEFAULT_PAGE_SIZES",
+    "DEFAULT_PES",
+    "FigureData",
+    "Sweep",
+    "SweepPoint",
+    "SurveyRow",
+    "bar_strip",
+    "class_table",
+    "conclusions_table",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "kernel_trace",
+    "render",
+    "render_class_table",
+    "render_series_table",
+    "render_survey_table",
+    "render_table",
+    "skew_reduction",
+]

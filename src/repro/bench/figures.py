@@ -1,0 +1,227 @@
+"""Series generators for the paper's five figures (§7).
+
+Each ``figureN`` function rebuilds the figure's workload, runs the
+configuration sweep, and returns a :class:`FigureData` whose series
+carry the same labels as the paper's legends ("Cache, ps 32",
+"No Cache, ps 64", ...).  ``render`` turns it into the ASCII table
+quoted in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.access import AccessKind
+from ..core.simulator import MachineConfig, simulate
+from ..core.stats import LoadBalance
+from ..kernels import get_kernel
+from .report import render_series_table, render_table
+from .sweep import DEFAULT_PES, Sweep, kernel_trace
+
+__all__ = [
+    "FigureData",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "render",
+]
+
+
+@dataclass
+class FigureData:
+    """One reproduced figure: x axis plus labelled series."""
+
+    figure_id: str
+    title: str
+    kernel: str
+    x_label: str
+    x_values: tuple[int, ...]
+    series: dict[str, list[float]]
+    unit: str = "% of reads remote"
+    notes: str = ""
+    load_balance: dict[str, LoadBalance] = field(default_factory=dict)
+
+
+def _pe_sweep_figure(
+    figure_id: str,
+    title: str,
+    kernel_name: str,
+    n: int | None,
+    pes: Sequence[int],
+    notes: str = "",
+) -> FigureData:
+    kernel = get_kernel(kernel_name)
+    program, inputs = kernel.build(n=n)
+    trace = kernel_trace(program, inputs)
+    sweep = Sweep.run(kernel_name, trace, pes=pes)
+    return FigureData(
+        figure_id=figure_id,
+        title=title,
+        kernel=kernel_name,
+        x_label="Number of PEs",
+        x_values=tuple(sweep.pe_axis()),
+        series=sweep.series(),
+        notes=notes,
+    )
+
+
+def figure1(n: int = 1000, pes: Sequence[int] = DEFAULT_PES) -> FigureData:
+    """Figure 1 — Skewed access pattern (Hydro Fragment, skew 11).
+
+    Expected shape: No-Cache series flat around 20% (ps 32) / 10%
+    (ps 64); Cache series near 1%.  "Caching is important in this
+    common class."
+    """
+    return _pe_sweep_figure(
+        "Figure 1",
+        "Skewed access pattern (skew of 11)",
+        "hydro_fragment",
+        n,
+        pes,
+        notes="Paper: ~20% remote without cache at ps 32, ~1% with cache.",
+    )
+
+
+def figure2(n: int = 1024, pes: Sequence[int] = DEFAULT_PES) -> FigureData:
+    """Figure 2 — Cyclic access pattern (ICCG).
+
+    Expected shape: No-Cache series high (toward 100%) and growing with
+    PEs; Cache series very low.  "Caching and page size can reduce the
+    percentage of remote reads significantly."
+    """
+    return _pe_sweep_figure(
+        "Figure 2",
+        "Cyclic access pattern (ICCG)",
+        "iccg",
+        n,
+        pes,
+        notes=(
+            "Paper: without a cache most accesses are remote; with a "
+            "cache the ratio drops dramatically."
+        ),
+    )
+
+
+def figure3(n: int = 100, pes: Sequence[int] = DEFAULT_PES) -> FigureData:
+    """Figure 3 — Cyclic + skewed combination (2-D Explicit Hydro).
+
+    Expected shape: No-Cache flat under ~10%; Cache series *decreasing*
+    as PEs grow (total cache grows until each PE's page cycle fits).
+    """
+    return _pe_sweep_figure(
+        "Figure 3",
+        "Cyclic and skewed access pattern combination (2-D hydro)",
+        "hydro_2d",
+        n,
+        pes,
+        notes=(
+            "Paper: remote ratio decreases as the number of PEs "
+            "increases, aided further by caching."
+        ),
+    )
+
+
+def figure4(n: int = 256, pes: Sequence[int] = DEFAULT_PES) -> FigureData:
+    """Figure 4 — Random access pattern (General Linear Recurrence).
+
+    Expected shape: high remote ratios with the 256-element cache
+    barely distinguishable from no cache.
+    """
+    return _pe_sweep_figure(
+        "Figure 4",
+        "Random access pattern (General Linear Recurrence Equations)",
+        "linear_recurrence",
+        n,
+        pes,
+        notes="Paper: poor performance regardless of the (small) cache.",
+    )
+
+
+def figure5(
+    n: int = 510, n_pes: int = 64, page_size: int = 32, cache_elems: int = 256
+) -> FigureData:
+    """Figure 5 — Load balance of a typical loop (2-D hydro, 64 PEs).
+
+    Four per-PE series: remote and local reads, with and without the
+    cache.  Expected shape: every PE performs a comparable number of
+    remote reads and of local reads ("evenly balanced loads result from
+    the area-of-responsibility concept").
+
+    The default n=510 makes each array exactly (510+2)*8 = 4096
+    elements = 128 pages, i.e. two pages per PE at 64 PEs and page size
+    32 — all PEs participate, as in the paper's figure.
+    """
+    kernel = get_kernel("hydro_2d")
+    program, inputs = kernel.build(n=n)
+    trace = kernel_trace(program, inputs)
+    cfg = MachineConfig(n_pes=n_pes, page_size=page_size, cache_elems=cache_elems)
+    with_cache = simulate(trace, cfg)
+    without_cache = simulate(trace, cfg.without_cache())
+    series = {
+        "Remote with Cache": with_cache.stats.per_pe(
+            AccessKind.REMOTE_READ
+        ).astype(float).tolist(),
+        "Remote with No Cache": without_cache.stats.per_pe(
+            AccessKind.REMOTE_READ
+        ).astype(float).tolist(),
+        "Local with Cache": with_cache.stats.per_pe(
+            AccessKind.LOCAL_READ
+        ).astype(float).tolist(),
+        "Local with No Cache": without_cache.stats.per_pe(
+            AccessKind.LOCAL_READ
+        ).astype(float).tolist(),
+    }
+    balance = {
+        name: LoadBalance.from_series(np.asarray(values))
+        for name, values in series.items()
+    }
+    return FigureData(
+        figure_id="Figure 5",
+        title=(
+            f"Load balance of a typical SD loop "
+            f"(2-D Explicit Hydro, page size {page_size}, {n_pes} PEs)"
+        ),
+        kernel="hydro_2d",
+        x_label="Processor number",
+        x_values=tuple(range(n_pes)),
+        series=series,
+        unit="reads",
+        notes=(
+            "Paper: each of the sixty-four PEs performs a comparable "
+            "number of remote reads and local reads."
+        ),
+        load_balance=balance,
+    )
+
+
+def render(figure: FigureData) -> str:
+    """ASCII rendition of a figure (table plus load-balance summary)."""
+    parts = [
+        f"{figure.figure_id}: {figure.title}",
+        f"kernel: {figure.kernel}    unit: {figure.unit}",
+    ]
+    if figure.notes:
+        parts.append(f"expected shape: {figure.notes}")
+    parts.append(
+        render_series_table(
+            figure.x_label, figure.x_values, figure.series, unit=""
+        )
+    )
+    if figure.load_balance:
+        rows = [
+            [name, lb.mean, lb.std, lb.minimum, lb.maximum, lb.cv, lb.jain_index]
+            for name, lb in figure.load_balance.items()
+        ]
+        parts.append(
+            render_table(
+                ["series", "mean", "std", "min", "max", "cv", "jain"],
+                rows,
+                title="load balance summary",
+            )
+        )
+    return "\n\n".join(parts)

@@ -1,0 +1,64 @@
+"""ASCII rendering of figures and tables.
+
+The harness has no plotting dependency; every figure is emitted as an
+aligned numeric table (one column per series) plus, for per-PE data, a
+compact bar strip.  This is the form EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["bar_strip", "render_series_table", "render_table"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    unit: str = "%",
+) -> str:
+    """Render figure-style data: one row per x value, one column per series."""
+    headers = [x_label] + [
+        f"{name} ({unit})" if unit else name for name in series
+    ]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [values[i] for values in series.values()])
+    return render_table(headers, rows, title=title)
+
+
+def bar_strip(values: Sequence[float], width: int = 50) -> list[str]:
+    """Scale a nonnegative series onto `width`-character bars."""
+    peak = max(values) if values else 0.0
+    if peak <= 0:
+        return ["" for _ in values]
+    return ["#" * max(1, round(v / peak * width)) if v else "" for v in values]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

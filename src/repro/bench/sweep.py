@@ -1,0 +1,144 @@
+"""Parameter sweeps over machine configurations (§6).
+
+"The parameters that we varied were: number of processors; page size
+(in units of atomic data elements)" — with the cache toggled on/off per
+series.  A :class:`Sweep` runs one kernel's trace over the cross
+product and exposes the results keyed by configuration, ready for the
+figure and table generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.partition import ModuloPartition, PartitionScheme
+from ..core.simulator import MachineConfig, SimResult, simulate
+from ..ir.loops import Program
+from ..ir.trace import Trace
+
+__all__ = ["Sweep", "SweepPoint", "kernel_trace"]
+
+#: The PE axis of the paper's Figures 1-4 (we extend past 16 to cover
+#: the 32- and 64-PE claims of §7.1.3 and Figure 5).
+DEFAULT_PES: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+#: The paper's two page sizes.
+DEFAULT_PAGE_SIZES: tuple[int, ...] = (32, 64)
+#: The paper's fixed cache capacity, plus 0 for the "No Cache" series.
+DEFAULT_CACHES: tuple[int, ...] = (256, 0)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (configuration, result) pair."""
+
+    n_pes: int
+    page_size: int
+    cache_elems: int
+    result: SimResult
+
+    @property
+    def remote_pct(self) -> float:
+        return self.result.remote_read_pct
+
+    @property
+    def cached_pct(self) -> float:
+        return self.result.cached_read_pct
+
+    @property
+    def series_label(self) -> str:
+        cache = "Cache" if self.cache_elems else "No Cache"
+        return f"{cache}, ps {self.page_size}"
+
+
+@dataclass
+class Sweep:
+    """Results of one kernel over a configuration grid."""
+
+    kernel: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    @staticmethod
+    def run(
+        kernel: str,
+        trace: Trace,
+        *,
+        pes: Sequence[int] = DEFAULT_PES,
+        page_sizes: Sequence[int] = DEFAULT_PAGE_SIZES,
+        caches: Sequence[int] = DEFAULT_CACHES,
+        cache_policy: str = "lru",
+        partition: PartitionScheme | None = None,
+    ) -> "Sweep":
+        """Simulate the full cross product (trace is reused throughout)."""
+        scheme = partition if partition is not None else ModuloPartition()
+        sweep = Sweep(kernel=kernel)
+        for page_size in page_sizes:
+            for cache_elems in caches:
+                for n_pes in pes:
+                    config = MachineConfig(
+                        n_pes=n_pes,
+                        page_size=page_size,
+                        cache_elems=cache_elems,
+                        cache_policy=cache_policy,
+                        partition=scheme,
+                    )
+                    sweep.points.append(
+                        SweepPoint(
+                            n_pes=n_pes,
+                            page_size=page_size,
+                            cache_elems=cache_elems,
+                            result=simulate(trace, config),
+                        )
+                    )
+        return sweep
+
+    # -- selection ---------------------------------------------------------------
+    def pe_axis(self) -> list[int]:
+        return sorted({p.n_pes for p in self.points})
+
+    def series(self) -> dict[str, list[float]]:
+        """Remote-read %% per series label, ordered along the PE axis —
+        the exact series of the paper's figures."""
+        axis = self.pe_axis()
+        out: dict[str, list[float]] = {}
+        for page_size in sorted({p.page_size for p in self.points}):
+            for cache_elems in sorted(
+                {p.cache_elems for p in self.points}, reverse=True
+            ):
+                label = (
+                    f"{'Cache' if cache_elems else 'No Cache'}, ps {page_size}"
+                )
+                values = []
+                for n_pes in axis:
+                    point = self.lookup(n_pes, page_size, cache_elems)
+                    values.append(point.remote_pct)
+                out[label] = values
+        return out
+
+    def lookup(self, n_pes: int, page_size: int, cache_elems: int) -> SweepPoint:
+        for point in self.points:
+            if (
+                point.n_pes == n_pes
+                and point.page_size == page_size
+                and point.cache_elems == cache_elems
+            ):
+                return point
+        raise KeyError(
+            f"no sweep point for pes={n_pes} ps={page_size} cache={cache_elems}"
+        )
+
+
+def kernel_trace(
+    program: Program, inputs: Mapping[str, np.ndarray]
+) -> Trace:
+    """Generate the kernel's trace once; it drives every configuration.
+
+    Uses the vectorised affine fast path (bit-identical to the
+    interpreter, asserted by the test suite) and falls back to the
+    interpreter for kernels with indirect subscripts.
+    """
+    from ..ir.vectorize import fast_trace
+
+    return fast_trace(program, inputs)

@@ -1,0 +1,37 @@
+"""Coherence-free per-PE page caches (§4) and replacement policies."""
+
+from .base import CacheStats, PageCache, PageKey
+from .direct import DirectMappedCache
+from .fifo import FIFOCache
+from .lru import LRUCache
+from .randomrepl import RandomCache
+
+__all__ = [
+    "CacheStats",
+    "DirectMappedCache",
+    "FIFOCache",
+    "LRUCache",
+    "PageCache",
+    "PageKey",
+    "RandomCache",
+    "make_cache",
+    "POLICIES",
+]
+
+POLICIES = {
+    "lru": LRUCache,
+    "fifo": FIFOCache,
+    "random": RandomCache,
+    "direct": DirectMappedCache,
+}
+
+
+def make_cache(policy: str, capacity_pages: int) -> PageCache:
+    """Instantiate a cache by policy name ("lru", "fifo", "random", "direct")."""
+    try:
+        cls = POLICIES[policy]
+    except KeyError:
+        raise KeyError(
+            f"unknown cache policy {policy!r}; choose from {sorted(POLICIES)}"
+        ) from None
+    return cls(capacity_pages)

@@ -1,0 +1,91 @@
+"""Per-PE page caches (§4).
+
+"Each PE may safely cache a remotely fetched page in a local data
+cache, preventing future accesses of the same remote page.  The cache
+used will be of fixed size and thus must use some sort of page
+replacement strategy."  The paper uses LRU; FIFO, random and
+direct-mapped variants are provided for the replacement-policy
+ablation.
+
+A cache maps keys ``(array_id, page_number)`` to resident remote pages.
+Only *remote* pages are ever inserted — locally owned pages live in the
+PE's own memory, and single assignment guarantees a cached page can
+never be invalidated (the paper's coherence-freedom argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheStats", "PageCache", "PageKey"]
+
+PageKey = tuple[int, int]  # (array id, page number)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class PageCache:
+    """Base class: fixed capacity (in pages), replacement on overflow.
+
+    ``access(key)`` models one read that missed local memory: a hit
+    means the page is resident (a *cached read*); a miss fetches and
+    inserts the page (a *remote read*), evicting per policy when full.
+    """
+
+    policy = "abstract"
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages < 0:
+            raise ValueError("capacity must be nonnegative")
+        self.capacity_pages = capacity_pages
+        self.stats = CacheStats()
+
+    # -- required protocol -------------------------------------------------------
+    def access(self, key: PageKey) -> bool:
+        """Touch a page; returns True on hit, False on miss (+insert)."""
+        raise NotImplementedError
+
+    def contains(self, key: PageKey) -> bool:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def resident_keys(self) -> list[PageKey]:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def invalidate(self, key: PageKey) -> bool:
+        """Drop one page (used by the §5 re-initialisation protocol: a
+        reused array's stale pages must leave every cache before the
+        next generation is produced).  Returns True if it was resident.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(capacity={self.capacity_pages}, "
+            f"resident={len(self)}, hit_rate={self.stats.hit_rate:.3f})"
+        )

@@ -1,0 +1,67 @@
+"""Direct-mapped page cache (replacement-policy ablation).
+
+Each page key hashes to exactly one slot; conflicting pages evict each
+other regardless of recency.  Included because direct mapping is what
+simple 1989-era hardware would most plausibly have built, making the
+LRU-vs-direct comparison a realistic design question for the paper's
+machine.
+"""
+
+from __future__ import annotations
+
+from .base import PageCache, PageKey
+
+__all__ = ["DirectMappedCache"]
+
+
+class DirectMappedCache(PageCache):
+    """One slot per page-key hash; conflict misses evict in place."""
+
+    policy = "direct"
+
+    def __init__(self, capacity_pages: int) -> None:
+        super().__init__(capacity_pages)
+        self._slots: list[PageKey | None] = [None] * capacity_pages
+
+    def _slot_of(self, key: PageKey) -> int:
+        array_id, page = key
+        # Deterministic mix so different arrays of the same length do not
+        # all collide on the same slots.
+        return (page + 0x9E37 * array_id) % self.capacity_pages
+
+    def access(self, key: PageKey) -> bool:
+        if self.capacity_pages == 0:
+            self.stats.misses += 1
+            return False
+        slot = self._slot_of(key)
+        if self._slots[slot] == key:
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if self._slots[slot] is not None:
+            self.stats.evictions += 1
+        self._slots[slot] = key
+        return False
+
+    def contains(self, key: PageKey) -> bool:
+        if self.capacity_pages == 0:
+            return False
+        return self._slots[self._slot_of(key)] == key
+
+    def __len__(self) -> int:
+        return sum(1 for s in self._slots if s is not None)
+
+    def resident_keys(self) -> list[PageKey]:
+        return [s for s in self._slots if s is not None]
+
+    def clear(self) -> None:
+        self._slots = [None] * self.capacity_pages
+
+    def invalidate(self, key: PageKey) -> bool:
+        if self.capacity_pages == 0:
+            return False
+        slot = self._slot_of(key)
+        if self._slots[slot] == key:
+            self._slots[slot] = None
+            return True
+        return False

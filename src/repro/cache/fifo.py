@@ -1,0 +1,56 @@
+"""First-in-first-out page cache (replacement-policy ablation).
+
+FIFO differs from LRU only in that hits do not refresh recency; for the
+paper's cyclic loops this makes eviction order independent of the reuse
+pattern, which is exactly the contrast the ablation benchmark probes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .base import PageCache, PageKey
+
+__all__ = ["FIFOCache"]
+
+
+class FIFOCache(PageCache):
+    """Evicts in insertion order, ignoring hits."""
+
+    policy = "fifo"
+
+    def __init__(self, capacity_pages: int) -> None:
+        super().__init__(capacity_pages)
+        self._pages: OrderedDict[PageKey, None] = OrderedDict()
+
+    def access(self, key: PageKey) -> bool:
+        if self.capacity_pages == 0:
+            self.stats.misses += 1
+            return False
+        if key in self._pages:
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(self._pages) >= self.capacity_pages:
+            self._pages.popitem(last=False)
+            self.stats.evictions += 1
+        self._pages[key] = None
+        return False
+
+    def contains(self, key: PageKey) -> bool:
+        return key in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def resident_keys(self) -> list[PageKey]:
+        return list(self._pages.keys())
+
+    def clear(self) -> None:
+        self._pages.clear()
+
+    def invalidate(self, key: PageKey) -> bool:
+        return self._pages.pop(key, _MISSING) is not _MISSING
+
+
+_MISSING = object()

@@ -1,0 +1,58 @@
+"""Least-recently-used page cache — the paper's policy (§4).
+
+"For our simulation, we chose a least-recently-used page replacement
+strategy.  This choice leads to some interesting results" — notably the
+cyclic-distribution behaviour of §7.1.3, where LRU retains a whole
+access cycle once the per-PE cycle length fits in the cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .base import PageCache, PageKey
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache(PageCache):
+    """LRU over page keys, O(1) per access."""
+
+    policy = "lru"
+
+    def __init__(self, capacity_pages: int) -> None:
+        super().__init__(capacity_pages)
+        self._pages: OrderedDict[PageKey, None] = OrderedDict()
+
+    def access(self, key: PageKey) -> bool:
+        if self.capacity_pages == 0:
+            self.stats.misses += 1
+            return False
+        if key in self._pages:
+            self._pages.move_to_end(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(self._pages) >= self.capacity_pages:
+            self._pages.popitem(last=False)
+            self.stats.evictions += 1
+        self._pages[key] = None
+        return False
+
+    def contains(self, key: PageKey) -> bool:
+        return key in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def resident_keys(self) -> list[PageKey]:
+        return list(self._pages.keys())
+
+    def clear(self) -> None:
+        self._pages.clear()
+
+    def invalidate(self, key: PageKey) -> bool:
+        return self._pages.pop(key, _MISSING) is not _MISSING
+
+
+_MISSING = object()

@@ -1,0 +1,68 @@
+"""Random-replacement page cache (replacement-policy ablation).
+
+A deterministic seeded PRNG keeps simulations reproducible run-to-run:
+the same trace and configuration always yield the same counters.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .base import PageCache, PageKey
+
+__all__ = ["RandomCache"]
+
+
+class RandomCache(PageCache):
+    """Evicts a uniformly random resident page on overflow."""
+
+    policy = "random"
+
+    def __init__(self, capacity_pages: int, seed: int = 0x5A17) -> None:
+        super().__init__(capacity_pages)
+        self._rng = random.Random(seed)
+        self._slots: list[PageKey] = []
+        self._index: dict[PageKey, int] = {}
+
+    def access(self, key: PageKey) -> bool:
+        if self.capacity_pages == 0:
+            self.stats.misses += 1
+            return False
+        if key in self._index:
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(self._slots) >= self.capacity_pages:
+            victim_pos = self._rng.randrange(len(self._slots))
+            victim = self._slots[victim_pos]
+            del self._index[victim]
+            self._slots[victim_pos] = key
+            self._index[key] = victim_pos
+            self.stats.evictions += 1
+        else:
+            self._index[key] = len(self._slots)
+            self._slots.append(key)
+        return False
+
+    def contains(self, key: PageKey) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def resident_keys(self) -> list[PageKey]:
+        return list(self._slots)
+
+    def clear(self) -> None:
+        self._slots.clear()
+        self._index.clear()
+
+    def invalidate(self, key: PageKey) -> bool:
+        pos = self._index.pop(key, None)
+        if pos is None:
+            return False
+        last = self._slots.pop()
+        if last != key:
+            self._slots[pos] = last
+            self._index[last] = pos
+        return True

@@ -1,0 +1,227 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro list                     # registered kernels
+    python -m repro figure 1                 # regenerate Figure 1..5
+    python -m repro tables                   # T1-T3
+    python -m repro classify hydro_fragment  # one kernel's class
+    python -m repro sweep iccg --pes 4 16 64 # custom sweep
+    python -m repro advise hydro_2d          # §9 partitioning advisor
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main"]
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    from .kernels import all_kernels
+
+    print(f"{'name':<22} {'LFK#':>4}  {'paper class':<12} title")
+    for kernel in all_kernels():
+        paper = str(kernel.paper_class) if kernel.paper_class else "-"
+        print(
+            f"{kernel.name:<22} {kernel.number or '-':>4}  {paper:<12} "
+            f"{kernel.title}"
+        )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .bench import figure1, figure2, figure3, figure4, figure5, render
+
+    generators = {1: figure1, 2: figure2, 3: figure3, 4: figure4, 5: figure5}
+    numbers = args.numbers or sorted(generators)
+    for number in numbers:
+        if number not in generators:
+            print(f"no such figure: {number}", file=sys.stderr)
+            return 2
+        print(render(generators[number]()))
+        print()
+    return 0
+
+
+def _cmd_tables(_: argparse.Namespace) -> int:
+    from .bench import (
+        class_table,
+        conclusions_table,
+        render_class_table,
+        render_survey_table,
+        render_table,
+        skew_reduction,
+    )
+
+    print(render_class_table(class_table()))
+    print()
+    print(render_survey_table(conclusions_table()))
+    print()
+    no_cache, with_cache = skew_reduction()
+    print(
+        render_table(
+            ["configuration", "% of reads remote"],
+            [
+                ["no cache (paper: 22%)", no_cache],
+                ["cache 256 (paper: 1%)", with_cache],
+            ],
+            title="T3: Hydro Fragment skew reduction (§8)",
+        )
+    )
+    return 0
+
+
+def _build(name: str, n: int | None):
+    from .kernels import get_kernel
+
+    kernel = get_kernel(name)
+    return kernel, kernel.build(n=n)
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from .core import classify
+
+    kernel, (program, inputs) = _build(args.kernel, args.n)
+    result = classify(program, inputs)
+    print(result)
+    print()
+    print(result.dynamic.table())
+    if args.verbose:
+        print()
+        for pattern in result.static.patterns:
+            print(f"  stmt {pattern.stmt_id}: {pattern.describe()}")
+    if kernel.paper_class is not None:
+        agrees = "agrees" if result.final == kernel.paper_class else "DISAGREES"
+        print(f"\npaper label: {kernel.paper_class} ({agrees})")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .bench import Sweep, kernel_trace, render_series_table
+
+    _, (program, inputs) = _build(args.kernel, args.n)
+    trace = kernel_trace(program, inputs)
+    sweep = Sweep.run(
+        args.kernel,
+        trace,
+        pes=tuple(args.pes),
+        page_sizes=tuple(args.page_sizes),
+        caches=(args.cache, 0) if args.cache else (0,),
+    )
+    print(
+        render_series_table(
+            "PEs",
+            sweep.pe_axis(),
+            sweep.series(),
+            title=f"{args.kernel}: % of reads remote",
+            unit="",
+        )
+    )
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from .core import advise
+
+    _, (program, inputs) = _build(args.kernel, args.n)
+    advice = advise(program, inputs, n_pes=args.pes)
+    print(advice.table())
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from .ir import format_program
+
+    _, (program, _inputs) = _build(args.kernel, args.n)
+    print(format_program(program))
+    return 0
+
+
+def _cmd_report(_: argparse.Namespace) -> int:
+    """Everything in one document: figures, tables, survey."""
+    from . import __version__
+    from .bench import figure1, figure2, figure3, figure4, figure5, render
+
+    print(
+        "Reproduction report — Bic, Nagel & Roy (1989), "
+        f"repro v{__version__}"
+    )
+    print("=" * 72)
+    for generator in (figure1, figure2, figure3, figure4, figure5):
+        print()
+        print(render(generator()))
+    print()
+    _cmd_tables(_)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Bic, Nagel & Roy (1989): automatic "
+            "data/program partitioning using single assignment."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered kernels").set_defaults(
+        fn=_cmd_list
+    )
+
+    fig = sub.add_parser("figure", help="regenerate paper figures")
+    fig.add_argument("numbers", nargs="*", type=int, help="figure numbers 1-5")
+    fig.set_defaults(fn=_cmd_figure)
+
+    sub.add_parser("tables", help="regenerate tables T1-T3").set_defaults(
+        fn=_cmd_tables
+    )
+
+    cls = sub.add_parser("classify", help="classify one kernel")
+    cls.add_argument("kernel")
+    cls.add_argument("--n", type=int, default=None, help="problem size")
+    cls.add_argument("-v", "--verbose", action="store_true")
+    cls.set_defaults(fn=_cmd_classify)
+
+    swp = sub.add_parser("sweep", help="sweep machine configurations")
+    swp.add_argument("kernel")
+    swp.add_argument("--n", type=int, default=None)
+    swp.add_argument(
+        "--pes", nargs="+", type=int, default=[1, 4, 8, 16, 32, 64]
+    )
+    swp.add_argument("--page-sizes", nargs="+", type=int, default=[32, 64])
+    swp.add_argument(
+        "--cache", type=int, default=256, help="cache elements (0 = none)"
+    )
+    swp.set_defaults(fn=_cmd_sweep)
+
+    adv = sub.add_parser("advise", help="recommend scheme and page size (§9)")
+    adv.add_argument("kernel")
+    adv.add_argument("--n", type=int, default=None)
+    adv.add_argument("--pes", type=int, default=16)
+    adv.set_defaults(fn=_cmd_advise)
+
+    show = sub.add_parser(
+        "show", help="print a kernel as DO-loop pseudo-Fortran"
+    )
+    show.add_argument("kernel")
+    show.add_argument("--n", type=int, default=None)
+    show.set_defaults(fn=_cmd_show)
+
+    sub.add_parser(
+        "report", help="full reproduction report (all figures + tables)"
+    ).set_defaults(fn=_cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

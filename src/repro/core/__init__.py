@@ -1,0 +1,63 @@
+"""The paper's primary contribution: automatic data/program partitioning.
+
+Partition schemes, the owner-computes rule, the trace-driven
+multiprocessor simulator, access statistics, and the four-way
+access-distribution classifier.
+"""
+
+from .access import AccessKind
+from .advisor import Advice, CandidateScore, advise, advise_trace
+from .classify import (
+    AccessClass,
+    Classification,
+    DynamicEvidence,
+    ReadPattern,
+    StaticEvidence,
+    classify,
+    classify_dynamic,
+    classify_static,
+)
+from .owner import DataLayout, screen_iterations
+from .reuse import ReuseProfile, hit_rate_curve, stack_distances
+from .partition import (
+    BlockCyclicPartition,
+    BlockPartition,
+    ModuloPartition,
+    PartitionScheme,
+    named_scheme,
+)
+from .simulator import MachineConfig, SimResult, simulate, simulate_program
+from .stats import AccessStats, LoadBalance
+
+__all__ = [
+    "AccessClass",
+    "AccessKind",
+    "Advice",
+    "CandidateScore",
+    "advise",
+    "advise_trace",
+    "AccessStats",
+    "BlockCyclicPartition",
+    "BlockPartition",
+    "Classification",
+    "DataLayout",
+    "DynamicEvidence",
+    "LoadBalance",
+    "MachineConfig",
+    "ModuloPartition",
+    "PartitionScheme",
+    "ReadPattern",
+    "ReuseProfile",
+    "SimResult",
+    "StaticEvidence",
+    "classify",
+    "classify_dynamic",
+    "classify_static",
+    "hit_rate_curve",
+    "named_scheme",
+    "stack_distances",
+    "screen_iterations",
+    "simulate",
+    "simulate_program",
+    "simulate",
+]

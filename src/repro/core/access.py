@@ -1,0 +1,34 @@
+"""Access categories (§7).
+
+"Accesses to array elements were categorized as follows: write (always
+local), local read, cached read, remote read."  These four categories
+are the paper's entire measurement vocabulary; everything in the
+evaluation is a ratio or per-PE distribution over them.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["AccessKind"]
+
+
+class AccessKind(IntEnum):
+    """The four access categories of §7.
+
+    Values are chosen so they can index compact per-PE counter arrays.
+    """
+
+    WRITE = 0        # always local under owner-computes
+    LOCAL_READ = 1   # element's page is owned by the executing PE
+    CACHED_READ = 2  # remote page already present in the PE's cache
+    REMOTE_READ = 3  # page fetched from the owning PE
+
+    @property
+    def is_read(self) -> bool:
+        return self is not AccessKind.WRITE
+
+    @property
+    def crosses_network(self) -> bool:
+        """True if the access sends a message to another PE."""
+        return self is AccessKind.REMOTE_READ

@@ -1,0 +1,177 @@
+"""Partitioning advisor: compiler-selectable scheme and page size (§9).
+
+The paper closes with: "we must explore ways for providing different
+programmer- or compiler-selectable partitioning schemes.  These would
+allow the programmer or compiler to select the partitioning method
+based on some analysis of the access behavior" and likewise for the
+page size.  This module is that selector: it classifies a kernel,
+searches the (partition scheme x page size) space on the kernel's own
+trace, and recommends the configuration minimising an objective that
+combines remote traffic with load balance.
+
+The search is exhaustive over a small grid — exactly what a compiler
+could afford per kernel, since one interpreter trace serves every
+candidate configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..ir.loops import Program
+from ..ir.trace import Trace
+from .access import AccessKind
+from .classify import AccessClass, classify_static
+from .partition import (
+    BlockCyclicPartition,
+    BlockPartition,
+    ModuloPartition,
+    PartitionScheme,
+)
+from .simulator import MachineConfig, simulate
+from .stats import LoadBalance
+
+__all__ = ["Advice", "CandidateScore", "advise", "advise_trace"]
+
+#: Default candidate grids (the paper's two page sizes plus neighbours).
+DEFAULT_PAGE_SIZES: tuple[int, ...] = (16, 32, 64, 128)
+DEFAULT_SCHEMES: tuple[PartitionScheme, ...] = (
+    ModuloPartition(),
+    BlockPartition(),
+    BlockCyclicPartition(block=2),
+    BlockCyclicPartition(block=4),
+)
+#: Weight of load imbalance (coefficient of variation of per-PE reads)
+#: against remote-read percentage in the objective.  One CV point is
+#: deemed as bad as `BALANCE_WEIGHT` percentage points of remote reads.
+BALANCE_WEIGHT = 20.0
+
+
+@dataclass(frozen=True)
+class CandidateScore:
+    """One evaluated (scheme, page size) candidate."""
+
+    scheme: PartitionScheme
+    page_size: int
+    remote_pct: float
+    balance_cv: float
+
+    @property
+    def objective(self) -> float:
+        """Lower is better: remote%% plus weighted imbalance."""
+        return self.remote_pct + BALANCE_WEIGHT * self.balance_cv
+
+    def describe(self) -> str:
+        return (
+            f"{self.scheme.label:>14} ps={self.page_size:<4} "
+            f"remote%={self.remote_pct:6.2f} cv={self.balance_cv:.3f} "
+            f"objective={self.objective:7.2f}"
+        )
+
+
+@dataclass
+class Advice:
+    """The advisor's recommendation plus its full evidence."""
+
+    kernel: str
+    access_class: AccessClass
+    best: CandidateScore
+    candidates: list[CandidateScore] = field(default_factory=list)
+
+    @property
+    def scheme(self) -> PartitionScheme:
+        return self.best.scheme
+
+    @property
+    def page_size(self) -> int:
+        return self.best.page_size
+
+    def improvement_over(
+        self, scheme_name: str, page_size: int
+    ) -> float:
+        """Remote-%% saved relative to a named baseline candidate."""
+        for cand in self.candidates:
+            if cand.scheme.name == scheme_name and cand.page_size == page_size:
+                return cand.remote_pct - self.best.remote_pct
+        raise KeyError(f"no candidate {scheme_name}/ps{page_size}")
+
+    def table(self) -> str:
+        lines = [
+            f"advice for {self.kernel} (class {self.access_class}):",
+        ]
+        for cand in sorted(self.candidates, key=lambda c: c.objective):
+            marker = " <== recommended" if cand == self.best else ""
+            lines.append("  " + cand.describe() + marker)
+        return "\n".join(lines)
+
+
+def advise_trace(
+    kernel: str,
+    trace: Trace,
+    access_class: AccessClass,
+    *,
+    n_pes: int = 16,
+    cache_elems: int = 256,
+    page_sizes: Sequence[int] = DEFAULT_PAGE_SIZES,
+    schemes: Sequence[PartitionScheme] = DEFAULT_SCHEMES,
+) -> Advice:
+    """Search the candidate grid on an existing trace."""
+    candidates = []
+    for scheme in schemes:
+        for page_size in page_sizes:
+            config = MachineConfig(
+                n_pes=n_pes,
+                page_size=page_size,
+                cache_elems=cache_elems,
+                partition=scheme,
+            )
+            result = simulate(trace, config)
+            reads = result.stats.reads_per_pe()
+            balance = (
+                LoadBalance.from_series(reads).cv if reads.sum() else 0.0
+            )
+            candidates.append(
+                CandidateScore(
+                    scheme=scheme,
+                    page_size=page_size,
+                    remote_pct=result.remote_read_pct,
+                    balance_cv=balance,
+                )
+            )
+    best = min(candidates, key=lambda c: (c.objective, c.page_size))
+    return Advice(
+        kernel=kernel,
+        access_class=access_class,
+        best=best,
+        candidates=candidates,
+    )
+
+
+def advise(
+    program: Program,
+    inputs: Mapping[str, np.ndarray],
+    *,
+    n_pes: int = 16,
+    cache_elems: int = 256,
+    page_sizes: Sequence[int] = DEFAULT_PAGE_SIZES,
+    schemes: Sequence[PartitionScheme] = DEFAULT_SCHEMES,
+) -> Advice:
+    """Classify a kernel and recommend (scheme, page size) for it."""
+    from ..ir.interp import run_program
+    from .classify import classify_dynamic
+
+    static_hint = classify_static(program).hint
+    trace = run_program(program, inputs).trace
+    access_class, _ = classify_dynamic(trace, static_hint=static_hint)
+    return advise_trace(
+        program.name,
+        trace,
+        access_class,
+        n_pes=n_pes,
+        cache_elems=cache_elems,
+        page_sizes=page_sizes,
+        schemes=schemes,
+    )

@@ -1,0 +1,118 @@
+"""Owner-computes rule and index screening (§2, §3).
+
+"Control partitioning will be done by assigning to each PE the
+responsibility for updating the elements in all the array pages it
+contains in its local memory" — each PE executes exactly the statement
+instances whose *write target* it owns.  "This is achieved by screening
+the array indices so that the right-hand side of the assignment is
+evaluated only for a given PE's subranges."
+
+:class:`DataLayout` bundles the page size, PE count and partition
+scheme over a set of named arrays and answers ownership queries;
+:func:`screen_iterations` performs the index screening for a loop,
+returning the iteration values a given PE is responsible for.  The
+timed machine model and the examples build on these; the trace-driven
+simulator inlines the same arithmetic in vectorised form.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..memory.linearize import linearize, linearize_many
+from ..memory.pages import PageTable
+from .partition import ModuloPartition, PartitionScheme
+
+__all__ = ["DataLayout", "screen_iterations"]
+
+
+class DataLayout:
+    """Placement of a set of arrays over a machine.
+
+    Parameters mirror the paper's two knobs (page size, number of PEs)
+    plus the partition scheme.  Every array is paged independently from
+    page 0, so equal indices of different arrays share an owner.
+    """
+
+    def __init__(
+        self,
+        shapes: Mapping[str, Sequence[int]],
+        page_size: int,
+        n_pes: int,
+        scheme: PartitionScheme | None = None,
+    ) -> None:
+        if n_pes <= 0:
+            raise ValueError("need at least one PE")
+        self.page_size = page_size
+        self.n_pes = n_pes
+        self.scheme = scheme if scheme is not None else ModuloPartition()
+        self.shapes = {name: tuple(shape) for name, shape in shapes.items()}
+        self.tables = {
+            name: PageTable(int(np.prod(shape)), page_size)
+            for name, shape in self.shapes.items()
+        }
+
+    # -- ownership queries -----------------------------------------------------
+    def owner_of_flat(self, array: str, flat: int) -> int:
+        table = self.tables[array]
+        return self.scheme.owner_of(table.page_of(flat), table.n_pages, self.n_pes)
+
+    def owner_of(self, array: str, idx: Sequence[int]) -> int:
+        return self.owner_of_flat(array, linearize(idx, self.shapes[array]))
+
+    def owners_of_flats(self, array: str, flats: np.ndarray) -> np.ndarray:
+        table = self.tables[array]
+        return self.scheme.owners_of(
+            table.pages_of(flats), table.n_pages, self.n_pes
+        )
+
+    def pages_owned(self, array: str, pe: int) -> np.ndarray:
+        table = self.tables[array]
+        return self.scheme.pages_owned(pe, table.n_pages, self.n_pes)
+
+    def subranges(self, array: str, pe: int) -> list[tuple[int, int]]:
+        """Half-open element ranges of ``array`` owned by ``pe``.
+
+        For the paper's four-PE example (three arrays of 100 elements,
+        page size 32), PE 3 gets the partial subrange (96, 100).
+        """
+        table = self.tables[array]
+        return [table.page_range(int(p)) for p in self.pages_owned(array, pe)]
+
+    def elements_owned(self, array: str, pe: int) -> int:
+        return sum(stop - start for start, stop in self.subranges(array, pe))
+
+    def memory_per_pe(self) -> np.ndarray:
+        """Total elements resident on each PE across all arrays."""
+        totals = np.zeros(self.n_pes, dtype=np.int64)
+        for array in self.shapes:
+            for pe in range(self.n_pes):
+                totals[pe] += self.elements_owned(array, pe)
+        return totals
+
+
+def screen_iterations(
+    layout: DataLayout,
+    array: str,
+    target_index: Callable[[np.ndarray], Sequence[np.ndarray]],
+    iteration_values: np.ndarray,
+    pe: int,
+) -> np.ndarray:
+    """Index screening: which iterations does ``pe`` execute?
+
+    ``target_index`` maps a vector of loop-variable values to the
+    multi-index written by each iteration (one array per axis).  The
+    returned subset preserves iteration order — "whether only the
+    correct indices are generated, or if they all are generated and
+    then screened is an implementation detail" (§3); we generate all
+    and screen, which is the simpler of the two.
+    """
+    iteration_values = np.asarray(iteration_values, dtype=np.int64)
+    axes = target_index(iteration_values)
+    if not isinstance(axes, (tuple, list)):
+        axes = (axes,)
+    flats = linearize_many([np.asarray(a) for a in axes], layout.shapes[array])
+    owners = layout.owners_of_flats(array, flats)
+    return iteration_values[owners == pe]

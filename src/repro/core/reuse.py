@@ -1,0 +1,131 @@
+"""Stack-distance (reuse) analysis of page traffic.
+
+§7.1.4 diagnoses random-distribution loops as "similar in many ways to
+thrashing in virtual memory systems" and proposes larger caches; §9
+asks how virtual-memory techniques apply.  The classic such technique
+is **Mattson stack-distance analysis**: because LRU possesses the
+inclusion property, one pass over each PE's non-local page reference
+string yields the hit count for *every* cache capacity simultaneously.
+
+:func:`stack_distances` computes, per PE, the histogram of LRU stack
+distances of non-local page touches; :func:`hit_rate_curve` turns it
+into remote-read percentages as a function of cache capacity — the
+entire A2 cache-size ablation from a single simulation pass, with the
+direct simulator used as ground truth in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ir.trace import Trace
+from ..memory.pages import PageTable
+from .simulator import MachineConfig, _owners_by_array
+
+__all__ = ["ReuseProfile", "hit_rate_curve", "stack_distances"]
+
+#: Histogram bucket for cold (first-touch) references.
+COLD = -1
+
+
+@dataclass
+class ReuseProfile:
+    """Stack-distance census of one trace under one placement.
+
+    ``histogram`` maps stack distance (0 = re-touch of the most recent
+    page) to the number of non-local page touches at that distance;
+    cold first touches are under :data:`COLD`.  ``total_reads`` is the
+    machine-wide read count (local reads included) so percentages match
+    the simulator's denominators.
+    """
+
+    histogram: dict[int, int]
+    total_reads: int
+    nonlocal_reads: int
+
+    def remote_reads_at(self, capacity_pages: int) -> int:
+        """Remote (miss) count for an LRU cache of the given capacity.
+
+        A touch at stack distance d hits iff d < capacity.  Capacity 0
+        means no cache: every non-local touch is remote.
+        """
+        if capacity_pages <= 0:
+            return self.nonlocal_reads
+        misses = self.histogram.get(COLD, 0)
+        for distance, count in self.histogram.items():
+            if distance != COLD and distance >= capacity_pages:
+                misses += count
+        return misses
+
+    def remote_pct_at(self, capacity_pages: int) -> float:
+        if self.total_reads == 0:
+            return 0.0
+        return 100.0 * self.remote_reads_at(capacity_pages) / self.total_reads
+
+
+def stack_distances(trace: Trace, config: MachineConfig) -> ReuseProfile:
+    """One pass over the per-PE non-local page strings.
+
+    Only ``config.n_pes``, ``page_size`` and ``partition`` matter; the
+    cache fields are ignored (the whole point is to cover all cache
+    sizes at once).
+    """
+    ps = config.page_size
+    tables = [PageTable(size, ps) for size in trace.array_sizes]
+    if trace.n_instances == 0:
+        return ReuseProfile({}, 0, 0)
+    w_pages = trace.w_flat // ps
+    exec_pe = _owners_by_array(
+        trace.w_arr, w_pages, tables, config.partition, config.n_pes
+    )
+    reads_per_instance = np.diff(trace.r_ptr)
+    r_exec = np.repeat(exec_pe, reads_per_instance)
+    r_pages = trace.r_flat // ps
+    r_owner = _owners_by_array(
+        trace.r_arr, r_pages, tables, config.partition, config.n_pes
+    )
+    nonlocal_mask = r_owner != r_exec
+    histogram: dict[int, int] = {}
+    nonlocal_total = int(nonlocal_mask.sum())
+    composite = trace.r_arr.astype(np.int64) * (1 << 40) + r_pages
+    for pe in range(config.n_pes):
+        mask = nonlocal_mask & (r_exec == pe)
+        if not mask.any():
+            continue
+        # LRU stack as an ordered list, most recent at the end.  The
+        # working sets here are page-granular and small, so the O(d)
+        # list scan is the pragmatic choice.
+        stack: list[int] = []
+        position: dict[int, int] = {}
+        for key in composite[mask].tolist():
+            if key in position:
+                # Distance = number of distinct pages touched since.
+                idx = stack.index(key)
+                distance = len(stack) - idx - 1
+                del stack[idx]
+                stack.append(key)
+                histogram[distance] = histogram.get(distance, 0) + 1
+            else:
+                histogram[COLD] = histogram.get(COLD, 0) + 1
+                stack.append(key)
+            position[key] = True
+    return ReuseProfile(
+        histogram=histogram,
+        total_reads=trace.n_reads,
+        nonlocal_reads=nonlocal_total,
+    )
+
+
+def hit_rate_curve(
+    trace: Trace,
+    config: MachineConfig,
+    capacities_pages: list[int],
+) -> dict[int, float]:
+    """Remote-read %% for each LRU capacity, from one analysis pass."""
+    profile = stack_distances(trace, config)
+    return {
+        capacity: profile.remote_pct_at(capacity)
+        for capacity in capacities_pages
+    }

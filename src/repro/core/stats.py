@@ -1,0 +1,167 @@
+"""Simulation counters and load-balance metrics (§7.1, §7.2).
+
+:class:`AccessStats` accumulates the four access categories per PE and
+derives the paper's headline measure — "% of Reads Remote" — plus the
+load-balance view of Figure 5 (remote and local reads per PE).
+:class:`LoadBalance` condenses a per-PE series into the summary numbers
+quoted in §7.2 ("each of the sixty-four PEs performs a comparable
+number of remote reads and local reads").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .access import AccessKind
+
+__all__ = ["AccessStats", "LoadBalance"]
+
+
+class AccessStats:
+    """Per-PE counters over the four access categories.
+
+    Counters are a dense ``int64[n_pes, 4]`` matrix indexed by
+    :class:`~repro.core.access.AccessKind`, with optional per-array and
+    per-statement breakdowns for diagnostics.
+    """
+
+    def __init__(self, n_pes: int, array_names: tuple[str, ...] = ()) -> None:
+        if n_pes <= 0:
+            raise ValueError("need at least one PE")
+        self.n_pes = n_pes
+        self.array_names = array_names
+        self.counts = np.zeros((n_pes, len(AccessKind)), dtype=np.int64)
+        # per (array, kind) totals, machine-wide
+        self.by_array = np.zeros(
+            (len(array_names), len(AccessKind)), dtype=np.int64
+        )
+
+    # -- accumulation ----------------------------------------------------------
+    def add(self, pe: int, kind: AccessKind, n: int = 1, array_id: int = -1) -> None:
+        self.counts[pe, kind] += n
+        if array_id >= 0 and len(self.array_names):
+            self.by_array[array_id, kind] += n
+
+    def add_vector(self, kind: AccessKind, per_pe: np.ndarray) -> None:
+        """Add a whole per-PE count vector for one category."""
+        if per_pe.shape != (self.n_pes,):
+            raise ValueError("per-PE vector shape mismatch")
+        self.counts[:, kind] += per_pe
+
+    def merge(self, other: "AccessStats") -> None:
+        if other.n_pes != self.n_pes:
+            raise ValueError("cannot merge stats with different PE counts")
+        self.counts += other.counts
+        if self.array_names == other.array_names:
+            self.by_array += other.by_array
+
+    # -- totals ------------------------------------------------------------------
+    def total(self, kind: AccessKind) -> int:
+        return int(self.counts[:, kind].sum())
+
+    @property
+    def writes(self) -> int:
+        return self.total(AccessKind.WRITE)
+
+    @property
+    def local_reads(self) -> int:
+        return self.total(AccessKind.LOCAL_READ)
+
+    @property
+    def cached_reads(self) -> int:
+        return self.total(AccessKind.CACHED_READ)
+
+    @property
+    def remote_reads(self) -> int:
+        return self.total(AccessKind.REMOTE_READ)
+
+    @property
+    def total_reads(self) -> int:
+        return self.local_reads + self.cached_reads + self.remote_reads
+
+    @property
+    def remote_read_pct(self) -> float:
+        """The paper's "% of Reads Remote" (0 when there are no reads)."""
+        reads = self.total_reads
+        return 100.0 * self.remote_reads / reads if reads else 0.0
+
+    @property
+    def cached_read_pct(self) -> float:
+        reads = self.total_reads
+        return 100.0 * self.cached_reads / reads if reads else 0.0
+
+    # -- per-PE views --------------------------------------------------------------
+    def per_pe(self, kind: AccessKind) -> np.ndarray:
+        return self.counts[:, kind].copy()
+
+    def reads_per_pe(self) -> np.ndarray:
+        return (
+            self.counts[:, AccessKind.LOCAL_READ]
+            + self.counts[:, AccessKind.CACHED_READ]
+            + self.counts[:, AccessKind.REMOTE_READ]
+        )
+
+    def load_balance(self, kind: AccessKind) -> "LoadBalance":
+        return LoadBalance.from_series(self.per_pe(kind))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "writes": float(self.writes),
+            "local_reads": float(self.local_reads),
+            "cached_reads": float(self.cached_reads),
+            "remote_reads": float(self.remote_reads),
+            "remote_read_pct": self.remote_read_pct,
+            "cached_read_pct": self.cached_read_pct,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessStats(pes={self.n_pes}, writes={self.writes}, "
+            f"local={self.local_reads}, cached={self.cached_reads}, "
+            f"remote={self.remote_reads}, "
+            f"remote%={self.remote_read_pct:.2f})"
+        )
+
+
+@dataclass(frozen=True)
+class LoadBalance:
+    """Summary statistics of a per-PE count series (Figure 5, §7.2)."""
+
+    mean: float
+    std: float
+    minimum: int
+    maximum: int
+    series: tuple[int, ...] = field(repr=False, default=())
+
+    @staticmethod
+    def from_series(series: np.ndarray) -> "LoadBalance":
+        series = np.asarray(series, dtype=np.int64)
+        if series.size == 0:
+            raise ValueError("empty per-PE series")
+        return LoadBalance(
+            mean=float(series.mean()),
+            std=float(series.std()),
+            minimum=int(series.min()),
+            maximum=int(series.max()),
+            series=tuple(int(x) for x in series),
+        )
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (0 = perfectly balanced)."""
+        return self.std / self.mean if self.mean else 0.0
+
+    @property
+    def jain_index(self) -> float:
+        """Jain's fairness index in (0, 1]; 1 = perfectly balanced."""
+        arr = np.asarray(self.series, dtype=np.float64)
+        denom = len(arr) * float((arr * arr).sum())
+        if denom == 0.0:
+            return 1.0
+        return float(arr.sum()) ** 2 / denom
+
+    @property
+    def spread(self) -> int:
+        return self.maximum - self.minimum

@@ -1,0 +1,5 @@
+"""Host-processor re-initialisation protocol (§5)."""
+
+from .reinit import ArrayPhase, ProtocolError, ReinitCoordinator, ReinitStats
+
+__all__ = ["ArrayPhase", "ProtocolError", "ReinitCoordinator", "ReinitStats"]

@@ -1,0 +1,166 @@
+"""Host-processor array re-initialisation protocol (§5).
+
+Single assignment forbids reusing an array, which "in statically
+allocated systems ... can be solved by providing a special array
+re-initialization construct.  Each PE's re-initialization must
+synchronize in some way with the re-initialization requests of all
+other PEs."  The paper's method:
+
+* each array has an assigned *host processor*, "evenly distributed
+  among the arrays" by the compiler;
+* a PE that wants to reuse array A sends a re-initialisation message to
+  A's host;
+* the host collects messages "until the last PE has requested
+  re-initialization", then broadcasts a grant, after which A may be
+  written again ("no PE attempts to write to an out-of-date version of
+  A");
+* deallocation uses the same synchronisation.
+
+:class:`ReinitCoordinator` implements the protocol as an explicit state
+machine with message counting, generation numbers, and hooks for
+clearing I-structure banks and invalidating cached pages of the reused
+array (a reused array's stale pages must leave every cache — the one
+place coherence re-enters this machine, at array granularity rather
+than per write).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["ArrayPhase", "ProtocolError", "ReinitCoordinator", "ReinitStats"]
+
+
+class ProtocolError(RuntimeError):
+    """A PE violated the protocol (double request, early write, ...)."""
+
+
+class ArrayPhase:
+    """Lifecycle phase of one array generation."""
+
+    ACTIVE = "active"          # generation readable/writable under SA
+    COLLECTING = "collecting"  # some PEs have requested re-initialisation
+    # (the grant broadcast is atomic here: COLLECTING -> ACTIVE with a
+    # bumped generation once the last request arrives)
+
+
+@dataclass
+class ReinitStats:
+    """Message and round counters (for the protocol-cost benchmark)."""
+
+    requests: int = 0
+    broadcasts: int = 0
+    rounds: int = 0
+
+    @property
+    def messages(self) -> int:
+        """Total point-to-point messages: N requests + (N-1) grant sends
+        per completed round (the host doesn't message itself)."""
+        return self.requests + self.broadcasts
+
+
+@dataclass
+class _ArrayState:
+    host: int
+    phase: str = ArrayPhase.ACTIVE
+    generation: int = 0
+    pending: set[int] = field(default_factory=set)
+
+
+class ReinitCoordinator:
+    """Hosts, generations, and the gather-then-broadcast handshake.
+
+    ``on_grant`` callbacks (e.g. clearing the array's I-structure bank
+    and invalidating its pages in every cache) run exactly once per
+    completed round, at grant time.
+    """
+
+    def __init__(self, arrays: list[str], n_pes: int) -> None:
+        if n_pes <= 0:
+            raise ValueError("need at least one PE")
+        self.n_pes = n_pes
+        # Round-robin host assignment — "the compiler ensures that the
+        # host processors are evenly distributed among the arrays".
+        self._arrays: dict[str, _ArrayState] = {
+            name: _ArrayState(host=i % n_pes)
+            for i, name in enumerate(arrays)
+        }
+        self.stats = ReinitStats()
+        self._on_grant: list[Callable[[str, int], None]] = []
+
+    # -- configuration -----------------------------------------------------------
+    def on_grant(self, callback: Callable[[str, int], None]) -> None:
+        """Register a grant hook: ``callback(array, new_generation)``."""
+        self._on_grant.append(callback)
+
+    # -- queries --------------------------------------------------------------------
+    def host_of(self, array: str) -> int:
+        return self._state(array).host
+
+    def generation(self, array: str) -> int:
+        return self._state(array).generation
+
+    def phase(self, array: str) -> str:
+        return self._state(array).phase
+
+    def pending_requests(self, array: str) -> int:
+        return len(self._state(array).pending)
+
+    # -- protocol -----------------------------------------------------------------
+    def request_reinit(self, array: str, pe: int) -> bool:
+        """PE ``pe`` asks the host to recycle ``array``.
+
+        Returns True when this request completed the round (the grant
+        broadcast fired).  Requesting twice within one round is a
+        protocol error — a correct compiler emits exactly one request
+        per PE per reuse point.
+        """
+        state = self._state(array)
+        if not 0 <= pe < self.n_pes:
+            raise IndexError(f"PE {pe} out of range [0, {self.n_pes})")
+        if pe in state.pending:
+            raise ProtocolError(
+                f"PE {pe} requested re-initialisation of {array!r} twice "
+                "in one round"
+            )
+        state.pending.add(pe)
+        state.phase = ArrayPhase.COLLECTING
+        self.stats.requests += 1
+        if len(state.pending) == self.n_pes:
+            self._grant(array, state)
+            return True
+        return False
+
+    def _grant(self, array: str, state: _ArrayState) -> None:
+        state.pending.clear()
+        state.generation += 1
+        state.phase = ArrayPhase.ACTIVE
+        # The host broadcasts the grant to every other PE.
+        self.stats.broadcasts += self.n_pes - 1
+        self.stats.rounds += 1
+        for callback in self._on_grant:
+            callback(array, state.generation)
+
+    def check_write_allowed(self, array: str, pe: int) -> None:
+        """A PE that already requested reuse must not write the old
+        generation while the round is still collecting."""
+        state = self._state(array)
+        if pe in state.pending:
+            raise ProtocolError(
+                f"PE {pe} wrote {array!r} after requesting re-initialisation "
+                "but before the grant (out-of-date version, §5)"
+            )
+
+    def _state(self, array: str) -> _ArrayState:
+        try:
+            return self._arrays[array]
+        except KeyError:
+            raise KeyError(f"unknown array {array!r}") from None
+
+    def host_load(self) -> dict[int, int]:
+        """Arrays hosted per PE (should be balanced within one)."""
+        load: dict[int, int] = {pe: 0 for pe in range(self.n_pes)}
+        for state in self._arrays.values():
+            load[state.host] += 1
+        return load

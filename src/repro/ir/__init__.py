@@ -1,0 +1,85 @@
+"""Loop-nest intermediate representation for single-assignment kernels.
+
+This subpackage is the "frontend" substrate of the reproduction: the
+Livermore Loops are written against it, the interpreter executes them
+to produce access traces, and the static analyses (single-assignment
+checking, access-pattern classification) consume it.
+"""
+
+from .builder import ArrayHandle, ProgramBuilder
+from .expr import (
+    AffineForm,
+    BinOp,
+    Call,
+    Const,
+    EvalContext,
+    Expr,
+    Max,
+    Min,
+    Ref,
+    Var,
+    as_expr,
+)
+from .interp import (
+    InterpResult,
+    Interpreter,
+    SingleAssignmentError,
+    UndefinedReadError,
+    run_program,
+)
+from .loops import ArrayDecl, Loop, Program
+from .sa_check import CheckReport, Finding, Verdict, check_program
+from .stmt import Assign, Reduction, Statement
+from .trace import Trace, TraceBuilder
+from .translate import (
+    TranslationError,
+    auto_convert,
+    expand_array,
+    expansion_cost,
+    rewrite_expr,
+)
+from .pprint import format_expr, format_program, format_statement
+from .vectorize import fast_trace, try_vectorize_trace
+
+__all__ = [
+    "AffineForm",
+    "ArrayDecl",
+    "ArrayHandle",
+    "Assign",
+    "BinOp",
+    "Call",
+    "CheckReport",
+    "Const",
+    "EvalContext",
+    "Expr",
+    "Finding",
+    "InterpResult",
+    "Interpreter",
+    "Loop",
+    "Max",
+    "Min",
+    "Program",
+    "ProgramBuilder",
+    "Reduction",
+    "Ref",
+    "SingleAssignmentError",
+    "Statement",
+    "Trace",
+    "TraceBuilder",
+    "TranslationError",
+    "UndefinedReadError",
+    "Var",
+    "Verdict",
+    "as_expr",
+    "auto_convert",
+    "check_program",
+    "expand_array",
+    "expansion_cost",
+    "fast_trace",
+    "format_expr",
+    "format_program",
+    "format_statement",
+    "rewrite_expr",
+    "run_program",
+    "try_vectorize_trace",
+]

@@ -1,0 +1,160 @@
+"""A small fluent DSL for writing IR kernels.
+
+Kernels written with :class:`ProgramBuilder` read close to the Fortran
+in the paper::
+
+    b = ProgramBuilder("hydro_fragment")
+    X = b.output("X", (n + 1,))
+    Y, ZX = b.input("Y", (n + 1,)), b.input("ZX", (n + 12,))
+    Q, R, T = b.scalar(Q=0.5, R=1.5, T=0.25)
+    k = b.index("k")
+    with b.loop(k, 1, n):
+        b.assign(X[k], Q + Y[k] * (R * ZX[k + 10] + T * ZX[k + 11]))
+    prog = b.build()
+
+Array handles support natural subscripting (``ZX[k + 10]``,
+``ZA[j - 1, kk + 1]``) and produce :class:`~repro.ir.expr.Ref` nodes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from .expr import Expr, Ref, Var, as_expr
+from .loops import ArrayDecl, Loop, Program
+from .stmt import Assign, Reduction, Statement
+
+__all__ = ["ArrayHandle", "ProgramBuilder"]
+
+
+class ArrayHandle:
+    """Subscriptable proxy for a declared array."""
+
+    __slots__ = ("name", "shape")
+
+    def __init__(self, name: str, shape: tuple[int, ...]) -> None:
+        self.name = name
+        self.shape = shape
+
+    def __getitem__(self, subs: "Expr | int | tuple") -> Ref:
+        if not isinstance(subs, tuple):
+            subs = (subs,)
+        if len(subs) != len(self.shape):
+            raise IndexError(
+                f"array {self.name!r} has rank {len(self.shape)}, "
+                f"got {len(subs)} subscripts"
+            )
+        return Ref(self.name, [as_expr(s) for s in subs])
+
+    def __repr__(self) -> str:
+        return f"ArrayHandle({self.name!r}, shape={self.shape})"
+
+
+class ProgramBuilder:
+    """Accumulates declarations and loop structure, then builds a Program."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._arrays: dict[str, ArrayDecl] = {}
+        self._scalars: dict[str, float] = {}
+        self._body: list[Loop | Statement] = []
+        self._stack: list[list[Loop | Statement]] = [self._body]
+        self._outputs: list[str] = []
+
+    # -- declarations --------------------------------------------------------
+    def _declare(self, name: str, shape: Sequence[int], role: str) -> ArrayHandle:
+        if name in self._arrays:
+            raise ValueError(f"array {name!r} declared twice")
+        if name in self._scalars:
+            raise ValueError(f"{name!r} already declared as a scalar")
+        decl = ArrayDecl(name, tuple(int(d) for d in shape), role)
+        self._arrays[name] = decl
+        return ArrayHandle(decl.name, decl.shape)
+
+    def input(self, name: str, shape: Sequence[int]) -> ArrayHandle:
+        """Declare a pre-initialised (read-only) array."""
+        return self._declare(name, shape, "input")
+
+    def output(self, name: str, shape: Sequence[int]) -> ArrayHandle:
+        """Declare an array produced by the kernel (starts undefined)."""
+        handle = self._declare(name, shape, "output")
+        self._outputs.append(name)
+        return handle
+
+    def inout(self, name: str, shape: Sequence[int]) -> ArrayHandle:
+        """Declare an array that is partly seeded, partly produced."""
+        handle = self._declare(name, shape, "inout")
+        self._outputs.append(name)
+        return handle
+
+    def scalar(self, **values: float) -> tuple[Var, ...]:
+        """Declare named scalar constants; returns Var handles in order."""
+        handles = []
+        for name, value in values.items():
+            if name in self._scalars:
+                raise ValueError(f"scalar {name!r} declared twice")
+            if name in self._arrays:
+                raise ValueError(f"{name!r} already declared as an array")
+            self._scalars[name] = float(value)
+            handles.append(Var(name))
+        if len(handles) == 1:
+            return handles[0]  # type: ignore[return-value]
+        return tuple(handles)
+
+    @staticmethod
+    def index(name: str) -> Var:
+        """A loop index variable handle."""
+        return Var(name)
+
+    # -- structure -----------------------------------------------------------
+    @contextmanager
+    def loop(
+        self,
+        var: Var | str,
+        lo: "Expr | int",
+        hi: "Expr | int",
+        step: int = 1,
+    ) -> Iterator[None]:
+        """Open a ``DO var = lo, hi, step`` context."""
+        name = var.name if isinstance(var, Var) else str(var)
+        node = Loop(name, lo, hi, [], step)
+        self._stack[-1].append(node)
+        self._stack.append(node.body)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    def assign(self, target: Ref, rhs: "Expr | int | float", label: str = "") -> Assign:
+        """Emit ``target = rhs`` at the current nesting level."""
+        stmt = Assign(target, as_expr(rhs), label)
+        self._stack[-1].append(stmt)
+        return stmt
+
+    def reduce(
+        self,
+        target: Ref,
+        rhs: "Expr | int | float",
+        op: str = "+",
+        label: str = "",
+    ) -> Reduction:
+        """Emit ``target = op(target, rhs)`` at the current nesting level."""
+        stmt = Reduction(target, as_expr(rhs), label, op=op)
+        self._stack[-1].append(stmt)
+        return stmt
+
+    # -- finish ---------------------------------------------------------------
+    def build(self) -> Program:
+        if len(self._stack) != 1:
+            raise RuntimeError("unbalanced loop contexts")
+        prog = Program(
+            name=self.name,
+            arrays=dict(self._arrays),
+            scalars=dict(self._scalars),
+            body=list(self._body),
+            description=self.description,
+            outputs=tuple(self._outputs),
+        )
+        return prog.finalize()

@@ -1,0 +1,432 @@
+"""Expression trees for the loop-nest intermediate representation.
+
+The paper's partitioning scheme operates on Fortran-style loops over
+arrays (the Livermore Loops).  This module provides a small expression
+language that is rich enough to express every kernel the paper names:
+
+* integer *index expressions* such as ``k + 10`` or ``101 - i`` used as
+  array subscripts,
+* floating-point *value expressions* such as
+  ``Q + Y(k) * (R * ZX(k+10) + T * ZX(k+11))`` used on the right-hand
+  side of assignments,
+* *indirect* subscripts such as ``IX(IL(k))`` (permutation lookups),
+  which the paper's Class 4 ("random distribution") loops rely on.
+
+Expressions support Python operator overloading so kernels read close
+to the original Fortran::
+
+    k = Var("k")
+    rhs = Const(0.5) * (X[k + 10] + X[k + 11])
+
+Affine analysis (:meth:`Expr.affine`) extracts the linear form of an
+index expression over the loop variables.  The access-pattern
+classifier (:mod:`repro.core.classify`) uses it to distinguish the
+paper's Matched / Skewed / Cyclic classes statically; subscripts that
+are not affine (e.g. contain an array read) are conservatively treated
+as Random.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Iterator, Mapping, Sequence
+
+__all__ = [
+    "AffineForm",
+    "BinOp",
+    "Call",
+    "Const",
+    "EvalContext",
+    "Expr",
+    "Max",
+    "Min",
+    "Ref",
+    "Var",
+    "as_expr",
+]
+
+# Math functions usable in Call nodes.  All are scalar float -> float.
+_FUNCTIONS: dict[str, Callable[..., float]] = {
+    "sqrt": math.sqrt,
+    "exp": math.exp,
+    "log": math.log,
+    "sin": math.sin,
+    "cos": math.cos,
+    "abs": abs,
+    "sign": lambda x: math.copysign(1.0, x),
+    # Truncation/floor are what Fortran INT() does; the particle-in-cell
+    # kernels use them to turn coordinates into (indirect) subscripts.
+    "trunc": math.trunc,
+    "floor": math.floor,
+}
+
+
+@dataclass(frozen=True)
+class AffineForm:
+    """A linear function ``const + sum(coeffs[v] * v)`` of loop variables.
+
+    Coefficients are exact rationals so that analyses such as "does the
+    read index advance at half the speed of the write index" (the
+    paper's Cyclic class, §7.1.3) do not suffer floating point noise.
+    """
+
+    const: Fraction
+    coeffs: tuple[tuple[str, Fraction], ...]  # sorted, zero-free
+
+    @staticmethod
+    def constant(value: int | Fraction) -> "AffineForm":
+        return AffineForm(Fraction(value), ())
+
+    @staticmethod
+    def variable(name: str) -> "AffineForm":
+        return AffineForm(Fraction(0), ((name, Fraction(1)),))
+
+    def coeff(self, name: str) -> Fraction:
+        """Coefficient of variable ``name`` (0 if absent)."""
+        for var, c in self.coeffs:
+            if var == name:
+                return c
+        return Fraction(0)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def _combine(self, other: "AffineForm", sign: int) -> "AffineForm":
+        merged: dict[str, Fraction] = dict(self.coeffs)
+        for var, c in other.coeffs:
+            merged[var] = merged.get(var, Fraction(0)) + sign * c
+        coeffs = tuple(sorted((v, c) for v, c in merged.items() if c != 0))
+        return AffineForm(self.const + sign * other.const, coeffs)
+
+    def __add__(self, other: "AffineForm") -> "AffineForm":
+        return self._combine(other, +1)
+
+    def __sub__(self, other: "AffineForm") -> "AffineForm":
+        return self._combine(other, -1)
+
+    def scale(self, factor: Fraction) -> "AffineForm":
+        if factor == 0:
+            return AffineForm.constant(0)
+        return AffineForm(
+            self.const * factor,
+            tuple((v, c * factor) for v, c in self.coeffs),
+        )
+
+    def substitute(self, bindings: Mapping[str, "AffineForm"]) -> "AffineForm":
+        """Replace variables by affine forms (e.g. loop bounds)."""
+        out = AffineForm.constant(self.const)
+        for var, c in self.coeffs:
+            if var in bindings:
+                out = out + bindings[var].scale(c)
+            else:
+                out = out + AffineForm.variable(var).scale(c)
+        return out
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [str(self.const)] if self.const or not self.coeffs else []
+        parts.extend(f"{c}*{v}" for v, c in self.coeffs)
+        return " + ".join(parts)
+
+
+class EvalContext:
+    """Environment an expression is evaluated in.
+
+    ``scalars`` maps loop variables and scalar constants to numbers.
+    ``read`` is invoked for every array-element read so that the
+    simulator can trace accesses; it returns the element's value.
+    """
+
+    __slots__ = ("scalars", "read")
+
+    def __init__(
+        self,
+        scalars: dict[str, float],
+        read: Callable[[str, tuple[int, ...]], float],
+    ) -> None:
+        self.scalars = scalars
+        self.read = read
+
+    def child(self) -> "EvalContext":
+        return EvalContext(dict(self.scalars), self.read)
+
+
+class Expr:
+    """Base class of all expression nodes."""
+
+    __slots__ = ()
+
+    # -- construction sugar -------------------------------------------------
+    def __add__(self, other: "Expr | int | float") -> "BinOp":
+        return BinOp("+", self, as_expr(other))
+
+    def __radd__(self, other: "Expr | int | float") -> "BinOp":
+        return BinOp("+", as_expr(other), self)
+
+    def __sub__(self, other: "Expr | int | float") -> "BinOp":
+        return BinOp("-", self, as_expr(other))
+
+    def __rsub__(self, other: "Expr | int | float") -> "BinOp":
+        return BinOp("-", as_expr(other), self)
+
+    def __mul__(self, other: "Expr | int | float") -> "BinOp":
+        return BinOp("*", self, as_expr(other))
+
+    def __rmul__(self, other: "Expr | int | float") -> "BinOp":
+        return BinOp("*", as_expr(other), self)
+
+    def __truediv__(self, other: "Expr | int | float") -> "BinOp":
+        return BinOp("/", self, as_expr(other))
+
+    def __rtruediv__(self, other: "Expr | int | float") -> "BinOp":
+        return BinOp("/", as_expr(other), self)
+
+    def __floordiv__(self, other: "Expr | int | float") -> "BinOp":
+        return BinOp("//", self, as_expr(other))
+
+    def __mod__(self, other: "Expr | int | float") -> "BinOp":
+        return BinOp("%", self, as_expr(other))
+
+    def __neg__(self) -> "BinOp":
+        return BinOp("-", Const(0), self)
+
+    # -- analysis -----------------------------------------------------------
+    def evaluate(self, ctx: EvalContext) -> float:
+        raise NotImplementedError
+
+    def affine(self) -> AffineForm | None:
+        """Affine form over free variables, or ``None`` if non-affine."""
+        raise NotImplementedError
+
+    def children(self) -> Sequence["Expr"]:
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Yield this node and all descendants (pre-order)."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def refs(self) -> Iterator["Ref"]:
+        """Yield every array reference contained in the expression."""
+        for node in self.walk():
+            if isinstance(node, Ref):
+                yield node
+
+    def free_vars(self) -> set[str]:
+        """Names of all scalar/loop variables read by this expression."""
+        return {node.name for node in self.walk() if isinstance(node, Var)}
+
+
+class Const(Expr):
+    """A numeric literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def evaluate(self, ctx: EvalContext) -> float:
+        return self.value
+
+    def affine(self) -> AffineForm | None:
+        if isinstance(self.value, int) or float(self.value).is_integer():
+            return AffineForm.constant(Fraction(int(self.value)))
+        return AffineForm.constant(Fraction(self.value))
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+class Var(Expr):
+    """A loop variable or scalar constant, looked up by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, ctx: EvalContext) -> float:
+        try:
+            return ctx.scalars[self.name]
+        except KeyError:
+            raise NameError(f"unbound variable {self.name!r}") from None
+
+    def affine(self) -> AffineForm | None:
+        return AffineForm.variable(self.name)
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+class BinOp(Expr):
+    """A binary arithmetic operation."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    _OPS: dict[str, Callable[[float, float], float]] = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": lambda a, b: a / b,
+        "//": lambda a, b: a // b,
+        "%": lambda a, b: a % b,
+    }
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr) -> None:
+        if op not in self._OPS:
+            raise ValueError(f"unsupported operator {op!r}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def evaluate(self, ctx: EvalContext) -> float:
+        return self._OPS[self.op](self.lhs.evaluate(ctx), self.rhs.evaluate(ctx))
+
+    def children(self) -> Sequence[Expr]:
+        return (self.lhs, self.rhs)
+
+    def affine(self) -> AffineForm | None:
+        left = self.lhs.affine()
+        right = self.rhs.affine()
+        if left is None or right is None:
+            return None
+        if self.op == "+":
+            return left + right
+        if self.op == "-":
+            return left - right
+        if self.op == "*":
+            if left.is_constant:
+                return right.scale(left.const)
+            if right.is_constant:
+                return left.scale(right.const)
+            return None
+        if self.op == "/":
+            if right.is_constant and right.const != 0:
+                return left.scale(Fraction(1) / right.const)
+            return None
+        # Floor division and modulo are not affine in general.  (The
+        # kernels use them only in Python-level staging, never inside
+        # subscripts that the classifier must analyse.)
+        return None
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.op!r}, {self.lhs!r}, {self.rhs!r})"
+
+
+class Call(Expr):
+    """A call to a scalar math function, e.g. ``sqrt``."""
+
+    __slots__ = ("func", "args")
+
+    def __init__(self, func: str, *args: Expr | int | float) -> None:
+        if func not in _FUNCTIONS:
+            raise ValueError(f"unknown function {func!r}")
+        self.func = func
+        self.args = tuple(as_expr(a) for a in args)
+
+    def evaluate(self, ctx: EvalContext) -> float:
+        return _FUNCTIONS[self.func](*(a.evaluate(ctx) for a in self.args))
+
+    def children(self) -> Sequence[Expr]:
+        return self.args
+
+    def affine(self) -> AffineForm | None:
+        return None
+
+    def __repr__(self) -> str:
+        return f"Call({self.func!r}, {', '.join(map(repr, self.args))})"
+
+
+class Min(Expr):
+    """Minimum of two expressions (used by a few kernels' bounds)."""
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: Expr | int | float, rhs: Expr | int | float) -> None:
+        self.lhs = as_expr(lhs)
+        self.rhs = as_expr(rhs)
+
+    def evaluate(self, ctx: EvalContext) -> float:
+        return min(self.lhs.evaluate(ctx), self.rhs.evaluate(ctx))
+
+    def children(self) -> Sequence[Expr]:
+        return (self.lhs, self.rhs)
+
+    def affine(self) -> AffineForm | None:
+        return None
+
+
+class Max(Expr):
+    """Maximum of two expressions."""
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: Expr | int | float, rhs: Expr | int | float) -> None:
+        self.lhs = as_expr(lhs)
+        self.rhs = as_expr(rhs)
+
+    def evaluate(self, ctx: EvalContext) -> float:
+        return max(self.lhs.evaluate(ctx), self.rhs.evaluate(ctx))
+
+    def children(self) -> Sequence[Expr]:
+        return (self.lhs, self.rhs)
+
+    def affine(self) -> AffineForm | None:
+        return None
+
+
+class Ref(Expr):
+    """An array element read: ``array(sub1, sub2, ...)``.
+
+    Subscripts are integer-valued expressions.  When a :class:`Ref`
+    appears inside another subscript the access is *indirect* — the
+    hallmark of the paper's Random Distribution class.
+    """
+
+    __slots__ = ("array", "subs")
+
+    def __init__(self, array: str, subs: Sequence[Expr | int | float]) -> None:
+        self.array = array
+        self.subs = tuple(as_expr(s) for s in subs)
+        if not self.subs:
+            raise ValueError("array reference needs at least one subscript")
+
+    def evaluate(self, ctx: EvalContext) -> float:
+        idx = tuple(int(round(sub.evaluate(ctx))) for sub in self.subs)
+        return ctx.read(self.array, idx)
+
+    def children(self) -> Sequence[Expr]:
+        return self.subs
+
+    def affine(self) -> AffineForm | None:
+        return None  # a read's *value* is never affine in loop vars
+
+    def sub_affine(self) -> tuple[AffineForm, ...] | None:
+        """Affine forms of every subscript, or None if any is non-affine."""
+        forms = []
+        for sub in self.subs:
+            form = sub.affine()
+            if form is None:
+                return None
+            forms.append(form)
+        return tuple(forms)
+
+    @property
+    def is_indirect(self) -> bool:
+        """True if any subscript itself reads an array."""
+        return any(any(True for _ in sub.refs()) for sub in self.subs)
+
+    def __repr__(self) -> str:
+        return f"Ref({self.array!r}, {list(self.subs)!r})"
+
+
+def as_expr(value: "Expr | int | float") -> Expr:
+    """Coerce Python numbers to :class:`Const`; pass expressions through."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Const(value)
+    raise TypeError(f"cannot convert {type(value).__name__} to Expr")

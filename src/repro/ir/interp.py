@@ -1,0 +1,262 @@
+"""Reference interpreter for IR programs.
+
+Runs a kernel sequentially (as the Fortran original would), producing
+
+* the final contents of every array, used to validate the IR kernels
+  against independent NumPy references, and
+* an ordered :class:`~repro.ir.trace.Trace` of every array-element
+  access, which drives the multiprocessor simulation of §6.
+
+The interpreter also enforces the paper's single-assignment discipline
+dynamically (§3): writing a cell twice raises
+:class:`SingleAssignmentError` ("writing more than once results in a
+runtime error"), and reading an undefined cell raises
+:class:`UndefinedReadError` (on the real machine such a read would
+block forever if no producer exists; sequential execution makes it
+immediately detectable).  :class:`~repro.ir.stmt.Reduction` targets are
+exempt, mirroring the host-processor accumulation mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..memory.linearize import linearize
+from .expr import EvalContext
+from .loops import ArrayDecl, Loop, Program
+from .stmt import Assign, Reduction, Statement
+from .trace import Trace, TraceBuilder
+
+__all__ = [
+    "InterpResult",
+    "Interpreter",
+    "SingleAssignmentError",
+    "UndefinedReadError",
+    "run_program",
+]
+
+
+class SingleAssignmentError(RuntimeError):
+    """A cell was written more than once (forbidden by §3)."""
+
+
+class UndefinedReadError(RuntimeError):
+    """A cell was read before any producer defined it."""
+
+
+@dataclass
+class InterpResult:
+    """Outcome of interpreting a program."""
+
+    values: dict[str, np.ndarray]
+    trace: Trace
+    # Per-array boolean masks of cells that are defined after execution
+    # (seeded or written); undefined cells of `values` read as 0.
+    defined: dict[str, np.ndarray] = field(default_factory=dict)
+    writes: int = 0
+    reads: int = 0
+    # Cells of inout arrays whose seed value was read and that were later
+    # overwritten.  Nonempty means the program relies on destructive
+    # update and is not a faithful single-assignment kernel.
+    seed_hazards: list[tuple[str, int]] = field(default_factory=list)
+
+
+class _ArrayState:
+    """Value buffer plus definedness mask for one array.
+
+    Initial data uses the NaN-means-undefined convention: a seeded
+    ``inout`` array marks the cells the kernel will produce as NaN, so
+    only genuine seed cells count as defined (and the write-once check
+    applies to everything else).
+    """
+
+    __slots__ = ("decl", "values", "defined", "seed_read")
+
+    def __init__(self, decl: ArrayDecl, init: np.ndarray | None) -> None:
+        self.decl = decl
+        if init is not None:
+            buf = np.array(init, dtype=np.float64).reshape(decl.shape).ravel()
+            self.defined = ~np.isnan(buf)
+            self.values = np.where(self.defined, buf, 0.0)
+        else:
+            self.values = np.zeros(decl.size, dtype=np.float64)
+            self.defined = np.zeros(decl.size, dtype=bool)
+        # For inout arrays: which seeded cells have been read (to detect
+        # read-then-overwrite hazards).
+        self.seed_read = np.zeros(decl.size, dtype=bool)
+
+
+class Interpreter:
+    """Executes one :class:`~repro.ir.loops.Program`.
+
+    Parameters
+    ----------
+    program:
+        The kernel to run (must be finalized).
+    inputs:
+        Initial contents for every ``input``/``inout`` array.
+    check_sa:
+        When True (default), enforce write-once and write-before-read.
+    collect_trace:
+        When False, skip trace recording (faster value-only runs).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        inputs: Mapping[str, np.ndarray],
+        *,
+        check_sa: bool = True,
+        collect_trace: bool = True,
+    ) -> None:
+        self.program = program
+        self.check_sa = check_sa
+        self.collect_trace = collect_trace
+        self._states: dict[str, _ArrayState] = {}
+        for name, decl in program.arrays.items():
+            if decl.role in ("input", "inout"):
+                if name not in inputs:
+                    raise KeyError(f"missing initial data for array {name!r}")
+                self._states[name] = _ArrayState(decl, inputs[name])
+            else:
+                if name in inputs:
+                    raise ValueError(
+                        f"array {name!r} is an output; initial data not allowed"
+                    )
+                self._states[name] = _ArrayState(decl, None)
+        # For output arrays nothing is seeded, so written-mask tracking is
+        # enough; for inout arrays every cell starts defined and we track
+        # overwrites via a separate written mask.
+        self._written: dict[str, np.ndarray] = {
+            name: np.zeros(state.decl.size, dtype=bool)
+            for name, state in self._states.items()
+        }
+        names = sorted(program.arrays)
+        self._trace = TraceBuilder(
+            names, [program.arrays[n].size for n in names]
+        )
+        self._seed_hazards: list[tuple[str, int]] = []
+        self.writes = 0
+        self.reads = 0
+
+    # -- element access -------------------------------------------------------
+    def _read(self, array: str, idx: tuple[int, ...]) -> float:
+        state = self._states[array]
+        flat = linearize(idx, state.decl.shape)
+        if self.check_sa and not state.defined[flat]:
+            raise UndefinedReadError(
+                f"read of undefined cell {array}{tuple(idx)} "
+                f"(program {self.program.name!r})"
+            )
+        if state.decl.role == "inout" and not self._written[array][flat]:
+            state.seed_read[flat] = True
+        self.reads += 1
+        if self.collect_trace:
+            self._trace.record_read(self._trace.array_id(array), flat)
+        return float(state.values[flat])
+
+    def _write(
+        self, array: str, idx: tuple[int, ...], value: float, *, reduction: bool
+    ) -> int:
+        state = self._states[array]
+        flat = linearize(idx, state.decl.shape)
+        if self.check_sa and not reduction and self._written[array][flat]:
+            raise SingleAssignmentError(
+                f"second write to cell {array}{tuple(idx)} "
+                f"(program {self.program.name!r})"
+            )
+        if (
+            state.decl.role == "inout"
+            and state.seed_read[flat]
+            and not self._written[array][flat]
+        ):
+            self._seed_hazards.append((array, flat))
+        state.values[flat] = value
+        state.defined[flat] = True
+        self._written[array][flat] = True
+        self.writes += 1
+        return flat
+
+    # -- execution -------------------------------------------------------------
+    def run(self) -> InterpResult:
+        scalars = dict(self.program.scalars)
+        ctx = EvalContext(scalars, self._read)
+        self._exec_body(self.program.body, ctx)
+        values = {
+            name: state.values.reshape(state.decl.shape).copy()
+            for name, state in self._states.items()
+        }
+        defined = {
+            name: state.defined.reshape(state.decl.shape).copy()
+            for name, state in self._states.items()
+        }
+        trace = self._trace.freeze() if self.collect_trace else _empty_trace()
+        return InterpResult(
+            values=values,
+            trace=trace,
+            defined=defined,
+            writes=self.writes,
+            reads=self.reads,
+            seed_hazards=list(self._seed_hazards),
+        )
+
+    def _exec_body(self, body: Sequence[Loop | Statement], ctx: EvalContext) -> None:
+        for node in body:
+            if isinstance(node, Loop):
+                for value in node.iter_values(ctx.scalars):
+                    ctx.scalars[node.var] = value
+                    self._exec_body(node.body, ctx)
+                # Fortran leaves the variable holding its final value; no
+                # kernel relies on it, so drop it to catch stale uses.
+                ctx.scalars.pop(node.var, None)
+            else:
+                self._exec_statement(node, ctx)
+
+    def _exec_statement(self, stmt: Statement, ctx: EvalContext) -> None:
+        idx = tuple(
+            int(round(sub.evaluate(ctx))) for sub in stmt.target.subs
+        )
+        if isinstance(stmt, Reduction):
+            increment = stmt.rhs.evaluate(ctx)
+            state = self._states[stmt.target.array]
+            flat = linearize(idx, state.decl.shape)
+            if state.defined[flat]:
+                value = stmt.fold(float(state.values[flat]), increment)
+            else:
+                value = increment
+            flat = self._write(stmt.target.array, idx, value, reduction=True)
+            is_reduction = True
+        elif isinstance(stmt, Assign):
+            value = stmt.rhs.evaluate(ctx)
+            flat = self._write(stmt.target.array, idx, value, reduction=False)
+            is_reduction = False
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown statement {type(stmt).__name__}")
+        if self.collect_trace:
+            self._trace.commit_instance(
+                stmt.stmt_id,
+                self._trace.array_id(stmt.target.array),
+                flat,
+                is_reduction,
+            )
+
+
+def _empty_trace() -> Trace:
+    builder = TraceBuilder((), ())
+    return builder.freeze()
+
+
+def run_program(
+    program: Program,
+    inputs: Mapping[str, np.ndarray],
+    *,
+    check_sa: bool = True,
+    collect_trace: bool = True,
+) -> InterpResult:
+    """Convenience wrapper: interpret ``program`` over ``inputs``."""
+    return Interpreter(
+        program, inputs, check_sa=check_sa, collect_trace=collect_trace
+    ).run()

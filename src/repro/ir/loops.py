@@ -1,0 +1,169 @@
+"""Loop nests and whole programs for the IR.
+
+A :class:`Program` is a named list of top-level loops/statements over a
+set of declared arrays, mirroring a Fortran kernel from the Livermore
+Loops.  Bounds are inclusive (Fortran ``DO`` semantics), may reference
+outer loop variables (triangular nests such as kernel 6), and may be
+negative-stepped.
+
+Programs are *staged*: kernels with data-dependent control flow (the
+ICCG halving loop of §7.1.3) are built by Python code that emits a
+fully concrete sequence of ``Loop`` nodes for a given problem size, so
+the IR itself stays free of unstructured control flow while still
+reproducing the exact dynamic access sequence of the Fortran original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+from .expr import EvalContext, Expr, as_expr
+from .stmt import Statement, _all_statements
+
+__all__ = ["ArrayDecl", "Loop", "Program"]
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """Declaration of one array: a name, a shape, and a role.
+
+    ``role`` is ``"input"`` (pre-initialised before the loop runs — the
+    paper's "filled with initialization data", §3), ``"output"``
+    (written by the kernel; starts undefined), or ``"inout"`` (both:
+    some cells initialised, others produced — used by recurrences that
+    read seed values).
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    role: str = "input"
+
+    def __post_init__(self) -> None:
+        if self.role not in ("input", "output", "inout"):
+            raise ValueError(f"bad array role {self.role!r}")
+        if not self.shape or any(d <= 0 for d in self.shape):
+            raise ValueError(f"bad shape {self.shape!r} for array {self.name!r}")
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+
+@dataclass
+class Loop:
+    """``DO var = lo, hi, step`` over ``body`` (inclusive bounds)."""
+
+    var: str
+    lo: Expr | int
+    hi: Expr | int
+    body: list["Loop | Statement"] = field(default_factory=list)
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        self.lo = as_expr(self.lo)
+        self.hi = as_expr(self.hi)
+        if self.step == 0:
+            raise ValueError("loop step must be nonzero")
+
+    def bounds(self, scalars: Mapping[str, float]) -> tuple[int, int]:
+        """Concrete (lo, hi) given bindings for any outer loop vars."""
+        ctx = EvalContext(dict(scalars), _no_reads)
+        lo = int(round(self.lo.evaluate(ctx)))
+        hi = int(round(self.hi.evaluate(ctx)))
+        return lo, hi
+
+    def iter_values(self, scalars: Mapping[str, float]) -> range:
+        lo, hi = self.bounds(scalars)
+        if self.step > 0:
+            return range(lo, hi + 1, self.step)
+        return range(lo, hi - 1, self.step)
+
+    def statements(self) -> Iterator[Statement]:
+        yield from _all_statements(self.body)
+
+    def loop_vars(self) -> list[str]:
+        """This loop's variable followed by all nested loop variables."""
+        names = [self.var]
+        for node in self.body:
+            if isinstance(node, Loop):
+                names.extend(node.loop_vars())
+        return names
+
+
+def _no_reads(array: str, idx: tuple[int, ...]) -> float:
+    raise ValueError(
+        f"loop bound reads array {array!r}; bounds must be scalar expressions"
+    )
+
+
+@dataclass
+class Program:
+    """A complete kernel: declarations, scalar constants, and a body."""
+
+    name: str
+    arrays: dict[str, ArrayDecl]
+    scalars: dict[str, float]
+    body: list[Loop | Statement]
+    description: str = ""
+    # Arrays whose final contents constitute the kernel's result.
+    outputs: tuple[str, ...] = ()
+    _finalized: bool = field(default=False, repr=False)
+
+    def finalize(self) -> "Program":
+        """Assign stable statement ids and validate references."""
+        for sid, stmt in enumerate(self.statements()):
+            stmt.stmt_id = sid
+        for stmt in self.statements():
+            self._check_ref(stmt.target.array, stmt)
+            for ref in stmt.reads():
+                self._check_ref(ref.array, stmt)
+        if not self.outputs:
+            self.outputs = tuple(
+                sorted({s.target.array for s in self.statements()})
+            )
+        self._finalized = True
+        return self
+
+    def _check_ref(self, array: str, stmt: Statement) -> None:
+        if array not in self.arrays:
+            raise KeyError(
+                f"statement {stmt!r} references undeclared array {array!r}"
+            )
+
+    # -- introspection -------------------------------------------------------
+    def statements(self) -> Iterator[Statement]:
+        yield from _all_statements(self.body)
+
+    def loops(self) -> Iterator[Loop]:
+        def rec(body: Sequence[Loop | Statement]) -> Iterator[Loop]:
+            for node in body:
+                if isinstance(node, Loop):
+                    yield node
+                    yield from rec(node.body)
+
+        yield from rec(self.body)
+
+    def arrays_written(self) -> set[str]:
+        return {s.target.array for s in self.statements()}
+
+    def arrays_read(self) -> set[str]:
+        names: set[str] = set()
+        for stmt in self.statements():
+            names |= stmt.arrays_read()
+        return names
+
+    def loop_var_names(self) -> set[str]:
+        return {loop.var for loop in self.loops()}
+
+    def total_elements(self) -> int:
+        return sum(decl.size for decl in self.arrays.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Program({self.name!r}, arrays={sorted(self.arrays)}, "
+            f"statements={sum(1 for _ in self.statements())})"
+        )

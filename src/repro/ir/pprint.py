@@ -1,0 +1,100 @@
+"""Render IR programs back to Fortran-style source.
+
+Useful for inspecting staged kernels (the ICCG halving loop expands to
+ten concrete DO loops) and for the CLI's ``show`` command.  The output
+is deliberately close to the paper's listings::
+
+    DO k = 1, 1000
+      X(k) = Q + Y(k) * (R * ZX(k + 10) + T * ZX(k + 11))
+    END DO
+"""
+
+from __future__ import annotations
+
+from .expr import BinOp, Call, Const, Expr, Max, Min, Ref, Var
+from .loops import Loop, Program
+from .stmt import Reduction, Statement
+
+__all__ = ["format_expr", "format_program", "format_statement"]
+
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2, "//": 2, "%": 2}
+
+
+def format_expr(expr: Expr, parent_prec: int = 0) -> str:
+    """Human-readable rendition of an expression tree."""
+    if isinstance(expr, Const):
+        value = expr.value
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return str(value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Ref):
+        subs = ", ".join(format_expr(s) for s in expr.subs)
+        return f"{expr.array}({subs})"
+    if isinstance(expr, Call):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.func.upper()}({args})"
+    if isinstance(expr, Min):
+        return f"MIN({format_expr(expr.lhs)}, {format_expr(expr.rhs)})"
+    if isinstance(expr, Max):
+        return f"MAX({format_expr(expr.lhs)}, {format_expr(expr.rhs)})"
+    if isinstance(expr, BinOp):
+        prec = _PRECEDENCE[expr.op]
+        # Render unary negation (0 - x) compactly.
+        if expr.op == "-" and isinstance(expr.lhs, Const) and expr.lhs.value == 0:
+            inner = format_expr(expr.rhs, 3)
+            return f"-{inner}"
+        left = format_expr(expr.lhs, prec)
+        # Right operand of - and / needs parens at equal precedence.
+        right = format_expr(
+            expr.rhs, prec + (1 if expr.op in ("-", "/", "//", "%") else 0)
+        )
+        text = f"{left} {expr.op} {right}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    raise TypeError(f"cannot format {type(expr).__name__}")  # pragma: no cover
+
+
+def format_statement(stmt: Statement) -> str:
+    target = format_expr(stmt.target)
+    if isinstance(stmt, Reduction):
+        op = stmt.op if stmt.op in ("+", "*") else f" {stmt.op} "
+        return f"{target} = {target} {op} {format_expr(stmt.rhs)}"
+    return f"{target} = {format_expr(stmt.rhs)}"
+
+
+def format_program(program: Program, *, declarations: bool = True) -> str:
+    """The whole program as indented DO-loop pseudo-Fortran."""
+    lines: list[str] = []
+    if declarations:
+        lines.append(f"PROGRAM {program.name}")
+        for name in sorted(program.arrays):
+            decl = program.arrays[name]
+            dims = ", ".join(str(d) for d in decl.shape)
+            lines.append(f"  REAL {name}({dims})  ! {decl.role}")
+        for name in sorted(program.scalars):
+            lines.append(
+                f"  PARAMETER {name} = {program.scalars[name]!r}"
+            )
+        lines.append("")
+
+    def rec(body, depth: int) -> None:
+        pad = "  " * depth
+        for node in body:
+            if isinstance(node, Loop):
+                step = f", {node.step}" if node.step != 1 else ""
+                lines.append(
+                    f"{pad}DO {node.var} = {format_expr(node.lo)}, "
+                    f"{format_expr(node.hi)}{step}"
+                )
+                rec(node.body, depth + 1)
+                lines.append(f"{pad}END DO")
+            else:
+                lines.append(pad + format_statement(node))
+
+    rec(program.body, 1 if declarations else 0)
+    if declarations:
+        lines.append("END PROGRAM")
+    return "\n".join(lines)

@@ -1,0 +1,389 @@
+"""Static single-assignment checking ("data path analysis", §5).
+
+The paper suggests that "conventional compilers can be modified to
+perform data path analysis to help programmers adhere to single
+assignment rules".  This module implements that analysis for the IR:
+
+* **Within one statement** — the affine map from the iteration vector
+  to the target multi-index is injective iff its coefficient matrix has
+  full column rank over the rationals (a linear map injective on
+  ``Q^d`` is injective on the integer lattice).  When the matrix is
+  rank-deficient we search the rational null space for an integer
+  vector connecting two in-bounds iterations: if found, that pair is a
+  concrete *witness* of a double write.
+
+* **Across statements** — two statements writing the same array are
+  compared via the interval hull of each target dimension (evaluated
+  over constant loop bounds).  Disjoint hulls in any dimension prove
+  independence; overlapping hulls are reported as potential conflicts.
+
+Verdicts are deliberately three-valued — ``OK`` / ``UNKNOWN`` /
+``VIOLATION`` — because exact integer-programming disambiguation is
+out of scope (and was in 1989 too: "most currently known methods are
+NP-complete", §2).  The dynamic check in the interpreter remains the
+ground truth; every static VIOLATION comes with a witness that the
+interpreter will also reject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterator, Sequence
+
+from .expr import AffineForm
+from .loops import Loop, Program
+from .stmt import Assign, Reduction, Statement
+
+__all__ = ["CheckReport", "Finding", "Verdict", "check_program"]
+
+
+class Verdict:
+    """Tri-state analysis outcome (ordered by severity)."""
+
+    OK = "ok"
+    UNKNOWN = "unknown"
+    VIOLATION = "violation"
+
+    _SEVERITY = {OK: 0, UNKNOWN: 1, VIOLATION: 2}
+
+    @classmethod
+    def worst(cls, *verdicts: str) -> str:
+        return max(verdicts, key=cls._SEVERITY.__getitem__)
+
+
+@dataclass
+class Finding:
+    """One analysis result attached to a statement (or a pair)."""
+
+    verdict: str
+    stmt_id: int
+    message: str
+    other_stmt_id: int | None = None
+    witness: tuple[dict[str, int], dict[str, int]] | None = None
+
+    def __str__(self) -> str:
+        loc = f"stmt {self.stmt_id}"
+        if self.other_stmt_id is not None:
+            loc += f" vs stmt {self.other_stmt_id}"
+        return f"[{self.verdict}] {loc}: {self.message}"
+
+
+@dataclass
+class CheckReport:
+    """Aggregated verdict for a whole program."""
+
+    program: str
+    verdict: str
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict == Verdict.OK
+
+    def violations(self) -> list[Finding]:
+        return [f for f in self.findings if f.verdict == Verdict.VIOLATION]
+
+    def __str__(self) -> str:
+        lines = [f"single-assignment check for {self.program!r}: {self.verdict}"]
+        lines.extend(f"  {finding}" for finding in self.findings)
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# statement context: enclosing loops with (constant) bounds where available
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _StmtContext:
+    stmt: Statement
+    loops: list[Loop]  # outermost first
+
+    def loop_vars(self) -> list[str]:
+        return [loop.var for loop in self.loops]
+
+    def const_ranges(self) -> dict[str, tuple[int, int]] | None:
+        """Per-var inclusive (lo, hi) if every bound is constant."""
+        ranges: dict[str, tuple[int, int]] = {}
+        for loop in self.loops:
+            lo_form = loop.lo.affine()
+            hi_form = loop.hi.affine()
+            if lo_form is None or hi_form is None:
+                return None
+            if not lo_form.is_constant or not hi_form.is_constant:
+                return None
+            lo, hi = int(lo_form.const), int(hi_form.const)
+            if loop.step < 0:
+                lo, hi = hi, lo
+            ranges[loop.var] = (lo, hi)
+        return ranges
+
+    def trip_counts(self) -> dict[str, int] | None:
+        ranges = self.const_ranges()
+        if ranges is None:
+            return None
+        counts = {}
+        for loop in self.loops:
+            lo, hi = ranges[loop.var]
+            counts[loop.var] = max(0, (hi - lo) // abs(loop.step) + 1)
+        return counts
+
+
+def _contexts(program: Program) -> Iterator[_StmtContext]:
+    def rec(body: Sequence[Loop | Statement], loops: list[Loop]) -> Iterator[_StmtContext]:
+        for node in body:
+            if isinstance(node, Loop):
+                yield from rec(node.body, loops + [node])
+            else:
+                yield _StmtContext(node, list(loops))
+
+    yield from rec(program.body, [])
+
+
+# ---------------------------------------------------------------------------
+# rational linear algebra (tiny, exact)
+# ---------------------------------------------------------------------------
+
+
+def _rank_and_nullvec(
+    matrix: list[list[Fraction]],
+) -> tuple[int, list[Fraction] | None]:
+    """Column rank of ``matrix`` and one nonzero null-space vector (if any).
+
+    ``matrix`` is rows x cols with rows = subscript dimensions and cols =
+    loop variables.  Returns (rank, v) where ``v`` (length cols) solves
+    ``matrix @ v == 0``, or ``None`` when the columns are independent.
+    """
+    if not matrix or not matrix[0]:
+        return 0, None
+    rows = [row[:] for row in matrix]
+    n_rows, n_cols = len(rows), len(rows[0])
+    pivot_cols: list[int] = []
+    r = 0
+    for c in range(n_cols):
+        pivot = next((i for i in range(r, n_rows) if rows[i][c] != 0), None)
+        if pivot is None:
+            continue
+        rows[r], rows[pivot] = rows[pivot], rows[r]
+        inv = Fraction(1) / rows[r][c]
+        rows[r] = [x * inv for x in rows[r]]
+        for i in range(n_rows):
+            if i != r and rows[i][c] != 0:
+                factor = rows[i][c]
+                rows[i] = [a - factor * b for a, b in zip(rows[i], rows[r])]
+        pivot_cols.append(c)
+        r += 1
+        if r == n_rows:
+            break
+    rank = len(pivot_cols)
+    if rank == n_cols:
+        return rank, None
+    # Build a null vector from the first free column.
+    free = next(c for c in range(n_cols) if c not in pivot_cols)
+    vec = [Fraction(0)] * n_cols
+    vec[free] = Fraction(1)
+    for row, pc in zip(rows, pivot_cols):
+        vec[pc] = -row[free]
+    return rank, vec
+
+
+def _integerize(vec: list[Fraction]) -> list[int]:
+    """Scale a rational vector to the smallest integer multiple."""
+    denom = 1
+    for f in vec:
+        denom = denom * f.denominator // _gcd(denom, f.denominator)
+    ints = [int(f * denom) for f in vec]
+    g = 0
+    for v in ints:
+        g = _gcd(g, abs(v))
+    if g > 1:
+        ints = [v // g for v in ints]
+    return ints
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+# ---------------------------------------------------------------------------
+# per-statement injectivity
+# ---------------------------------------------------------------------------
+
+
+def _check_statement(ctx: _StmtContext) -> Finding:
+    stmt = ctx.stmt
+    if isinstance(stmt, Reduction):
+        return Finding(
+            Verdict.OK,
+            stmt.stmt_id,
+            "reduction target is exempt (host-processor accumulation)",
+        )
+    forms = stmt.target.sub_affine()
+    if forms is None:
+        return Finding(
+            Verdict.UNKNOWN,
+            stmt.stmt_id,
+            f"target {stmt.target.array!r} has a non-affine subscript; "
+            "cannot prove injectivity statically",
+        )
+    loop_vars = ctx.loop_vars()
+    varying = [v for v in loop_vars if any(f.coeff(v) != 0 for f in forms)]
+    trip = ctx.trip_counts()
+    missing = [v for v in loop_vars if v not in varying]
+    if missing and trip is not None:
+        repeats = 1
+        for v in missing:
+            repeats *= trip[v]
+        if repeats > 1:
+            witness_var = next(v for v in missing if trip[v] > 1)
+            ranges = ctx.const_ranges()
+            assert ranges is not None
+            lo = {v: ranges[v][0] for v in loop_vars}
+            second = dict(lo)
+            step = next(l.step for l in ctx.loops if l.var == witness_var)
+            second[witness_var] = lo[witness_var] + step
+            return Finding(
+                Verdict.VIOLATION,
+                stmt.stmt_id,
+                f"target subscripts of {stmt.target.array!r} do not vary with "
+                f"loop variable(s) {missing}; the same cell is written "
+                f"{repeats} times",
+                witness=(lo, second),
+            )
+    if not varying:
+        # Single-trip loops (or straight-line statement): at most one write.
+        return Finding(Verdict.OK, stmt.stmt_id, "single write instance")
+    matrix = [[form.coeff(v) for v in varying] for form in forms]
+    rank, nullvec = _rank_and_nullvec(matrix)
+    if nullvec is None:
+        return Finding(
+            Verdict.OK,
+            stmt.stmt_id,
+            "target map has full column rank; one write per cell",
+        )
+    # Rank-deficient: look for an integer witness inside the bounds.
+    # Pick the base iteration per component so that both the base and the
+    # shifted point fit the box: start at `lo` for nonnegative deltas and
+    # at `lo - delta` for negative ones.
+    delta = _integerize(nullvec)
+    ranges = ctx.const_ranges()
+    if ranges is not None:
+        base = {v: ranges[v][0] for v in ctx.loop_vars()}
+        shifted = dict(base)
+        feasible = any(d != 0 for d in delta)
+        for v, d in zip(varying, delta):
+            lo, hi = ranges[v]
+            start = lo if d >= 0 else lo - d
+            base[v] = start
+            shifted[v] = start + d
+            if not (lo <= start <= hi and lo <= shifted[v] <= hi):
+                feasible = False
+                break
+        if feasible:
+            return Finding(
+                Verdict.VIOLATION,
+                stmt.stmt_id,
+                f"iterations {base} and {shifted} write the same cell of "
+                f"{stmt.target.array!r}",
+                witness=(base, shifted),
+            )
+    return Finding(
+        Verdict.UNKNOWN,
+        stmt.stmt_id,
+        f"target map of {stmt.target.array!r} is rank-deficient but no "
+        "in-bounds collision witness was found",
+    )
+
+
+# ---------------------------------------------------------------------------
+# cross-statement region overlap
+# ---------------------------------------------------------------------------
+
+
+def _dim_interval(
+    form: AffineForm, ranges: dict[str, tuple[int, int]]
+) -> tuple[Fraction, Fraction] | None:
+    lo = hi = form.const
+    for var, coeff in form.coeffs:
+        if var not in ranges:
+            return None
+        vlo, vhi = ranges[var]
+        if coeff >= 0:
+            lo += coeff * vlo
+            hi += coeff * vhi
+        else:
+            lo += coeff * vhi
+            hi += coeff * vlo
+    return lo, hi
+
+
+def _check_pair(a: _StmtContext, b: _StmtContext) -> Finding | None:
+    """Compare two statements writing the same array."""
+    sa, sb = a.stmt, b.stmt
+    if isinstance(sa, Reduction) or isinstance(sb, Reduction):
+        return None
+    forms_a = sa.target.sub_affine()
+    forms_b = sb.target.sub_affine()
+    if forms_a is None or forms_b is None:
+        return Finding(
+            Verdict.UNKNOWN,
+            sa.stmt_id,
+            f"both write {sa.target.array!r}; non-affine subscripts prevent "
+            "region comparison",
+            other_stmt_id=sb.stmt_id,
+        )
+    ranges_a, ranges_b = a.const_ranges(), b.const_ranges()
+    if ranges_a is None or ranges_b is None:
+        return Finding(
+            Verdict.UNKNOWN,
+            sa.stmt_id,
+            f"both write {sa.target.array!r}; non-constant loop bounds "
+            "prevent region comparison",
+            other_stmt_id=sb.stmt_id,
+        )
+    for dim, (fa, fb) in enumerate(zip(forms_a, forms_b)):
+        ia = _dim_interval(fa, ranges_a)
+        ib = _dim_interval(fb, ranges_b)
+        if ia is None or ib is None:
+            continue
+        if ia[1] < ib[0] or ib[1] < ia[0]:
+            return Finding(
+                Verdict.OK,
+                sa.stmt_id,
+                f"writes to {sa.target.array!r} are separated in dimension "
+                f"{dim} ([{ia[0]},{ia[1]}] vs [{ib[0]},{ib[1]}])",
+                other_stmt_id=sb.stmt_id,
+            )
+    return Finding(
+        Verdict.UNKNOWN,
+        sa.stmt_id,
+        f"write regions of {sa.target.array!r} may overlap across statements",
+        other_stmt_id=sb.stmt_id,
+    )
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def check_program(program: Program) -> CheckReport:
+    """Run the full static single-assignment analysis over a program."""
+    contexts = list(_contexts(program))
+    findings: list[Finding] = []
+    for ctx in contexts:
+        findings.append(_check_statement(ctx))
+    by_array: dict[str, list[_StmtContext]] = {}
+    for ctx in contexts:
+        by_array.setdefault(ctx.stmt.target.array, []).append(ctx)
+    for array_contexts in by_array.values():
+        for i in range(len(array_contexts)):
+            for j in range(i + 1, len(array_contexts)):
+                finding = _check_pair(array_contexts[i], array_contexts[j])
+                if finding is not None:
+                    findings.append(finding)
+    verdict = Verdict.worst(Verdict.OK, *(f.verdict for f in findings))
+    return CheckReport(program=program.name, verdict=verdict, findings=findings)

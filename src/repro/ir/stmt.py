@@ -1,0 +1,109 @@
+"""Statement nodes for the loop-nest IR.
+
+Two statement forms cover every kernel in the paper:
+
+* :class:`Assign` — a single-assignment array-element definition,
+  ``A(subs...) = rhs``.  Under the paper's owner-computes rule the PE
+  that owns the page containing ``A(subs...)`` executes the statement
+  (§2, "control partitioning").
+
+* :class:`Reduction` — an accumulation such as ``Q = Q + Z(k) * X(k)``
+  (Livermore kernel 3).  Strict single assignment forbids rewriting a
+  cell, so reductions are the paper's "vector to scalar operations"
+  future-work item (§9): they are routed to the *host processor* of the
+  accumulator, which collects contributions.  The interpreter folds the
+  values; the simulator charges all reads to the accumulator's owner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from .expr import Expr, Ref, as_expr
+
+__all__ = ["Assign", "Reduction", "Statement"]
+
+_REDUCE_OPS: dict[str, Callable[[float, float], float]] = {
+    "+": lambda a, b: a + b,
+    "*": lambda a, b: a * b,
+    "max": max,
+    "min": min,
+}
+
+
+@dataclass
+class Statement:
+    """Common base: a target array reference plus a right-hand side."""
+
+    target: Ref
+    rhs: Expr
+    label: str = ""
+    # Filled in by Program.finalize(); unique per statement, stable across runs.
+    stmt_id: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.target, Ref):
+            raise TypeError("statement target must be a Ref")
+        self.rhs = as_expr(self.rhs)
+
+    def reads(self) -> Iterator[Ref]:
+        """All array references read by this statement (RHS plus any
+        indirect subscripts on the target)."""
+        yield from self.rhs.refs()
+        for sub in self.target.subs:
+            yield from sub.refs()
+
+    def arrays_read(self) -> set[str]:
+        return {ref.array for ref in self.reads()}
+
+    def free_vars(self) -> set[str]:
+        names = self.rhs.free_vars()
+        for sub in self.target.subs:
+            names |= sub.free_vars()
+        return names
+
+
+@dataclass
+class Assign(Statement):
+    """``target = rhs`` — defines one array element exactly once."""
+
+    def __repr__(self) -> str:
+        tag = f" [{self.label}]" if self.label else ""
+        return f"Assign({self.target!r} = {self.rhs!r}){tag}"
+
+
+@dataclass
+class Reduction(Statement):
+    """``target = op(target, rhs)`` — accumulation into one cell.
+
+    ``op`` is one of ``+``, ``*``, ``max``, ``min``.  The reduction
+    relaxes single assignment for exactly one cell per loop, mirroring
+    the paper's host-processor collection mechanism.
+    """
+
+    op: str = "+"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.op not in _REDUCE_OPS:
+            raise ValueError(f"unsupported reduction op {self.op!r}")
+
+    def fold(self, acc: float, value: float) -> float:
+        return _REDUCE_OPS[self.op](acc, value)
+
+    def __repr__(self) -> str:
+        return f"Reduction({self.target!r} {self.op}= {self.rhs!r})"
+
+
+def _all_statements(body: Sequence[object]) -> Iterator[Statement]:
+    """Shared helper: depth-first statement iterator over a loop body."""
+    from .loops import Loop  # local import to avoid a cycle
+
+    for node in body:
+        if isinstance(node, Statement):
+            yield node
+        elif isinstance(node, Loop):
+            yield from _all_statements(node.body)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected IR node {type(node).__name__}")

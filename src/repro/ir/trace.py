@@ -1,0 +1,170 @@
+"""Access traces: the interface between interpretation and simulation.
+
+The paper's evaluation is *trace driven*: a kernel is executed once,
+every array-element access is recorded in program order, and the
+multiprocessor simulation then classifies each access as write / local
+read / cached read / remote read for a given machine configuration
+(§6).  Because the trace depends only on the program and its data — not
+on the number of PEs, the page size, or the cache — one trace serves an
+entire parameter sweep.
+
+A :class:`Trace` stores one record per executed statement *instance*:
+the statement id, the written element (array id + flattened element
+index) and the list of read elements.  Reads are stored CSR-style
+(``r_ptr`` offsets into flat ``r_arr``/``r_flat`` arrays) so that the
+simulator can vectorise owner computations with NumPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Trace", "TraceBuilder"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable, frozen access trace.
+
+    Attributes
+    ----------
+    array_names:
+        Maps array id (small int) to the array's name.
+    array_sizes:
+        Flattened element count per array id.
+    stmt_ids:
+        ``int32[n_instances]`` — originating statement of each instance.
+    w_arr, w_flat:
+        Written element of each instance (array id, flat element index).
+    r_ptr:
+        ``int64[n_instances + 1]`` — CSR offsets into the read arrays.
+    r_arr, r_flat:
+        Concatenated read accesses in evaluation order.
+    reduction_mask:
+        ``bool[n_instances]`` — True where the instance belongs to a
+        :class:`~repro.ir.stmt.Reduction` (the write target is re-used,
+        which is exempt from the single-assignment write-once rule).
+    """
+
+    array_names: tuple[str, ...]
+    array_sizes: tuple[int, ...]
+    stmt_ids: np.ndarray
+    w_arr: np.ndarray
+    w_flat: np.ndarray
+    r_ptr: np.ndarray
+    r_arr: np.ndarray
+    r_flat: np.ndarray
+    reduction_mask: np.ndarray
+
+    @property
+    def n_instances(self) -> int:
+        return len(self.stmt_ids)
+
+    @property
+    def n_reads(self) -> int:
+        return len(self.r_flat)
+
+    def array_id(self, name: str) -> int:
+        return self.array_names.index(name)
+
+    def reads_of(self, instance: int) -> list[tuple[int, int]]:
+        """(array id, flat index) pairs read by one instance."""
+        lo, hi = self.r_ptr[instance], self.r_ptr[instance + 1]
+        return list(zip(self.r_arr[lo:hi].tolist(), self.r_flat[lo:hi].tolist()))
+
+    def instances(self) -> Iterator[tuple[int, int, int, list[tuple[int, int]]]]:
+        """Yield (stmt_id, write array, write flat, reads) per instance."""
+        for i in range(self.n_instances):
+            yield (
+                int(self.stmt_ids[i]),
+                int(self.w_arr[i]),
+                int(self.w_flat[i]),
+                self.reads_of(i),
+            )
+
+    def validate(self) -> None:
+        """Internal-consistency checks (used by tests)."""
+        n = self.n_instances
+        if len(self.w_arr) != n or len(self.w_flat) != n:
+            raise ValueError("write columns length mismatch")
+        if len(self.r_ptr) != n + 1:
+            raise ValueError("r_ptr length mismatch")
+        if self.r_ptr[0] != 0 or self.r_ptr[-1] != self.n_reads:
+            raise ValueError("r_ptr endpoints mismatch")
+        if np.any(np.diff(self.r_ptr) < 0):
+            raise ValueError("r_ptr must be nondecreasing")
+        for col_arr, col_flat in ((self.w_arr, self.w_flat), (self.r_arr, self.r_flat)):
+            if len(col_arr) == 0:
+                continue
+            if col_arr.min() < 0 or col_arr.max() >= len(self.array_names):
+                raise ValueError("array id out of range")
+            sizes = np.asarray(self.array_sizes)[col_arr]
+            if np.any(col_flat < 0) or np.any(col_flat >= sizes):
+                raise ValueError("flat element index out of range")
+
+
+class TraceBuilder:
+    """Accumulates accesses during interpretation; ``freeze()`` → Trace."""
+
+    def __init__(self, array_names: Sequence[str], array_sizes: Sequence[int]) -> None:
+        if len(array_names) != len(array_sizes):
+            raise ValueError("names/sizes length mismatch")
+        self.array_names = tuple(array_names)
+        self.array_sizes = tuple(int(s) for s in array_sizes)
+        self._ids = {name: i for i, name in enumerate(self.array_names)}
+        self._stmt_ids: list[int] = []
+        self._w_arr: list[int] = []
+        self._w_flat: list[int] = []
+        self._r_ptr: list[int] = [0]
+        self._r_arr: list[int] = []
+        self._r_flat: list[int] = []
+        self._reduction: list[bool] = []
+        # reads staged for the instance currently being evaluated
+        self._pending_r_arr: list[int] = []
+        self._pending_r_flat: list[int] = []
+
+    def array_id(self, name: str) -> int:
+        return self._ids[name]
+
+    def record_read(self, array_id: int, flat: int) -> None:
+        self._pending_r_arr.append(array_id)
+        self._pending_r_flat.append(flat)
+
+    def commit_instance(
+        self, stmt_id: int, w_array_id: int, w_flat: int, is_reduction: bool
+    ) -> None:
+        """Finish one statement instance, attaching the staged reads."""
+        self._stmt_ids.append(stmt_id)
+        self._w_arr.append(w_array_id)
+        self._w_flat.append(w_flat)
+        self._r_arr.extend(self._pending_r_arr)
+        self._r_flat.extend(self._pending_r_flat)
+        self._r_ptr.append(len(self._r_arr))
+        self._reduction.append(is_reduction)
+        self._pending_r_arr.clear()
+        self._pending_r_flat.clear()
+
+    def abort_instance(self) -> None:
+        """Discard staged reads (used on evaluation errors)."""
+        self._pending_r_arr.clear()
+        self._pending_r_flat.clear()
+
+    def freeze(self) -> Trace:
+        if self._pending_r_arr:
+            raise RuntimeError("uncommitted reads at freeze()")
+        trace = Trace(
+            array_names=self.array_names,
+            array_sizes=self.array_sizes,
+            stmt_ids=np.asarray(self._stmt_ids, dtype=np.int32),
+            w_arr=np.asarray(self._w_arr, dtype=np.int16),
+            w_flat=np.asarray(self._w_flat, dtype=np.int64),
+            r_ptr=np.asarray(self._r_ptr, dtype=np.int64),
+            r_arr=np.asarray(self._r_arr, dtype=np.int16),
+            r_flat=np.asarray(self._r_flat, dtype=np.int64),
+            reduction_mask=np.asarray(self._reduction, dtype=bool),
+        )
+        trace.validate()
+        return trace

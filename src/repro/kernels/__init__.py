@@ -1,0 +1,102 @@
+"""Livermore Loops workloads: IR programs plus NumPy references.
+
+The paper evaluates its partitioning scheme on "a set of loops
+(extracted from the Livermore Loops benchmark program) with data access
+patterns that are typically found in scientific programs" (§4).  This
+subpackage provides every loop the paper names, plus the rest of the
+classic suite that is expressible in the single-assignment IR, each
+validated against an independent NumPy implementation.
+"""
+
+from .cyclic import build_hydro_2d, build_iccg, hydro_2d_reference, iccg_reference
+from .random_access import (
+    adi_reference,
+    build_adi,
+    build_diff_predictors,
+    build_integrate_predictors,
+    build_linear_recurrence,
+    build_matmul,
+    build_pic_1d,
+    build_pic_2d,
+    diff_predictors_reference,
+    integrate_predictors_reference,
+    linear_recurrence_reference,
+    matmul_reference,
+    pic_1d_reference,
+    pic_2d_reference,
+)
+from .registry import Kernel, all_kernels, get_kernel, kernel_names, paper_kernels
+from .synthetic import (
+    build_matched,
+    build_permutation,
+    build_skewed,
+    build_strided,
+    expected_skew_remote_fraction,
+)
+from .simple1d import (
+    build_equation_of_state,
+    build_first_diff,
+    build_first_sum,
+    build_hydro_fragment,
+    build_inner_product,
+    build_pic_1d_fragment,
+    build_planckian,
+    build_tri_diagonal,
+    equation_of_state_reference,
+    first_diff_reference,
+    first_sum_reference,
+    hydro_fragment_reference,
+    inner_product_reference,
+    pic_1d_fragment_reference,
+    planckian_reference,
+    tri_diagonal_reference,
+)
+
+__all__ = [
+    "Kernel",
+    "all_kernels",
+    "get_kernel",
+    "kernel_names",
+    "paper_kernels",
+    # builders
+    "build_adi",
+    "build_diff_predictors",
+    "build_equation_of_state",
+    "build_first_diff",
+    "build_first_sum",
+    "build_hydro_2d",
+    "build_matched",
+    "build_permutation",
+    "build_skewed",
+    "build_strided",
+    "expected_skew_remote_fraction",
+    "build_hydro_fragment",
+    "build_iccg",
+    "build_inner_product",
+    "build_integrate_predictors",
+    "build_linear_recurrence",
+    "build_matmul",
+    "build_pic_1d",
+    "build_pic_1d_fragment",
+    "build_pic_2d",
+    "build_planckian",
+    "build_tri_diagonal",
+    # references
+    "adi_reference",
+    "diff_predictors_reference",
+    "equation_of_state_reference",
+    "first_diff_reference",
+    "first_sum_reference",
+    "hydro_2d_reference",
+    "hydro_fragment_reference",
+    "iccg_reference",
+    "inner_product_reference",
+    "integrate_predictors_reference",
+    "linear_recurrence_reference",
+    "matmul_reference",
+    "pic_1d_fragment_reference",
+    "pic_1d_reference",
+    "pic_2d_reference",
+    "planckian_reference",
+    "tri_diagonal_reference",
+]

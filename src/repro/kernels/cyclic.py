@@ -1,0 +1,242 @@
+"""Cyclic-distribution Livermore kernels (paper §7.1.3).
+
+Two kernels the paper places in the Cyclic class:
+
+* **ICCG** (kernel 2) — the write index advances at half the speed of
+  the read index, so a fixed set of pages is revisited cyclically.
+* **2-D Explicit Hydrodynamics** (kernel 18) — constant multi-index
+  skews, but the row-major inner-loop stride exceeds one, so pages are
+  revisited as the outer dimension advances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir.builder import ProgramBuilder
+from ..ir.expr import Var
+from ..ir.loops import Program
+
+__all__ = [
+    "build_hydro_2d",
+    "build_iccg",
+    "hydro_2d_reference",
+    "iccg_reference",
+]
+
+Inputs = dict[str, np.ndarray]
+
+
+# ---------------------------------------------------------------------------
+# Kernel 2 — Incomplete Cholesky-Conjugate Gradient (Figure 2)
+# ---------------------------------------------------------------------------
+
+
+def iccg_stages(n: int) -> list[tuple[int, int]]:
+    """The (IPNT, IPNTP) pairs of the paper's halving loop.
+
+    Mirrors::
+
+        II = n; IPNTP = 0
+        22 IPNT = IPNTP; IPNTP = IPNTP + II; II = II/2
+           DO 2 k = IPNT+2, IPNTP, 2 ...
+           IF (II.GT.1) GOTO 22
+
+    The Fortran's very last stage is a single iteration with i = k+1,
+    which *reads the cell it is writing* — the one spot where the
+    paper's "this is single assignment; ... i > k+1" claim breaks.  We
+    stop one stage earlier (the remaining two-element reduction would
+    be finished by the host processor), so every kept stage satisfies
+    i > k+1 and is genuinely single assignment.
+    """
+    if n < 4 or n & (n - 1):
+        raise ValueError("ICCG requires n to be a power of two >= 4")
+    stages = []
+    ii = n
+    ipntp = 0
+    while True:
+        ipnt = ipntp
+        ipntp += ii
+        ii //= 2
+        stages.append((ipnt, ipntp))
+        if ii <= 2:
+            return stages
+
+
+def build_iccg(n: int = 1024, seed: int = 2) -> tuple[Program, Inputs]:
+    """``X(i) = X(k) - V(k)*X(k-1) - V(k+1)*X(k+1)`` with i at half speed.
+
+    The data-dependent outer loop is *staged*: the Python builder emits
+    one IR loop per halving step with concrete bounds, reproducing the
+    exact dynamic access sequence of the Fortran GOTO loop.
+    """
+    b = ProgramBuilder(
+        "iccg",
+        "Livermore kernel 2 (ICCG): cyclic distribution, Figure 2.",
+    )
+    size = 2 * n
+    X = b.inout("X", (size,))
+    V = b.input("V", (size,))
+    for stage, (ipnt, ipntp) in enumerate(iccg_stages(n)):
+        k = b.index(f"k{stage}")
+        # i = IPNTP + (k - IPNT - 2)/2 + 1  (i advances half as fast as k)
+        i_expr = (Var(k.name) - (ipnt + 2)) / 2 + (ipntp + 1)
+        with b.loop(k, ipnt + 2, ipntp, step=2):
+            b.assign(X[i_expr], X[k] - V[k] * X[k - 1] - V[k + 1] * X[k + 1])
+    rng = np.random.default_rng(seed)
+    x0 = np.full(size, np.nan)
+    x0[1 : n + 1] = rng.random(n)  # cells 1..n seeded; the rest produced
+    inputs = {"X": x0, "V": rng.random(size) * 0.1}
+    return b.build(), inputs
+
+
+def iccg_reference(inputs: Inputs, n: int) -> dict[str, np.ndarray]:
+    X = inputs["X"].copy()
+    V = inputs["V"]
+    for ipnt, ipntp in iccg_stages(n):
+        i = ipntp
+        for k in range(ipnt + 2, ipntp + 1, 2):
+            i += 1
+            X[i] = X[k] - V[k] * X[k - 1] - V[k + 1] * X[k + 1]
+    return {"X": X}
+
+
+# ---------------------------------------------------------------------------
+# Kernel 18 — 2-D Explicit Hydrodynamics Fragment (Figure 3, Figure 5)
+# ---------------------------------------------------------------------------
+
+#: Second-dimension extent: k runs 2..6 and subscripts reach k+1 = 7.
+KDIM = 8
+
+
+def _interior_nan(arr: np.ndarray, n: int) -> np.ndarray:
+    """Mark the produced region (j = 2..n, k = 2..6) undefined."""
+    arr = arr.copy()
+    arr[2 : n + 1, 2:7] = np.nan
+    return arr
+
+
+def build_hydro_2d(n: int = 1000, seed: int = 18) -> tuple[Program, Inputs]:
+    """All three nests of kernel 18 in single-assignment form.
+
+    The first nest is the fragment printed in the paper (§7.1.3); the
+    in-place updates of the second and third nests are converted to
+    single assignment by writing fresh arrays (ZUN/ZVN, then ZRN/ZZN) —
+    precisely the renaming a §5 translator performs.  ZA and ZB are
+    ``inout`` with their boundary cells (row 1, column 7) seeded, as
+    the Fortran's initialisation data provides.
+    """
+    b = ProgramBuilder(
+        "hydro_2d",
+        "Livermore kernel 18 (2-D Explicit Hydrodynamics): cyclic+skewed.",
+    )
+    shape = (n + 2, KDIM)
+    ZA = b.inout("ZA", shape)
+    ZB = b.inout("ZB", shape)
+    ZUN = b.output("ZUN", shape)
+    ZVN = b.output("ZVN", shape)
+    ZRN = b.output("ZRN", shape)
+    ZZN = b.output("ZZN", shape)
+    ZP = b.input("ZP", shape)
+    ZQ = b.input("ZQ", shape)
+    ZR = b.input("ZR", shape)
+    ZM = b.input("ZM", shape)
+    ZZ = b.input("ZZ", shape)
+    ZU = b.input("ZU", shape)
+    ZV = b.input("ZV", shape)
+    S, T = b.scalar(S=0.0041, T=0.0037)
+    j, k = b.index("j"), b.index("k")
+    # Nest 1 — the paper's fragment (k outer, j inner, row-major (j, k)).
+    with b.loop(k, 2, 6):
+        with b.loop(j, 2, n):
+            b.assign(
+                ZA[j, k],
+                (ZP[j - 1, k + 1] + ZQ[j - 1, k + 1] - ZP[j - 1, k] - ZQ[j - 1, k])
+                * (ZR[j, k] + ZR[j - 1, k])
+                / (ZM[j - 1, k] + ZM[j - 1, k + 1]),
+            )
+            b.assign(
+                ZB[j, k],
+                (ZP[j - 1, k] + ZQ[j - 1, k] - ZP[j, k] - ZQ[j, k])
+                * (ZR[j, k] + ZR[j, k - 1])
+                / (ZM[j, k] + ZM[j - 1, k]),
+            )
+    # Nest 2 — velocity update reading the freshly produced ZA/ZB
+    # (boundary reads ZA(1,k) and ZB(j,7) hit seeded cells).
+    with b.loop(k, 2, 6):
+        with b.loop(j, 2, n):
+            b.assign(
+                ZUN[j, k],
+                ZU[j, k]
+                + S
+                * (
+                    ZA[j, k] * (ZZ[j, k] - ZZ[j + 1, k])
+                    - ZA[j - 1, k] * (ZZ[j, k] - ZZ[j - 1, k])
+                    - ZB[j, k] * (ZZ[j, k] - ZZ[j, k - 1])
+                    + ZB[j, k + 1] * (ZZ[j, k] - ZZ[j, k + 1])
+                ),
+            )
+            b.assign(
+                ZVN[j, k],
+                ZV[j, k]
+                + S
+                * (
+                    ZA[j, k] * (ZR[j, k] - ZR[j + 1, k])
+                    - ZA[j - 1, k] * (ZR[j, k] - ZR[j - 1, k])
+                    - ZB[j, k] * (ZR[j, k] - ZR[j, k - 1])
+                    + ZB[j, k + 1] * (ZR[j, k] - ZR[j, k + 1])
+                ),
+            )
+    # Nest 3 — position update from the new velocities.
+    with b.loop(k, 2, 6):
+        with b.loop(j, 2, n):
+            b.assign(ZRN[j, k], ZR[j, k] + T * ZUN[j, k])
+            b.assign(ZZN[j, k], ZZ[j, k] + T * ZVN[j, k])
+    rng = np.random.default_rng(seed)
+    inputs = {
+        name: rng.random(shape) + 1.0
+        for name in ("ZP", "ZQ", "ZR", "ZM", "ZZ", "ZU", "ZV")
+    }
+    inputs["ZA"] = _interior_nan(rng.random(shape), n)
+    inputs["ZB"] = _interior_nan(rng.random(shape), n)
+    return b.build(), inputs
+
+
+def hydro_2d_reference(inputs: Inputs, n: int) -> dict[str, np.ndarray]:
+    ZP, ZQ, ZR, ZM = (inputs[a] for a in ("ZP", "ZQ", "ZR", "ZM"))
+    ZZ, ZU, ZV = (inputs[a] for a in ("ZZ", "ZU", "ZV"))
+    shape = (n + 2, KDIM)
+    ZA = np.nan_to_num(inputs["ZA"].copy())
+    ZB = np.nan_to_num(inputs["ZB"].copy())
+    ZUN = np.zeros(shape)
+    ZVN = np.zeros(shape)
+    ZRN = np.zeros(shape)
+    ZZN = np.zeros(shape)
+    j = np.arange(2, n + 1)[:, None]
+    k = np.arange(2, 7)[None, :]
+    ZA[j, k] = (
+        (ZP[j - 1, k + 1] + ZQ[j - 1, k + 1] - ZP[j - 1, k] - ZQ[j - 1, k])
+        * (ZR[j, k] + ZR[j - 1, k])
+        / (ZM[j - 1, k] + ZM[j - 1, k + 1])
+    )
+    ZB[j, k] = (
+        (ZP[j - 1, k] + ZQ[j - 1, k] - ZP[j, k] - ZQ[j, k])
+        * (ZR[j, k] + ZR[j, k - 1])
+        / (ZM[j, k] + ZM[j - 1, k])
+    )
+    s, t = 0.0041, 0.0037
+    ZUN[j, k] = ZU[j, k] + s * (
+        ZA[j, k] * (ZZ[j, k] - ZZ[j + 1, k])
+        - ZA[j - 1, k] * (ZZ[j, k] - ZZ[j - 1, k])
+        - ZB[j, k] * (ZZ[j, k] - ZZ[j, k - 1])
+        + ZB[j, k + 1] * (ZZ[j, k] - ZZ[j, k + 1])
+    )
+    ZVN[j, k] = ZV[j, k] + s * (
+        ZA[j, k] * (ZR[j, k] - ZR[j + 1, k])
+        - ZA[j - 1, k] * (ZR[j, k] - ZR[j - 1, k])
+        - ZB[j, k] * (ZR[j, k] - ZR[j, k - 1])
+        + ZB[j, k + 1] * (ZR[j, k] - ZR[j, k + 1])
+    )
+    ZRN[j, k] = ZR[j, k] + t * ZUN[j, k]
+    ZZN[j, k] = ZZ[j, k] + t * ZVN[j, k]
+    return {"ZA": ZA, "ZB": ZB, "ZUN": ZUN, "ZVN": ZVN, "ZRN": ZRN, "ZZN": ZZN}

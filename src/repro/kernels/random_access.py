@@ -1,0 +1,454 @@
+"""Random-distribution and multi-dimensional Livermore kernels (§7.1.4).
+
+The paper places the General Linear Recurrence Equations (kernel 6) and
+A.D.I. Integration (kernel 8) in the Random class: "This behavior can
+occur when multi-dimensional arrays are combined with skewed accesses"
+or with "effectively random page accesses (e.g., permutation lookups)".
+The particle-in-cell kernels supply the permutation-lookup flavour; the
+predictor kernels (9, 10) and matrix multiplication (21) round out the
+multi-dimensional spectrum.
+
+Kernels 6, 10, 18-nests-2/3 and the PIC deposits are *translated* into
+single assignment by array expansion / renaming — the transformation
+the paper's §5 "automatic conversion tool" performs, with the memory
+growth it predicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir.builder import ProgramBuilder
+from ..ir.expr import Call, Ref
+from ..ir.loops import Program
+
+__all__ = [
+    "adi_reference",
+    "build_adi",
+    "build_diff_predictors",
+    "build_integrate_predictors",
+    "build_linear_recurrence",
+    "build_matmul",
+    "build_pic_1d",
+    "build_pic_2d",
+    "diff_predictors_reference",
+    "integrate_predictors_reference",
+    "linear_recurrence_reference",
+    "matmul_reference",
+    "pic_1d_reference",
+    "pic_2d_reference",
+]
+
+Inputs = dict[str, np.ndarray]
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+# ---------------------------------------------------------------------------
+# Kernel 6 — General Linear Recurrence Equations (Figure 4; class RD)
+# ---------------------------------------------------------------------------
+
+
+def build_linear_recurrence(n: int = 256, seed: int = 6) -> tuple[Program, Inputs]:
+    """``W(i) = W(i) + B(i,k)*W(i-k)`` in single-assignment form.
+
+    The Fortran accumulates into W(i); array expansion over ``k``
+    produces partial sums ``WS(i, k)`` with ``WS(i, 0)`` seeding from
+    the initial W and ``WS(j, j-1)`` holding the final value of row j::
+
+        WS(i, 0)   = W0(i)
+        WS(i, k)   = WS(i, k-1) + B(i, k) * WS(i-k, i-k-1)   k = 1..i-2
+        WS(i, i-1) = WS(i, i-2) + B(i, i-1) * W0(1)
+
+    The read ``WS(i-k, i-k-1)`` strides by -(columns+1) per inner
+    iteration — the "seemingly random" page jumping of §7.1.4.
+    """
+    b = ProgramBuilder(
+        "linear_recurrence",
+        "Livermore kernel 6 (General Linear Recurrence): random distribution.",
+    )
+    WS = b.output("WS", (n + 1, n))
+    W0 = b.input("W0", (n + 1,))
+    B = b.input("B", (n + 1, n))
+    i, k = b.index("i"), b.index("k")
+    with b.loop(i, 2, n):
+        b.assign(WS[i, 0], W0[i])
+        with b.loop(k, 1, i - 2):
+            b.assign(
+                WS[i, k],
+                WS[i, k - 1] + B[i, k] * WS[i - k, i - k - 1],
+            )
+        b.assign(WS[i, i - 1], WS[i, i - 2] + B[i, i - 1] * W0[1])
+    rng = _rng(seed)
+    inputs = {
+        "W0": rng.random(n + 1),
+        "B": rng.random((n + 1, n)) * (0.9 / n),
+    }
+    return b.build(), inputs
+
+
+def linear_recurrence_reference(inputs: Inputs, n: int) -> dict[str, np.ndarray]:
+    W0, B = inputs["W0"], inputs["B"]
+    W = W0.copy()
+    WS = np.zeros((n + 1, n))
+    for i in range(2, n + 1):
+        WS[i, 0] = W0[i]
+        acc = W0[i]
+        for k in range(1, i):
+            acc += B[i, k] * W[i - k]
+            WS[i, k] = acc
+        W[i] = acc
+    return {"WS": WS}
+
+
+# ---------------------------------------------------------------------------
+# Kernel 8 — A.D.I. Integration (Figure 4's companion; class RD)
+# ---------------------------------------------------------------------------
+
+
+def build_adi(n: int = 500, seed: int = 8) -> tuple[Program, Inputs]:
+    """The paper's A.D.I. fragment: write plane 2, read plane 1.
+
+    The scratch DU arrays are expanded over ``kx`` (they are rewritten
+    per outer iteration in the Fortran) and the U arrays are ``inout``
+    with plane 1 seeded and plane 2 produced.
+    """
+    b = ProgramBuilder(
+        "adi",
+        "Livermore kernel 8 (A.D.I. Integration): random distribution.",
+    )
+    ushape = (5, n + 2, 3)  # kx 0..4, ky 0..n+1, plane index 1 or 2
+    U1 = b.inout("U1", ushape)
+    U2 = b.inout("U2", ushape)
+    U3 = b.inout("U3", ushape)
+    DU1 = b.output("DU1", (4, n + 1))
+    DU2 = b.output("DU2", (4, n + 1))
+    DU3 = b.output("DU3", (4, n + 1))
+    (A11, A12, A13, A21, A22, A23, A31, A32, A33, SIG) = b.scalar(
+        A11=0.031, A12=0.021, A13=0.011,
+        A21=0.012, A22=0.032, A23=0.022,
+        A31=0.013, A32=0.023, A33=0.033,
+        SIG=0.025,
+    )
+    kx, ky = b.index("kx"), b.index("ky")
+    with b.loop(kx, 2, 3):
+        with b.loop(ky, 2, n):
+            b.assign(DU1[kx, ky], U1[kx, ky + 1, 1] - U1[kx, ky - 1, 1])
+            b.assign(DU2[kx, ky], U2[kx, ky + 1, 1] - U2[kx, ky - 1, 1])
+            b.assign(DU3[kx, ky], U3[kx, ky + 1, 1] - U3[kx, ky - 1, 1])
+            b.assign(
+                U1[kx, ky, 2],
+                U1[kx, ky, 1]
+                + A11 * DU1[kx, ky] + A12 * DU2[kx, ky] + A13 * DU3[kx, ky]
+                + SIG
+                * (U1[kx + 1, ky, 1] - 2.0 * U1[kx, ky, 1] + U1[kx - 1, ky, 1]),
+            )
+            b.assign(
+                U2[kx, ky, 2],
+                U2[kx, ky, 1]
+                + A21 * DU1[kx, ky] + A22 * DU2[kx, ky] + A23 * DU3[kx, ky]
+                + SIG
+                * (U2[kx + 1, ky, 1] - 2.0 * U2[kx, ky, 1] + U2[kx - 1, ky, 1]),
+            )
+            b.assign(
+                U3[kx, ky, 2],
+                U3[kx, ky, 1]
+                + A31 * DU1[kx, ky] + A32 * DU2[kx, ky] + A33 * DU3[kx, ky]
+                + SIG
+                * (U3[kx + 1, ky, 1] - 2.0 * U3[kx, ky, 1] + U3[kx - 1, ky, 1]),
+            )
+    rng = _rng(seed)
+    inputs = {}
+    for name in ("U1", "U2", "U3"):
+        u = rng.random(ushape)
+        # Plane 2 of the interior is produced by the kernel -> undefined.
+        u[2:4, 2 : n + 1, 2] = np.nan
+        inputs[name] = u
+    return b.build(), inputs
+
+
+def adi_reference(inputs: Inputs, n: int) -> dict[str, np.ndarray]:
+    a = {
+        "A11": 0.031, "A12": 0.021, "A13": 0.011,
+        "A21": 0.012, "A22": 0.032, "A23": 0.022,
+        "A31": 0.013, "A32": 0.023, "A33": 0.033,
+    }
+    sig = 0.025
+    out: dict[str, np.ndarray] = {}
+    dus: dict[str, np.ndarray] = {}
+    kx = np.arange(2, 4)[:, None]
+    ky = np.arange(2, n + 1)[None, :]
+    for idx, name in enumerate(("U1", "U2", "U3"), start=1):
+        u = np.nan_to_num(inputs[name].copy())
+        du = np.zeros((4, n + 1))
+        du[kx, ky] = u[kx, ky + 1, 1] - u[kx, ky - 1, 1]
+        dus[f"DU{idx}"] = du
+        out[name] = u
+    for idx, name in enumerate(("U1", "U2", "U3"), start=1):
+        u = out[name]
+        u[kx, ky, 2] = (
+            u[kx, ky, 1]
+            + a[f"A{idx}1"] * dus["DU1"][kx, ky]
+            + a[f"A{idx}2"] * dus["DU2"][kx, ky]
+            + a[f"A{idx}3"] * dus["DU3"][kx, ky]
+            + sig * (u[kx + 1, ky, 1] - 2.0 * u[kx, ky, 1] + u[kx - 1, ky, 1])
+        )
+    out.update(dus)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Kernel 9 — Integrate Predictors
+# ---------------------------------------------------------------------------
+
+_K9_COEFFS = {
+    "DM28": 0.0101, "DM27": 0.0102, "DM26": 0.0103, "DM25": 0.0104,
+    "DM24": 0.0105, "DM23": 0.0106, "DM22": 0.0107, "C0": 0.0108,
+}
+
+
+def build_integrate_predictors(
+    n: int = 1000, seed: int = 9
+) -> tuple[Program, Inputs]:
+    """``PX(1,i) = Σ DMj*PX(j,i) + C0*(PX(5,i)+PX(6,i)) + PX(3,i)``.
+
+    Thirteen parallel row streams at large constant skews: whether the
+    per-PE cache can hold one page per stream decides between skewed
+    and random behaviour — a good stress of the paper's 256-element
+    cache.
+    """
+    b = ProgramBuilder(
+        "integrate_predictors",
+        "Livermore kernel 9 (Integrate Predictors): many large row skews.",
+    )
+    PXN = b.output("PXN", (2, n + 1))
+    PX = b.input("PX", (14, n + 1))
+    cs = b.scalar(**_K9_COEFFS)
+    DM28, DM27, DM26, DM25, DM24, DM23, DM22, C0 = cs
+    i = b.index("i")
+    with b.loop(i, 1, n):
+        b.assign(
+            PXN[1, i],
+            DM28 * PX[13, i] + DM27 * PX[12, i] + DM26 * PX[11, i]
+            + DM25 * PX[10, i] + DM24 * PX[9, i] + DM23 * PX[8, i]
+            + DM22 * PX[7, i] + C0 * (PX[5, i] + PX[6, i]) + PX[3, i],
+        )
+    inputs = {"PX": _rng(seed).random((14, n + 1))}
+    return b.build(), inputs
+
+
+def integrate_predictors_reference(inputs: Inputs, n: int) -> dict[str, np.ndarray]:
+    PX = inputs["PX"]
+    c = _K9_COEFFS
+    i = np.arange(1, n + 1)
+    PXN = np.zeros((2, n + 1))
+    PXN[1, i] = (
+        c["DM28"] * PX[13, i] + c["DM27"] * PX[12, i] + c["DM26"] * PX[11, i]
+        + c["DM25"] * PX[10, i] + c["DM24"] * PX[9, i] + c["DM23"] * PX[8, i]
+        + c["DM22"] * PX[7, i] + c["C0"] * (PX[5, i] + PX[6, i]) + PX[3, i]
+    )
+    return {"PXN": PXN}
+
+
+# ---------------------------------------------------------------------------
+# Kernel 10 — Difference Predictors
+# ---------------------------------------------------------------------------
+
+
+def build_diff_predictors(n: int = 1000, seed: int = 10) -> tuple[Program, Inputs]:
+    """The difference table update, SA-converted to a fresh output PXN.
+
+    The Fortran chains scalar temporaries through rows 5..14 of PX in
+    place; renaming the output makes each cell single assignment::
+
+        PXN(5, i) = CX(5, i)
+        PXN(j, i) = PXN(j-1, i) - PX(j-1, i)    j = 6..14
+    """
+    b = ProgramBuilder(
+        "diff_predictors",
+        "Livermore kernel 10 (Difference Predictors): row-strided chain.",
+    )
+    PXN = b.output("PXN", (15, n + 1))
+    PX = b.input("PX", (15, n + 1))
+    CX = b.input("CX", (15, n + 1))
+    i, j = b.index("i"), b.index("j")
+    with b.loop(i, 1, n):
+        b.assign(PXN[5, i], CX[5, i])
+        with b.loop(j, 6, 14):
+            b.assign(PXN[j, i], PXN[j - 1, i] - PX[j - 1, i])
+    rng = _rng(seed)
+    inputs = {
+        "PX": rng.random((15, n + 1)),
+        "CX": rng.random((15, n + 1)),
+    }
+    return b.build(), inputs
+
+
+def diff_predictors_reference(inputs: Inputs, n: int) -> dict[str, np.ndarray]:
+    PX, CX = inputs["PX"], inputs["CX"]
+    PXN = np.zeros((15, n + 1))
+    i = np.arange(1, n + 1)
+    PXN[5, i] = CX[5, i]
+    for j in range(6, 15):
+        PXN[j, i] = PXN[j - 1, i] - PX[j - 1, i]
+    return {"PXN": PXN}
+
+
+# ---------------------------------------------------------------------------
+# Kernel 14 — 1-D Particle in a Cell (gather + scatter; class RD)
+# ---------------------------------------------------------------------------
+
+
+def build_pic_1d(
+    n: int = 1000, grid: int | None = None, seed: int = 140
+) -> tuple[Program, Inputs]:
+    """Gather field values at particle cells, then deposit charge.
+
+    Phase 1 gathers ``EX(trunc(GRD(k)))`` — a permutation lookup, the
+    paper's canonical random access.  Phase 2 deposits charge with a
+    scatter-add, routed (like all accumulations) through the owner of
+    the target cell.  The grid defaults to the particle count so the
+    field arrays dwarf the 256-element cache, as in a real PIC mesh.
+    """
+    if grid is None:
+        grid = n
+    b = ProgramBuilder(
+        "pic_1d",
+        "Livermore kernel 14 (1-D PIC): permutation gather + scatter-add.",
+    )
+    EX1 = b.output("EX1", (n + 1,))
+    RHO = b.output("RHO", (grid + 2,))
+    GRD = b.input("GRD", (n + 1,))
+    EX = b.input("EX", (grid + 2,))
+    DEX = b.input("DEX", (grid + 2,))
+    FR = b.input("FR", (n + 1,))
+    Q = b.scalar(Q=1.5)
+    k = b.index("k")
+    with b.loop(k, 1, n):
+        cell = Call("trunc", GRD[k])
+        b.assign(EX1[k], Ref("EX", [cell]) + Ref("DEX", [cell]) * FR[k])
+    with b.loop(k, 1, n):
+        b.reduce(Ref("RHO", [Call("trunc", GRD[k])]), Q * EX1[k], op="+")
+    rng = _rng(seed)
+    inputs = {
+        "GRD": 1.0 + rng.random(n + 1) * grid,  # cells in [1, grid]
+        "EX": rng.random(grid + 2),
+        "DEX": rng.random(grid + 2),
+        "FR": rng.random(n + 1),
+    }
+    return b.build(), inputs
+
+
+def pic_1d_reference(inputs: Inputs, n: int) -> dict[str, np.ndarray]:
+    GRD, EX, DEX, FR = (inputs[a] for a in ("GRD", "EX", "DEX", "FR"))
+    cells = np.trunc(GRD[1 : n + 1]).astype(int)
+    EX1 = np.zeros(n + 1)
+    EX1[1 : n + 1] = EX[cells] + DEX[cells] * FR[1 : n + 1]
+    RHO = np.zeros(len(EX))
+    np.add.at(RHO, cells, 1.5 * EX1[1 : n + 1])
+    return {"EX1": EX1, "RHO": RHO}
+
+
+# ---------------------------------------------------------------------------
+# Kernel 13 — 2-D Particle in a Cell (class RD)
+# ---------------------------------------------------------------------------
+
+
+def build_pic_2d(
+    n: int = 1000, grid: int = 32, seed: int = 13
+) -> tuple[Program, Inputs]:
+    """2-D gather of a field plus a particle-count scatter.
+
+    Positions are gathered from a 2-D magnetic field grid via truncated
+    coordinates, then the particle positions advance (matched part) and
+    each particle increments its cell's counter (scatter-add part).
+    """
+    b = ProgramBuilder(
+        "pic_2d",
+        "Livermore kernel 13 (2-D PIC): 2-D permutation gather + scatter.",
+    )
+    BG = b.output("BG", (n + 1,))
+    PN1 = b.output("PN1", (n + 1,))
+    PN2 = b.output("PN2", (n + 1,))
+    CNT = b.output("CNT", (grid + 2, grid + 2))
+    P1 = b.input("P1", (n + 1,))
+    P2 = b.input("P2", (n + 1,))
+    V1 = b.input("V1", (n + 1,))
+    V2 = b.input("V2", (n + 1,))
+    BFLD = b.input("BFLD", (grid + 2, grid + 2))
+    DT = b.scalar(DT=0.05)
+    ip = b.index("ip")
+    with b.loop(ip, 1, n):
+        c1 = Call("trunc", P1[ip])
+        c2 = Call("trunc", P2[ip])
+        b.assign(BG[ip], Ref("BFLD", [c1, c2]))
+        b.assign(PN1[ip], P1[ip] + V1[ip] * DT)
+        b.assign(PN2[ip], P2[ip] + V2[ip] * DT)
+        b.reduce(Ref("CNT", [c1, c2]), 1.0, op="+")
+    rng = _rng(seed)
+    inputs = {
+        "P1": 1.0 + rng.random(n + 1) * grid,
+        "P2": 1.0 + rng.random(n + 1) * grid,
+        "V1": rng.random(n + 1) - 0.5,
+        "V2": rng.random(n + 1) - 0.5,
+        "BFLD": rng.random((grid + 2, grid + 2)),
+    }
+    return b.build(), inputs
+
+
+def pic_2d_reference(inputs: Inputs, n: int) -> dict[str, np.ndarray]:
+    P1, P2, V1, V2, BFLD = (
+        inputs[a] for a in ("P1", "P2", "V1", "V2", "BFLD")
+    )
+    c1 = np.trunc(P1[1 : n + 1]).astype(int)
+    c2 = np.trunc(P2[1 : n + 1]).astype(int)
+    BG = np.zeros(n + 1)
+    BG[1 : n + 1] = BFLD[c1, c2]
+    PN1 = np.zeros(n + 1)
+    PN2 = np.zeros(n + 1)
+    PN1[1 : n + 1] = P1[1 : n + 1] + V1[1 : n + 1] * 0.05
+    PN2[1 : n + 1] = P2[1 : n + 1] + V2[1 : n + 1] * 0.05
+    CNT = np.zeros(BFLD.shape)
+    np.add.at(CNT, (c1, c2), 1.0)
+    return {"BG": BG, "PN1": PN1, "PN2": PN2, "CNT": CNT}
+
+
+# ---------------------------------------------------------------------------
+# Kernel 21 — Matrix * Matrix Product (reduction per cell)
+# ---------------------------------------------------------------------------
+
+
+def build_matmul(m: int = 32, seed: int = 21) -> tuple[Program, Inputs]:
+    """``PX(i,j) = PX(i,j) + VY(i,k) * CX(k,j)`` as a per-cell reduction.
+
+    Each PX cell is an accumulator owned by one PE (owner-computes), so
+    the k loop contributes through the reduction mechanism — the
+    paper's "vector to scalar" collection generalised per cell.
+    """
+    b = ProgramBuilder(
+        "matmul",
+        "Livermore kernel 21 (Matrix Product): per-cell reductions.",
+    )
+    PX = b.output("PX", (m + 1, m + 1))
+    VY = b.input("VY", (m + 1, m + 1))
+    CX = b.input("CX", (m + 1, m + 1))
+    i, j, k = b.index("i"), b.index("j"), b.index("k")
+    with b.loop(i, 1, m):
+        with b.loop(j, 1, m):
+            with b.loop(k, 1, m):
+                b.reduce(PX[i, j], VY[i, k] * CX[k, j], op="+")
+    rng = _rng(seed)
+    inputs = {
+        "VY": rng.random((m + 1, m + 1)),
+        "CX": rng.random((m + 1, m + 1)),
+    }
+    return b.build(), inputs
+
+
+def matmul_reference(inputs: Inputs, m: int) -> dict[str, np.ndarray]:
+    VY, CX = inputs["VY"], inputs["CX"]
+    PX = np.zeros((m + 1, m + 1))
+    PX[1:, 1:] = VY[1:, 1:] @ CX[1:, 1:]
+    return {"PX": PX}

@@ -1,0 +1,253 @@
+"""Kernel registry: every Livermore workload with its paper metadata.
+
+Each :class:`Kernel` couples an IR builder with an independent NumPy
+reference implementation and records what the paper says about the
+loop (its access class, which figure it appears in).  The test suite
+iterates the registry to validate IR-vs-NumPy equivalence and the
+classifier's agreement with the paper's labels; the benchmark harness
+iterates it to regenerate the survey tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+import numpy as np
+
+from ..core.classify import AccessClass
+from ..ir.loops import Program
+from . import cyclic, random_access, simple1d
+
+__all__ = ["Kernel", "all_kernels", "get_kernel", "kernel_names", "paper_kernels"]
+
+Inputs = dict[str, np.ndarray]
+BuildFn = Callable[..., tuple[Program, Inputs]]
+ReferenceFn = Callable[[Mapping[str, np.ndarray], int], dict[str, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A registered workload."""
+
+    name: str
+    number: int | None           # Livermore kernel number, if applicable
+    title: str
+    build_fn: BuildFn
+    reference_fn: ReferenceFn
+    paper_class: AccessClass | None = None  # class assigned by the paper
+    figure: str | None = None               # paper figure featuring it
+    default_n: int = 1000
+    note: str = ""
+
+    def build(self, n: int | None = None, seed: int | None = None) -> tuple[Program, Inputs]:
+        """Build the IR program and deterministic inputs."""
+        kwargs: dict[str, int] = {}
+        if seed is not None:
+            kwargs["seed"] = seed
+        size = self.default_n if n is None else n
+        return self.build_fn(size, **kwargs)
+
+    def reference(self, inputs: Mapping[str, np.ndarray], n: int | None = None) -> dict[str, np.ndarray]:
+        """Expected outputs via the independent NumPy implementation."""
+        size = self.default_n if n is None else n
+        return self.reference_fn(inputs, size)
+
+
+_REGISTRY: dict[str, Kernel] = {}
+
+
+def _register(kernel: Kernel) -> None:
+    if kernel.name in _REGISTRY:
+        raise ValueError(f"duplicate kernel {kernel.name!r}")
+    _REGISTRY[kernel.name] = kernel
+
+
+_register(Kernel(
+    name="hydro_fragment",
+    number=1,
+    title="Hydro Fragment",
+    build_fn=simple1d.build_hydro_fragment,
+    reference_fn=simple1d.hydro_fragment_reference,
+    paper_class=AccessClass.SKEWED,
+    figure="Figure 1",
+    note="Skew 11; the paper's flagship SD loop (22% -> 1% remote with cache).",
+))
+_register(Kernel(
+    name="iccg",
+    number=2,
+    title="Incomplete Cholesky-Conjugate Gradient",
+    build_fn=cyclic.build_iccg,
+    reference_fn=cyclic.iccg_reference,
+    paper_class=AccessClass.CYCLIC,
+    figure="Figure 2",
+    default_n=1024,
+    note="Write index at half the read-index speed; staged halving loop.",
+))
+_register(Kernel(
+    name="inner_product",
+    number=3,
+    title="Inner Product",
+    build_fn=simple1d.build_inner_product,
+    reference_fn=simple1d.inner_product_reference,
+    note="Vector-to-scalar reduction routed to the host processor (§9).",
+))
+_register(Kernel(
+    name="tri_diagonal",
+    number=5,
+    title="Tri-Diagonal Elimination",
+    build_fn=simple1d.build_tri_diagonal,
+    reference_fn=simple1d.tri_diagonal_reference,
+    paper_class=AccessClass.SKEWED,
+    note="First-order recurrence, skew -1.",
+))
+_register(Kernel(
+    name="linear_recurrence",
+    number=6,
+    title="General Linear Recurrence Equations",
+    build_fn=random_access.build_linear_recurrence,
+    reference_fn=random_access.linear_recurrence_reference,
+    paper_class=AccessClass.RANDOM,
+    figure="Figure 4",
+    default_n=256,
+    note="SA-converted by array expansion; triangular, scattered reads.",
+))
+_register(Kernel(
+    name="equation_of_state",
+    number=7,
+    title="Equation of State Fragment",
+    build_fn=simple1d.build_equation_of_state,
+    reference_fn=simple1d.equation_of_state_reference,
+    paper_class=AccessClass.SKEWED,
+    note="Skews 1..6 on U.",
+))
+_register(Kernel(
+    name="adi",
+    number=8,
+    title="A.D.I. Integration",
+    build_fn=random_access.build_adi,
+    reference_fn=random_access.adi_reference,
+    paper_class=AccessClass.RANDOM,
+    default_n=500,
+    note="3-D arrays, plane-1 reads while producing plane 2.",
+))
+_register(Kernel(
+    name="integrate_predictors",
+    number=9,
+    title="Integrate Predictors",
+    build_fn=random_access.build_integrate_predictors,
+    reference_fn=random_access.integrate_predictors_reference,
+    note="13 parallel row streams at large constant skews.",
+))
+_register(Kernel(
+    name="diff_predictors",
+    number=10,
+    title="Difference Predictors",
+    build_fn=random_access.build_diff_predictors,
+    reference_fn=random_access.diff_predictors_reference,
+    note="Row-strided chain, SA-converted to a fresh output array.",
+))
+_register(Kernel(
+    name="first_sum",
+    number=11,
+    title="First Sum",
+    build_fn=simple1d.build_first_sum,
+    reference_fn=simple1d.first_sum_reference,
+    paper_class=AccessClass.SKEWED,
+    note="Prefix sum, skew -1.",
+))
+_register(Kernel(
+    name="first_diff",
+    number=12,
+    title="First Difference",
+    build_fn=simple1d.build_first_diff,
+    reference_fn=simple1d.first_diff_reference,
+    paper_class=AccessClass.SKEWED,
+    note="Skew +1.",
+))
+_register(Kernel(
+    name="pic_2d",
+    number=13,
+    title="2-D Particle in a Cell",
+    build_fn=random_access.build_pic_2d,
+    reference_fn=random_access.pic_2d_reference,
+    paper_class=AccessClass.RANDOM,
+    note="2-D permutation gather plus scatter-add.",
+))
+_register(Kernel(
+    name="pic_1d_fragment",
+    number=14,
+    title="1-D Particle in a Cell (fragment)",
+    build_fn=simple1d.build_pic_1d_fragment,
+    reference_fn=simple1d.pic_1d_fragment_reference,
+    paper_class=AccessClass.MATCHED,
+    note="The paper's Class 1 example: RX(k) = XX(k) - IR(k).",
+))
+_register(Kernel(
+    name="pic_1d",
+    number=14,
+    title="1-D Particle in a Cell (gather/scatter)",
+    build_fn=random_access.build_pic_1d,
+    reference_fn=random_access.pic_1d_reference,
+    paper_class=AccessClass.RANDOM,
+    note="Permutation lookups — the paper's canonical RD mechanism.",
+))
+_register(Kernel(
+    name="hydro_2d",
+    number=18,
+    title="2-D Explicit Hydrodynamics Fragment",
+    build_fn=cyclic.build_hydro_2d,
+    reference_fn=cyclic.hydro_2d_reference,
+    paper_class=AccessClass.CYCLIC,
+    figure="Figures 3 and 5",
+    default_n=100,
+    note=(
+        "Cyclic via multi-dimensional strides; the load-balance workload. "
+        "LFK-scale n=100 keeps the per-PE page cycle within cache reach, "
+        "as in the paper's Figure 3."
+    ),
+))
+_register(Kernel(
+    name="matmul",
+    number=21,
+    title="Matrix * Matrix Product",
+    build_fn=random_access.build_matmul,
+    reference_fn=random_access.matmul_reference,
+    default_n=32,
+    note="Per-cell reductions under owner-computes.",
+))
+_register(Kernel(
+    name="planckian",
+    number=22,
+    title="Planckian Distribution",
+    build_fn=simple1d.build_planckian,
+    reference_fn=simple1d.planckian_reference,
+    paper_class=AccessClass.MATCHED,
+    note="Two matched stages with a transcendental.",
+))
+
+
+def get_kernel(name: str) -> Kernel:
+    """Look up one kernel by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def kernel_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def all_kernels() -> Iterator[Kernel]:
+    for name in kernel_names():
+        yield _REGISTRY[name]
+
+
+def paper_kernels() -> Iterator[Kernel]:
+    """Kernels the paper explicitly assigns to an access class."""
+    for kernel in all_kernels():
+        if kernel.paper_class is not None:
+            yield kernel

@@ -1,0 +1,325 @@
+"""One-dimensional Livermore kernels: the Matched and Skewed classes.
+
+Each builder returns ``(Program, inputs)`` for a given problem size and
+seed; the matching ``*_reference`` function computes the expected
+output arrays with plain NumPy so the IR renditions are validated
+against an independent implementation.
+
+Index conventions follow the Fortran originals: loops are 1-based and
+element 0 of each array is unused padding (it stays undefined in
+outputs, seeded in inputs).  This keeps the access *addresses* — which
+are what the partitioning study measures — aligned with the paper's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir.builder import ProgramBuilder
+from ..ir.expr import Call
+from ..ir.loops import Program
+
+__all__ = [
+    "build_equation_of_state",
+    "build_first_diff",
+    "build_first_sum",
+    "build_hydro_fragment",
+    "build_inner_product",
+    "build_pic_1d_fragment",
+    "build_planckian",
+    "build_tri_diagonal",
+    "equation_of_state_reference",
+    "first_diff_reference",
+    "first_sum_reference",
+    "hydro_fragment_reference",
+    "inner_product_reference",
+    "pic_1d_fragment_reference",
+    "planckian_reference",
+    "tri_diagonal_reference",
+]
+
+Inputs = dict[str, np.ndarray]
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+# ---------------------------------------------------------------------------
+# Kernel 1 — Hydro Fragment (paper §7.1.2, Figure 1; class SD, skew 11)
+# ---------------------------------------------------------------------------
+
+
+def build_hydro_fragment(n: int = 1000, seed: int = 1) -> tuple[Program, Inputs]:
+    """``X(k) = Q + Y(k) * (R*ZX(k+10) + T*ZX(k+11))`` for k = 1..n."""
+    b = ProgramBuilder(
+        "hydro_fragment",
+        "Livermore kernel 1 (Hydro Fragment): skewed access, skew 11.",
+    )
+    X = b.output("X", (n + 1,))
+    Y = b.input("Y", (n + 1,))
+    ZX = b.input("ZX", (n + 12,))
+    Q, R, T = b.scalar(Q=0.5, R=1.5, T=0.25)
+    k = b.index("k")
+    with b.loop(k, 1, n):
+        b.assign(X[k], Q + Y[k] * (R * ZX[k + 10] + T * ZX[k + 11]))
+    rng = _rng(seed)
+    inputs = {"Y": rng.random(n + 1), "ZX": rng.random(n + 12)}
+    return b.build(), inputs
+
+
+def hydro_fragment_reference(inputs: Inputs, n: int) -> dict[str, np.ndarray]:
+    Y, ZX = inputs["Y"], inputs["ZX"]
+    X = np.zeros(n + 1)
+    k = np.arange(1, n + 1)
+    X[k] = 0.5 + Y[k] * (1.5 * ZX[k + 10] + 0.25 * ZX[k + 11])
+    return {"X": X}
+
+
+# ---------------------------------------------------------------------------
+# Kernel 3 — Inner Product (reduction; routed to the host processor, §9)
+# ---------------------------------------------------------------------------
+
+
+def build_inner_product(n: int = 1000, seed: int = 3) -> tuple[Program, Inputs]:
+    """``Q = Q + Z(k) * X(k)`` — a vector-to-scalar operation (§9)."""
+    b = ProgramBuilder(
+        "inner_product",
+        "Livermore kernel 3 (Inner Product): host-processor reduction.",
+    )
+    QS = b.output("QS", (1,))
+    Z = b.input("Z", (n + 1,))
+    X = b.input("X", (n + 1,))
+    k = b.index("k")
+    with b.loop(k, 1, n):
+        b.reduce(QS[0], Z[k] * X[k], op="+")
+    rng = _rng(seed)
+    inputs = {"Z": rng.random(n + 1), "X": rng.random(n + 1)}
+    return b.build(), inputs
+
+
+def inner_product_reference(inputs: Inputs, n: int) -> dict[str, np.ndarray]:
+    Z, X = inputs["Z"], inputs["X"]
+    return {"QS": np.array([float(np.dot(Z[1 : n + 1], X[1 : n + 1]))])}
+
+
+# ---------------------------------------------------------------------------
+# Kernel 5 — Tri-Diagonal Elimination (paper class SD)
+# ---------------------------------------------------------------------------
+
+
+def build_tri_diagonal(n: int = 1000, seed: int = 5) -> tuple[Program, Inputs]:
+    """``X(i) = Z(i) * (Y(i) - X(i-1))`` for i = 2..n (X(1) seeded).
+
+    A first-order linear recurrence: inherently sequential in value
+    flow, but single assignment — each X cell is written once.  The
+    paper lists it in the Skewed class (skew -1 on X).
+    """
+    b = ProgramBuilder(
+        "tri_diagonal",
+        "Livermore kernel 5 (Tri-Diagonal Elimination): skew -1 recurrence.",
+    )
+    X = b.inout("X", (n + 1,))
+    Y = b.input("Y", (n + 1,))
+    Z = b.input("Z", (n + 1,))
+    i = b.index("i")
+    with b.loop(i, 2, n):
+        b.assign(X[i], Z[i] * (Y[i] - X[i - 1]))
+    rng = _rng(seed)
+    # NaN marks the cells the kernel produces (undefined before the run).
+    x0 = np.full(n + 1, np.nan)
+    x0[1] = rng.random()
+    inputs = {"X": x0, "Y": rng.random(n + 1), "Z": rng.random(n + 1)}
+    return b.build(), inputs
+
+
+def tri_diagonal_reference(inputs: Inputs, n: int) -> dict[str, np.ndarray]:
+    X = inputs["X"].copy()
+    Y, Z = inputs["Y"], inputs["Z"]
+    for i in range(2, n + 1):
+        X[i] = Z[i] * (Y[i] - X[i - 1])
+    return {"X": X}
+
+
+# ---------------------------------------------------------------------------
+# Kernel 7 — Equation of State Fragment (paper class SD)
+# ---------------------------------------------------------------------------
+
+
+def build_equation_of_state(n: int = 1000, seed: int = 7) -> tuple[Program, Inputs]:
+    """The equation-of-state fragment with skews 1..6 on U."""
+    b = ProgramBuilder(
+        "equation_of_state",
+        "Livermore kernel 7 (Equation of State Fragment): skews up to 6.",
+    )
+    X = b.output("X", (n + 1,))
+    U = b.input("U", (n + 7,))
+    Y = b.input("Y", (n + 1,))
+    Z = b.input("Z", (n + 1,))
+    R, T, Q = b.scalar(R=0.5, T=0.25, Q=0.125)
+    k = b.index("k")
+    with b.loop(k, 1, n):
+        b.assign(
+            X[k],
+            U[k]
+            + R * (Z[k] + R * Y[k])
+            + T
+            * (
+                U[k + 3]
+                + R * (U[k + 2] + R * U[k + 1])
+                + T * (U[k + 6] + Q * (U[k + 5] + Q * U[k + 4]))
+            ),
+        )
+    rng = _rng(seed)
+    inputs = {
+        "U": rng.random(n + 7),
+        "Y": rng.random(n + 1),
+        "Z": rng.random(n + 1),
+    }
+    return b.build(), inputs
+
+
+def equation_of_state_reference(inputs: Inputs, n: int) -> dict[str, np.ndarray]:
+    U, Y, Z = inputs["U"], inputs["Y"], inputs["Z"]
+    R, T, Q = 0.5, 0.25, 0.125
+    k = np.arange(1, n + 1)
+    X = np.zeros(n + 1)
+    X[k] = (
+        U[k]
+        + R * (Z[k] + R * Y[k])
+        + T
+        * (
+            U[k + 3]
+            + R * (U[k + 2] + R * U[k + 1])
+            + T * (U[k + 6] + Q * (U[k + 5] + Q * U[k + 4]))
+        )
+    )
+    return {"X": X}
+
+
+# ---------------------------------------------------------------------------
+# Kernel 11 — First Sum (paper class SD)
+# ---------------------------------------------------------------------------
+
+
+def build_first_sum(n: int = 1000, seed: int = 11) -> tuple[Program, Inputs]:
+    """``X(k) = X(k-1) + Y(k)`` for k = 2..n — a running prefix sum."""
+    b = ProgramBuilder(
+        "first_sum",
+        "Livermore kernel 11 (First Sum): prefix sum, skew -1.",
+    )
+    X = b.inout("X", (n + 1,))
+    Y = b.input("Y", (n + 1,))
+    k = b.index("k")
+    with b.loop(k, 2, n):
+        b.assign(X[k], X[k - 1] + Y[k])
+    rng = _rng(seed)
+    x0 = np.full(n + 1, np.nan)
+    x0[1] = rng.random()
+    inputs = {"X": x0, "Y": rng.random(n + 1)}
+    return b.build(), inputs
+
+
+def first_sum_reference(inputs: Inputs, n: int) -> dict[str, np.ndarray]:
+    X = inputs["X"].copy()
+    Y = inputs["Y"]
+    X[2 : n + 1] = X[1] + np.cumsum(Y[2 : n + 1])
+    return {"X": X}
+
+
+# ---------------------------------------------------------------------------
+# Kernel 12 — First Difference (paper class SD)
+# ---------------------------------------------------------------------------
+
+
+def build_first_diff(n: int = 1000, seed: int = 12) -> tuple[Program, Inputs]:
+    """``X(k) = Y(k+1) - Y(k)`` for k = 1..n."""
+    b = ProgramBuilder(
+        "first_diff",
+        "Livermore kernel 12 (First Difference): skew +1.",
+    )
+    X = b.output("X", (n + 1,))
+    Y = b.input("Y", (n + 2,))
+    k = b.index("k")
+    with b.loop(k, 1, n):
+        b.assign(X[k], Y[k + 1] - Y[k])
+    inputs = {"Y": _rng(seed).random(n + 2)}
+    return b.build(), inputs
+
+
+def first_diff_reference(inputs: Inputs, n: int) -> dict[str, np.ndarray]:
+    Y = inputs["Y"]
+    X = np.zeros(n + 1)
+    k = np.arange(1, n + 1)
+    X[k] = Y[k + 1] - Y[k]
+    return {"X": X}
+
+
+# ---------------------------------------------------------------------------
+# 1-D Particle in a Cell fragment (paper §7.1.1 — the Matched example)
+# ---------------------------------------------------------------------------
+
+
+def build_pic_1d_fragment(n: int = 1000, seed: int = 14) -> tuple[Program, Inputs]:
+    """``RX(k) = XX(k) - IR(k)`` — "all array indices equal" (Class 1)."""
+    b = ProgramBuilder(
+        "pic_1d_fragment",
+        "1-D Particle in a Cell fragment: matched distribution (Class 1).",
+    )
+    RX = b.output("RX", (n + 1,))
+    XX = b.input("XX", (n + 1,))
+    IR = b.input("IR", (n + 1,))
+    k = b.index("k")
+    with b.loop(k, 1, n):
+        b.assign(RX[k], XX[k] - IR[k])
+    rng = _rng(seed)
+    inputs = {
+        "XX": rng.random(n + 1) * 64.0,
+        "IR": np.floor(rng.random(n + 1) * 64.0),
+    }
+    return b.build(), inputs
+
+
+def pic_1d_fragment_reference(inputs: Inputs, n: int) -> dict[str, np.ndarray]:
+    RX = np.zeros(n + 1)
+    RX[1:] = inputs["XX"][1:] - inputs["IR"][1:]
+    return {"RX": RX}
+
+
+# ---------------------------------------------------------------------------
+# Kernel 22 — Planckian Distribution (matched, with transcendentals)
+# ---------------------------------------------------------------------------
+
+
+def build_planckian(n: int = 1000, seed: int = 22) -> tuple[Program, Inputs]:
+    """``Y(k) = U(k)/V(k); W(k) = X(k)/(EXP(Y(k)) - 1)`` for k = 1..n."""
+    b = ProgramBuilder(
+        "planckian",
+        "Livermore kernel 22 (Planckian Distribution): matched, two stages.",
+    )
+    Y = b.output("Y", (n + 1,))
+    W = b.output("W", (n + 1,))
+    U = b.input("U", (n + 1,))
+    V = b.input("V", (n + 1,))
+    X = b.input("X", (n + 1,))
+    k = b.index("k")
+    with b.loop(k, 1, n):
+        b.assign(Y[k], U[k] / V[k])
+        b.assign(W[k], X[k] / (Call("exp", Y[k]) - 1.0))
+    rng = _rng(seed)
+    inputs = {
+        "U": rng.random(n + 1) + 0.5,
+        "V": rng.random(n + 1) + 0.5,
+        "X": rng.random(n + 1),
+    }
+    return b.build(), inputs
+
+
+def planckian_reference(inputs: Inputs, n: int) -> dict[str, np.ndarray]:
+    U, V, X = inputs["U"], inputs["V"], inputs["X"]
+    Y = np.zeros(n + 1)
+    W = np.zeros(n + 1)
+    k = np.arange(1, n + 1)
+    Y[k] = U[k] / V[k]
+    W[k] = X[k] / (np.exp(Y[k]) - 1.0)
+    return {"Y": Y, "W": W}

@@ -1,0 +1,147 @@
+"""Synthetic workload generators: one knob per access class.
+
+The Livermore kernels each mix several effects; these generators
+isolate one mechanism at a time so the simulator's behaviour can be
+checked against closed forms:
+
+* :func:`build_matched` — all indices equal (Class 1; 0% remote).
+* :func:`build_skewed` — a single constant skew ``s``.  §7.1.2: without
+  a cache a fraction ``min(s, ps)/ps`` of the skewed reads is remote;
+  with a cache "for a skew of one, the cache has no effect, for a skew
+  of two, the cache saves one remote access, and so on" — i.e. the
+  cache collapses each page's ``min(s, ps)`` boundary reads into one
+  fetch.
+* :func:`build_strided` — constant-offset reads under a non-unit inner
+  stride, the pure form of the 2-D cyclic mechanism (§7.1.3).
+* :func:`build_permutation` — reads through a random permutation, the
+  pure form of Class 4 ("effectively random page accesses (e.g.,
+  permutation lookups)").
+
+Each returns ``(Program, inputs)`` like the registry kernels, and each
+has a closed-form/NumPy reference for value validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir.builder import ProgramBuilder
+from ..ir.expr import Ref
+from ..ir.loops import Program
+
+__all__ = [
+    "build_matched",
+    "build_permutation",
+    "build_skewed",
+    "build_strided",
+    "expected_skew_remote_fraction",
+]
+
+Inputs = dict[str, np.ndarray]
+
+
+def build_matched(n: int = 1024, seed: int = 101) -> tuple[Program, Inputs]:
+    """``X(k) = A(k) + B(k)`` — Class 1 in its purest form."""
+    b = ProgramBuilder("syn_matched", "Synthetic matched-distribution loop.")
+    X = b.output("X", (n,))
+    A = b.input("A", (n,))
+    B = b.input("B", (n,))
+    k = b.index("k")
+    with b.loop(k, 0, n - 1):
+        b.assign(X[k], A[k] + B[k])
+    rng = np.random.default_rng(seed)
+    return b.build(), {"A": rng.random(n), "B": rng.random(n)}
+
+
+def build_skewed(
+    n: int = 1024, skew: int = 4, seed: int = 102
+) -> tuple[Program, Inputs]:
+    """``X(k) = Y(k + skew)`` — one constant skew, nothing else."""
+    if skew < 0:
+        raise ValueError("skew must be nonnegative")
+    b = ProgramBuilder(
+        f"syn_skewed_{skew}", f"Synthetic skewed loop, skew {skew}."
+    )
+    X = b.output("X", (n,))
+    Y = b.input("Y", (n + skew,))
+    k = b.index("k")
+    with b.loop(k, 0, n - 1):
+        b.assign(X[k], Ref("Y", [k + skew]) * 2.0)
+    rng = np.random.default_rng(seed)
+    return b.build(), {"Y": rng.random(n + skew)}
+
+
+def expected_skew_remote_fraction(
+    n: int, skew: int, page_size: int, cached: bool
+) -> float:
+    """Closed-form remote-read fraction of :func:`build_skewed`.
+
+    Without a cache every read whose target page differs from the
+    written page is remote; with a cache each (written page, remote
+    page) pair costs exactly one fetch.  Exact for any PE count > 1
+    under modulo partitioning when the skew stays below the PE ring
+    (remote pages never wrap back onto the reader).
+    """
+    remote = 0
+    fetched: set[tuple[int, int]] = set()
+    for k in range(n):
+        wp = k // page_size
+        rp = (k + skew) // page_size
+        if rp == wp:
+            continue
+        if cached:
+            if (wp, rp) not in fetched:
+                fetched.add((wp, rp))
+                remote += 1
+        else:
+            remote += 1
+    return remote / n
+
+
+def build_strided(
+    n: int = 256, stride: int = 8, offset: int = 1, seed: int = 103
+) -> tuple[Program, Inputs]:
+    """2-D loop whose linearised inner stride is ``stride``.
+
+    Writes ``X(j, c)`` for each outer column c (inner loop over rows
+    j), reading the previous *row* ``Y(j-1, c)``: a constant address
+    skew of ``-stride`` under a stride-``stride`` traversal.  Row
+    boundary pages are fetched during one column sweep and re-used on
+    the next — the isolated Cyclic mechanism of §7.1.3.  ``offset``
+    widens the skew to ``offset`` rows.
+    """
+    if stride < 2:
+        raise ValueError("stride must be >= 2 (use build_skewed otherwise)")
+    if offset < 1:
+        raise ValueError("offset must be >= 1")
+    b = ProgramBuilder(
+        f"syn_strided_{stride}",
+        f"Synthetic cyclic loop, inner stride {stride}.",
+    )
+    shape = (n, stride)
+    X = b.output("X", shape)
+    Y = b.input("Y", shape)
+    j, c = b.index("j"), b.index("c")
+    with b.loop(c, 0, stride - 1):
+        with b.loop(j, offset, n - 1):
+            b.assign(X[j, c], Ref("Y", [j - offset, c]) + 1.0)
+    rng = np.random.default_rng(seed)
+    return b.build(), {"Y": rng.random(shape)}
+
+
+def build_permutation(
+    n: int = 1024, seed: int = 104
+) -> tuple[Program, Inputs]:
+    """``X(k) = Y(P(k))`` with P a uniform random permutation (Class 4)."""
+    b = ProgramBuilder(
+        "syn_permutation", "Synthetic random loop: permutation gather."
+    )
+    X = b.output("X", (n,))
+    Y = b.input("Y", (n,))
+    P = b.input("P", (n,))
+    k = b.index("k")
+    with b.loop(k, 0, n - 1):
+        b.assign(X[k], Ref("Y", [Ref("P", [k])]))
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n).astype(np.float64)
+    return b.build(), {"Y": rng.random(n), "P": perm}

@@ -1,0 +1,34 @@
+"""Timed discrete-event machine model (the paper's §9 future work)."""
+
+from .emulator import DeadlockError, EmulatedMachine, EmulationResult
+from .event import EventQueue
+from .msim import TimedMachine, TimedResult, serial_time
+from .network import (
+    Bus,
+    Crossbar,
+    Hypercube,
+    Mesh2D,
+    Ring,
+    Topology,
+    make_topology,
+)
+from .pe import CostModel, PEState
+
+__all__ = [
+    "Bus",
+    "CostModel",
+    "Crossbar",
+    "DeadlockError",
+    "EmulatedMachine",
+    "EmulationResult",
+    "EventQueue",
+    "Hypercube",
+    "Mesh2D",
+    "PEState",
+    "Ring",
+    "TimedMachine",
+    "TimedResult",
+    "Topology",
+    "make_topology",
+    "serial_time",
+]

@@ -1,0 +1,234 @@
+"""Value-level emulation of the execution model (§9).
+
+The paper closes with: "we are adding the mechanism described in this
+paper to a low level 'emulation' of the execution model we are
+developing."  This module is that emulator: unlike the trace-driven
+simulator (which replays *addresses*), it executes a kernel's actual
+*values* the way the machine would —
+
+* every PE walks the whole loop nest and **screens** indices (§3),
+  executing exactly the statement instances whose written element it
+  owns (indices may themselves require reads, as in PIC scatters; "all
+  are generated and then screened" is the paper's sanctioned option);
+* reads go through the :class:`~repro.memory.heap.DistributedHeap`'s
+  I-structure banks; a read of a not-yet-produced cell *blocks* the PE,
+  which retries after other PEs make progress (deferred reads);
+* writes are owner-checked (:class:`~repro.memory.heap.NotOwnerError`
+  would flag any screening bug) and write-once;
+* reductions accumulate host-side and publish at completion, following
+  the paper's host-collection sketch.
+
+PEs advance round-robin, so the interleaving is a genuinely different
+schedule from the sequential interpreter — making the equivalence test
+(emulated values == interpreted values, for every kernel) a meaningful
+check of the paper's central claim that single assignment makes the
+parallel execution *deterministic* with no synchronisation primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.owner import DataLayout
+from ..core.partition import PartitionScheme
+from ..ir.expr import EvalContext
+from ..ir.loops import Loop, Program
+from ..ir.stmt import Reduction, Statement
+from ..memory.heap import DistributedHeap
+from ..memory.linearize import linearize
+
+__all__ = ["DeadlockError", "EmulatedMachine", "EmulationResult"]
+
+
+class DeadlockError(RuntimeError):
+    """No PE can make progress — a read waits on a value nobody will
+    produce (impossible for kernels with a valid sequential order)."""
+
+
+class _Blocked(Exception):
+    """Internal: evaluation touched an undefined remote cell."""
+
+    def __init__(self, array: str, flat: int) -> None:
+        super().__init__(f"blocked on {array}[{flat}]")
+        self.array = array
+        self.flat = flat
+
+
+@dataclass
+class EmulationResult:
+    """Outcome of one emulated run."""
+
+    values: dict[str, np.ndarray]
+    defined: dict[str, np.ndarray]
+    instances_per_pe: np.ndarray
+    local_reads: np.ndarray
+    remote_reads: np.ndarray
+    blocked_retries: int
+    rounds: int
+
+    @property
+    def total_instances(self) -> int:
+        return int(self.instances_per_pe.sum())
+
+
+@dataclass
+class _PEState:
+    pe: int
+    position: int = 0       # index into the shared instance list
+    executed: int = 0
+    local_reads: int = 0
+    remote_reads: int = 0
+
+
+class EmulatedMachine:
+    """Round-robin parallel execution of one kernel over N PEs."""
+
+    def __init__(
+        self,
+        program: Program,
+        inputs: Mapping[str, np.ndarray],
+        *,
+        n_pes: int,
+        page_size: int,
+        scheme: PartitionScheme | None = None,
+        quantum: int = 8,
+    ) -> None:
+        self.program = program
+        self.quantum = quantum
+        shapes = {name: decl.shape for name, decl in program.arrays.items()}
+        self.layout = DataLayout(shapes, page_size, n_pes, scheme)
+        self.heap = DistributedHeap(self.layout)
+        for name, decl in program.arrays.items():
+            if decl.role in ("input", "inout"):
+                if name not in inputs:
+                    raise KeyError(f"missing initial data for {name!r}")
+                buf = np.asarray(inputs[name], dtype=np.float64).ravel()
+                mask = ~np.isnan(buf)
+                self.heap.banks[name].initialize(
+                    np.where(mask, buf, 0.0), mask
+                )
+        # The shared instance list: (statement, loop-variable bindings).
+        self.instances: list[tuple[Statement, dict[str, float]]] = list(
+            self._enumerate(program)
+        )
+        self._pes = [_PEState(pe) for pe in range(n_pes)]
+        # Host-side partial accumulators for reductions.
+        self._accumulators: dict[tuple[str, int], float] = {}
+        self.blocked_retries = 0
+        self.rounds = 0
+
+    @staticmethod
+    def _enumerate(program: Program):
+        env = dict(program.scalars)
+
+        def rec(body: Sequence[Loop | Statement]):
+            for node in body:
+                if isinstance(node, Loop):
+                    for value in node.iter_values(env):
+                        env[node.var] = value
+                        yield from rec(node.body)
+                    env.pop(node.var, None)
+                else:
+                    yield node, dict(env)
+
+        yield from rec(program.body)
+
+    # -- reads ------------------------------------------------------------------
+    def _reader(self, state: _PEState):
+        def read(array: str, idx: tuple[int, ...]) -> float:
+            flat = linearize(idx, self.layout.shapes[array])
+            value = self.heap.try_read(array, flat)
+            if value is None:
+                raise _Blocked(array, flat)
+            if self.layout.owner_of_flat(array, flat) == state.pe:
+                state.local_reads += 1
+            else:
+                state.remote_reads += 1
+            return value
+
+        return read
+
+    # -- stepping ----------------------------------------------------------------
+    def _attempt(self, state: _PEState) -> bool:
+        """Try to advance one instance; True if the PE made progress
+        (executed or screened out an instance)."""
+        if state.position >= len(self.instances):
+            return False
+        stmt, bindings = self.instances[state.position]
+        ctx = EvalContext(dict(bindings), self._reader(state))
+        reads_before = (state.local_reads, state.remote_reads)
+        try:
+            idx = tuple(
+                int(round(sub.evaluate(ctx))) for sub in stmt.target.subs
+            )
+            flat = linearize(idx, self.layout.shapes[stmt.target.array])
+            owner = self.layout.owner_of_flat(stmt.target.array, flat)
+            if owner != state.pe:
+                # Screening: not this PE's area of responsibility.  The
+                # speculative subscript reads are discarded from stats.
+                state.local_reads, state.remote_reads = reads_before
+                state.position += 1
+                return True
+            value = stmt.rhs.evaluate(ctx)
+        except _Blocked:
+            state.local_reads, state.remote_reads = reads_before
+            self.blocked_retries += 1
+            return False
+        if isinstance(stmt, Reduction):
+            key = (stmt.target.array, flat)
+            if key in self._accumulators:
+                self._accumulators[key] = stmt.fold(
+                    self._accumulators[key], value
+                )
+            else:
+                self._accumulators[key] = value
+        else:
+            self.heap.write(state.pe, stmt.target.array, flat, value)
+        state.position += 1
+        state.executed += 1
+        return True
+
+    def run(self) -> EmulationResult:
+        """Round-robin the PEs to completion (or detect deadlock)."""
+        pending = set(range(len(self._pes)))
+        while pending:
+            progressed = False
+            self.rounds += 1
+            for pe in sorted(pending):
+                state = self._pes[pe]
+                for _ in range(self.quantum):
+                    if not self._attempt(state):
+                        break
+                    progressed = True
+                if state.position >= len(self.instances):
+                    pending.discard(pe)
+            if pending and not progressed:
+                blocked_on = [
+                    self.instances[self._pes[pe].position][0]
+                    for pe in sorted(pending)
+                ]
+                raise DeadlockError(
+                    f"no PE can progress; first stuck statements: "
+                    f"{blocked_on[:3]}"
+                )
+        # Publish reduction results (host writes at loop completion).
+        for (array, flat), value in self._accumulators.items():
+            self.heap.banks[array].write(flat, value)
+        values = {}
+        defined = {}
+        for name, decl in self.program.arrays.items():
+            bank = self.heap.banks[name]
+            values[name] = bank.values().reshape(decl.shape)
+            defined[name] = bank.defined_mask().reshape(decl.shape)
+        return EmulationResult(
+            values=values,
+            defined=defined,
+            instances_per_pe=np.asarray([p.executed for p in self._pes]),
+            local_reads=np.asarray([p.local_reads for p in self._pes]),
+            remote_reads=np.asarray([p.remote_reads for p in self._pes]),
+            blocked_retries=self.blocked_retries,
+            rounds=self.rounds,
+        )

@@ -1,0 +1,62 @@
+"""Discrete-event simulation core for the timed machine model.
+
+The paper's simulation is untimed; its future-work list asks for "a
+more sophisticated simulation [that] will better explore the problems
+of execution time and network contention" (§9).  The :mod:`repro.machine`
+package is that simulation; this module supplies the event queue.
+
+Events are ordered by (time, sequence number) so simultaneous events
+fire in scheduling order, keeping runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+__all__ = ["EventQueue"]
+
+Callback = Callable[[], None]
+
+
+class EventQueue:
+    """A deterministic time-ordered callback queue."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callback]] = []
+        self._seq = 0
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, time: float, callback: Callback) -> None:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if time < self.now - 1e-12:
+            raise ValueError(
+                f"cannot schedule into the past (now={self.now}, time={time})"
+            )
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def schedule_after(self, delay: float, callback: Callback) -> None:
+        if delay < 0:
+            raise ValueError("delay must be nonnegative")
+        self.schedule(self.now + delay, callback)
+
+    def run(self, max_events: int | None = None) -> float:
+        """Process events until the queue drains; returns final time."""
+        budget = max_events if max_events is not None else float("inf")
+        while self._heap and budget > 0:
+            time, _, callback = heapq.heappop(self._heap)
+            self.now = time
+            callback()
+            self.events_processed += 1
+            budget -= 1
+        if self._heap:
+            raise RuntimeError(
+                f"event budget exhausted with {len(self._heap)} events pending"
+            )
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)

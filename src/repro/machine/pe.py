@@ -1,0 +1,65 @@
+"""Processing-element cost model and per-PE execution state.
+
+Costs are expressed in abstract cycles.  Defaults are era-plausible
+ratios (remote traffic two orders of magnitude above a local access)
+but every knob is a dataclass field — the ablation benchmarks sweep
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CostModel", "PEState"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs of the abstract machine.
+
+    A remote page fetch costs
+    ``request_overhead + per_hop * hops`` for the request,
+    plus ``reply_overhead + (per_hop + per_element * page_size) * hops``
+    isn't charged per hop for payload — serialization is charged once:
+    ``reply_overhead + per_hop * hops + per_element * page_size``.
+    """
+
+    compute_per_statement: float = 4.0   # evaluate one RHS
+    local_read: float = 1.0              # read from local memory
+    cached_read: float = 2.0             # read from the page cache
+    write: float = 1.0                   # local write (always local, §2)
+    request_overhead: float = 20.0       # send a page request
+    reply_overhead: float = 20.0         # service + send a reply
+    per_hop: float = 5.0                 # per network hop, each direction
+    per_element: float = 0.5             # payload serialization per element
+
+    def request_latency(self, hops: int) -> float:
+        return self.request_overhead + self.per_hop * hops
+
+    def reply_latency(self, hops: int, page_elements: int) -> float:
+        return (
+            self.reply_overhead
+            + self.per_hop * hops
+            + self.per_element * page_elements
+        )
+
+
+@dataclass
+class PEState:
+    """Execution bookkeeping for one PE in the timed simulation."""
+
+    pe: int
+    # Indices into the trace of the instances this PE executes, in order.
+    instances: list[int] = field(default_factory=list)
+    position: int = 0          # next instance to run
+    read_cursor: int = 0       # next read within the current instance
+    busy_until: float = 0.0    # local clock
+    blocked: bool = False
+    # statistics
+    stall_time: float = 0.0
+    requests_sent: int = 0
+    refetches: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.position >= len(self.instances)

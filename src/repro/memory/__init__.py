@@ -1,0 +1,27 @@
+"""Distributed single-assignment memory substrate.
+
+Linearisation, paging, I-structure cells (write-once with deferred
+reads), user-facing single-assignment arrays, and the distributed heap
+that places arrays over PEs.
+"""
+
+from .heap import DistributedHeap, NotOwnerError
+from .istructure import CellState, DoubleWriteError, IStructureMemory
+from .linearize import delinearize, linearize, linearize_many, row_major_strides
+from .pages import PageTable
+from .saarray import SingleAssignmentArray, UndefinedElementError
+
+__all__ = [
+    "CellState",
+    "DistributedHeap",
+    "DoubleWriteError",
+    "IStructureMemory",
+    "NotOwnerError",
+    "PageTable",
+    "SingleAssignmentArray",
+    "UndefinedElementError",
+    "delinearize",
+    "linearize",
+    "linearize_many",
+    "row_major_strides",
+]

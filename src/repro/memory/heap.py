@@ -1,0 +1,117 @@
+"""Distributed heap: per-array I-structure banks placed over PEs.
+
+Combines the data layout (paging + partition) with I-structure storage,
+enforcing the paper's ownership discipline: "Each PE may write only
+into undefined array cells and only into those mapped to that PE" (§3).
+It also assigns each array a *host processor* for the §5
+re-initialisation protocol, "evenly distributed among the arrays" in
+round-robin order of allocation.
+
+The heap is the storage substrate of the timed machine model
+(:mod:`repro.machine`); the untimed simulator does not need values and
+works directly from traces.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from .istructure import IStructureMemory
+
+if TYPE_CHECKING:  # imported lazily to keep the package layering acyclic
+    from ..core.owner import DataLayout
+
+__all__ = ["DistributedHeap", "NotOwnerError"]
+
+
+class NotOwnerError(RuntimeError):
+    """A PE attempted to write a cell outside its area of responsibility."""
+
+
+class DistributedHeap:
+    """All arrays of one computation, placed over the machine."""
+
+    def __init__(self, layout: "DataLayout") -> None:
+        self.layout = layout
+        self.banks: dict[str, IStructureMemory] = {}
+        self.hosts: dict[str, int] = {}
+        for position, name in enumerate(layout.shapes):
+            size = int(np.prod(layout.shapes[name]))
+            self.banks[name] = IStructureMemory(size, name=name)
+            # Host processors are dealt round-robin so the
+            # re-initialisation bookkeeping is spread evenly (§5).
+            self.hosts[name] = position % layout.n_pes
+
+    # -- placement queries -------------------------------------------------------
+    def owner_of(self, array: str, flat: int) -> int:
+        return self.layout.owner_of_flat(array, flat)
+
+    def host_of(self, array: str) -> int:
+        return self.hosts[array]
+
+    def usage_per_pe(self) -> np.ndarray:
+        return self.layout.memory_per_pe()
+
+    # -- memory protocol -----------------------------------------------------------
+    def write(self, pe: int, array: str, flat: int, value: float) -> int:
+        """Owner-checked write; returns released deferred-read count."""
+        owner = self.owner_of(array, flat)
+        if pe != owner:
+            raise NotOwnerError(
+                f"PE {pe} wrote {array}[{flat}] owned by PE {owner}; "
+                "writes must stay within the area of responsibility"
+            )
+        return self.banks[array].write(flat, value)
+
+    def read(
+        self,
+        array: str,
+        flat: int,
+        on_ready: Callable[[float], None],
+    ) -> bool:
+        """I-structure read: immediate if defined, else deferred."""
+        return self.banks[array].read(flat, on_ready)
+
+    def try_read(self, array: str, flat: int) -> float | None:
+        return self.banks[array].try_read(flat)
+
+    def is_defined(self, array: str, flat: int) -> bool:
+        return self.banks[array].is_defined(flat)
+
+    def initialize(self, array: str, values: np.ndarray) -> None:
+        """Pre-execution initialisation of a whole array (§3)."""
+        self.banks[array].initialize(np.asarray(values, dtype=np.float64))
+
+    def page_values(self, array: str, page: int) -> np.ndarray:
+        """Contents of one page (for modelling page-granularity replies).
+
+        Undefined cells read as NaN — a "partially filled page", which
+        real systems may have to re-fetch (§8).
+        """
+        table = self.layout.tables[array]
+        start, stop = table.page_range(page)
+        bank = self.banks[array]
+        values = bank.values()[start:stop].copy()
+        mask = bank.defined_mask()[start:stop]
+        values[~mask] = np.nan
+        return values
+
+    def page_fully_defined(self, array: str, page: int) -> bool:
+        table = self.layout.tables[array]
+        start, stop = table.page_range(page)
+        return bool(self.banks[array].defined_mask()[start:stop].all())
+
+    def reinitialize(self, array: str) -> None:
+        """Reset an array's bank (granted §5 re-initialisation)."""
+        self.banks[array].reset()
+
+    def pending_reads(self) -> int:
+        return sum(bank.total_pending() for bank in self.banks.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedHeap(arrays={sorted(self.banks)}, "
+            f"pes={self.layout.n_pes})"
+        )

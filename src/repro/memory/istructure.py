@@ -1,0 +1,180 @@
+"""I-structure memory: write-once cells with deferred reads (§3).
+
+The paper's synchronisation story is hardware memory tagging: "Each
+memory cell has two states — undefined or defined.  If a cell is
+undefined, it may also have a queue of read requests associated with
+it.  Hardware enforces the write-before-read requirement."  It cites
+HEP full/empty bits and dataflow I-structures as precedents.
+
+:class:`IStructureMemory` is the software model of one such memory
+bank.  Reads of a defined cell return immediately; reads of an
+undefined cell register a *deferred read* continuation that fires
+exactly once, when the producer writes the cell.  A second write to any
+cell raises :class:`DoubleWriteError` ("writing more than once results
+in a runtime error").
+
+The timed machine simulator (:mod:`repro.machine.msim`) uses the
+deferred-read queue to model PEs blocking on remote data that has not
+been produced yet; the untimed core only needs the write-once check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["CellState", "DoubleWriteError", "IStructureMemory"]
+
+ReadContinuation = Callable[[float], None]
+
+
+class DoubleWriteError(RuntimeError):
+    """A defined cell was written again."""
+
+
+class CellState:
+    """State tags for I-structure cells."""
+
+    UNDEFINED = 0
+    DEFINED = 1
+
+
+@dataclass
+class IStructureStats:
+    """Counters for one memory bank."""
+
+    writes: int = 0
+    immediate_reads: int = 0
+    deferred_reads: int = 0
+    resumed_reads: int = 0
+
+    @property
+    def total_reads(self) -> int:
+        return self.immediate_reads + self.deferred_reads
+
+
+class IStructureMemory:
+    """A bank of ``n_cells`` write-once cells with deferred-read queues."""
+
+    def __init__(self, n_cells: int, name: str = "") -> None:
+        if n_cells <= 0:
+            raise ValueError("memory bank needs at least one cell")
+        self.name = name
+        self.n_cells = n_cells
+        self._values = np.zeros(n_cells, dtype=np.float64)
+        self._defined = np.zeros(n_cells, dtype=bool)
+        self._waiting: dict[int, list[ReadContinuation]] = {}
+        self.stats = IStructureStats()
+
+    # -- core protocol --------------------------------------------------------
+    def write(self, cell: int, value: float) -> int:
+        """Define a cell; returns the number of deferred reads released."""
+        self._check(cell)
+        if self._defined[cell]:
+            raise DoubleWriteError(
+                f"cell {cell} of {self.name or 'bank'} written twice"
+            )
+        self._values[cell] = value
+        self._defined[cell] = True
+        self.stats.writes += 1
+        waiters = self._waiting.pop(cell, [])
+        for continuation in waiters:
+            continuation(value)
+        self.stats.resumed_reads += len(waiters)
+        return len(waiters)
+
+    def read(self, cell: int, on_ready: ReadContinuation) -> bool:
+        """Read a cell.
+
+        If the cell is defined, ``on_ready`` is invoked synchronously
+        and the method returns True.  Otherwise the read is queued and
+        the method returns False; ``on_ready`` fires when the producer
+        writes the cell.
+        """
+        self._check(cell)
+        if self._defined[cell]:
+            self.stats.immediate_reads += 1
+            on_ready(float(self._values[cell]))
+            return True
+        self.stats.deferred_reads += 1
+        self._waiting.setdefault(cell, []).append(on_ready)
+        return False
+
+    def try_read(self, cell: int) -> float | None:
+        """Non-queueing read: value if defined, else None."""
+        self._check(cell)
+        if self._defined[cell]:
+            self.stats.immediate_reads += 1
+            return float(self._values[cell])
+        return None
+
+    # -- inspection -----------------------------------------------------------
+    def state(self, cell: int) -> int:
+        self._check(cell)
+        return CellState.DEFINED if self._defined[cell] else CellState.UNDEFINED
+
+    def is_defined(self, cell: int) -> bool:
+        self._check(cell)
+        return bool(self._defined[cell])
+
+    def pending_reads(self, cell: int) -> int:
+        self._check(cell)
+        return len(self._waiting.get(cell, []))
+
+    def total_pending(self) -> int:
+        return sum(len(q) for q in self._waiting.values())
+
+    def defined_count(self) -> int:
+        return int(self._defined.sum())
+
+    def values(self) -> np.ndarray:
+        """Copy of the value buffer (undefined cells read as 0)."""
+        return self._values.copy()
+
+    def defined_mask(self) -> np.ndarray:
+        return self._defined.copy()
+
+    # -- bulk initialisation ----------------------------------------------------
+    def initialize(self, values: np.ndarray, mask: np.ndarray | None = None) -> None:
+        """Pre-define cells with initialisation data (§3: arrays may be
+        "filled with initialization data (if specified in the program)").
+
+        Only permitted on cells that are still undefined and have no
+        waiting readers (initialisation happens "prior to execution").
+        """
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if len(values) != self.n_cells:
+            raise ValueError("initialisation length mismatch")
+        if mask is None:
+            mask = np.ones(self.n_cells, dtype=bool)
+        else:
+            mask = np.asarray(mask, dtype=bool).ravel()
+            if len(mask) != self.n_cells:
+                raise ValueError("initialisation mask length mismatch")
+        if np.any(self._defined & mask):
+            raise DoubleWriteError("initialisation overlaps defined cells")
+        if self._waiting:
+            raise RuntimeError("cannot initialise while reads are pending")
+        self._values[mask] = values[mask]
+        self._defined |= mask
+        self.stats.writes += int(mask.sum())
+
+    def reset(self) -> None:
+        """Return every cell to undefined (used by the §5 re-initialisation
+        protocol once the host processor has granted reuse)."""
+        if self._waiting:
+            raise RuntimeError("cannot reset while reads are pending")
+        self._values.fill(0.0)
+        self._defined.fill(False)
+
+    def _check(self, cell: int) -> None:
+        if not 0 <= cell < self.n_cells:
+            raise IndexError(f"cell {cell} out of range [0, {self.n_cells})")
+
+    def __repr__(self) -> str:
+        return (
+            f"IStructureMemory({self.name or '?'}, cells={self.n_cells}, "
+            f"defined={self.defined_count()}, pending={self.total_pending()})"
+        )

@@ -1,0 +1,83 @@
+"""Row-major linearisation of multi-dimensional arrays.
+
+The paper maps "multidimensional arrays ... to a linear address space
+through row-major ordering" (§7) before paging them.  These helpers
+convert between multi-index tuples and flat element offsets, both for
+scalars (interpreter hot path) and vectorised for NumPy index arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "delinearize",
+    "linearize",
+    "linearize_many",
+    "row_major_strides",
+]
+
+
+def row_major_strides(shape: Sequence[int]) -> tuple[int, ...]:
+    """Element strides of a row-major array: last axis is contiguous."""
+    if not shape:
+        raise ValueError("shape must be non-empty")
+    strides = [1] * len(shape)
+    for axis in range(len(shape) - 2, -1, -1):
+        strides[axis] = strides[axis + 1] * shape[axis + 1]
+    return tuple(strides)
+
+
+def linearize(idx: Sequence[int], shape: Sequence[int]) -> int:
+    """Flat offset of a multi-index, with bounds checking.
+
+    Indices are zero-based.  Raises :class:`IndexError` when any
+    component is out of range — the simulator relies on this to catch
+    kernels that read past their declared extents.
+    """
+    if len(idx) != len(shape):
+        raise IndexError(
+            f"rank mismatch: index {tuple(idx)} vs shape {tuple(shape)}"
+        )
+    flat = 0
+    for component, extent in zip(idx, shape):
+        if component < 0 or component >= extent:
+            raise IndexError(
+                f"index {tuple(idx)} out of bounds for shape {tuple(shape)}"
+            )
+        flat = flat * extent + component
+    return flat
+
+
+def delinearize(flat: int, shape: Sequence[int]) -> tuple[int, ...]:
+    """Inverse of :func:`linearize`."""
+    size = 1
+    for extent in shape:
+        size *= extent
+    if flat < 0 or flat >= size:
+        raise IndexError(f"flat index {flat} out of bounds for shape {tuple(shape)}")
+    idx = []
+    for stride in row_major_strides(shape):
+        idx.append(flat // stride)
+        flat %= stride
+    return tuple(idx)
+
+
+def linearize_many(indices: Sequence[np.ndarray], shape: Sequence[int]) -> np.ndarray:
+    """Vectorised linearisation: one NumPy array per axis -> flat offsets.
+
+    Used by the vectorised trace generator for affine loop nests.
+    """
+    if len(indices) != len(shape):
+        raise IndexError("rank mismatch in linearize_many")
+    flat = np.zeros_like(np.asarray(indices[0], dtype=np.int64))
+    for component, extent in zip(indices, shape):
+        component = np.asarray(component, dtype=np.int64)
+        if component.size and (component.min() < 0 or component.max() >= extent):
+            raise IndexError(
+                f"vectorised index out of bounds for extent {extent}"
+            )
+        flat = flat * extent + component
+    return flat

@@ -1,0 +1,67 @@
+"""Paging of linearised arrays (§2, "data partitioning").
+
+Each array is "segmented into pages of some fixed (perhaps
+parameterized) size".  A :class:`PageTable` performs element↔page
+arithmetic for one array; partition schemes (:mod:`repro.core.partition`)
+then map page numbers to owning PEs.  The last page of an array may be
+*partial* — the paper's four-PE example allocates "a partial page (4
+elements)" to PE 3 — which matters to the timed simulator because a
+partially filled page may have to be fetched more than once (§8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PageTable"]
+
+
+@dataclass(frozen=True)
+class PageTable:
+    """Element↔page arithmetic for one linearised array."""
+
+    n_elements: int
+    page_size: int
+
+    def __post_init__(self) -> None:
+        if self.n_elements <= 0:
+            raise ValueError("array must have at least one element")
+        if self.page_size <= 0:
+            raise ValueError("page size must be positive")
+
+    @property
+    def n_pages(self) -> int:
+        return -(-self.n_elements // self.page_size)
+
+    @property
+    def last_page_elements(self) -> int:
+        """Number of elements in the final (possibly partial) page."""
+        rem = self.n_elements % self.page_size
+        return rem if rem else self.page_size
+
+    def page_of(self, flat: int) -> int:
+        if flat < 0 or flat >= self.n_elements:
+            raise IndexError(
+                f"element {flat} out of range [0, {self.n_elements})"
+            )
+        return flat // self.page_size
+
+    def pages_of(self, flats: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`page_of` (no bounds check on the hot path)."""
+        return np.asarray(flats, dtype=np.int64) // self.page_size
+
+    def offset_in_page(self, flat: int) -> int:
+        return flat % self.page_size
+
+    def page_range(self, page: int) -> tuple[int, int]:
+        """Half-open element range [start, stop) of one page."""
+        if page < 0 or page >= self.n_pages:
+            raise IndexError(f"page {page} out of range [0, {self.n_pages})")
+        start = page * self.page_size
+        return start, min(start + self.page_size, self.n_elements)
+
+    def elements_in_page(self, page: int) -> int:
+        start, stop = self.page_range(page)
+        return stop - start

@@ -1,0 +1,122 @@
+"""User-facing single-assignment arrays.
+
+:class:`SingleAssignmentArray` wraps an I-structure bank in NumPy-style
+multi-dimensional indexing, enforcing the paper's element-level
+single-assignment rule: "each element of an array may be assigned only
+once.  This allows a great deal more flexibility in the use of arrays"
+(§2).  It is the array type the example applications build against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .istructure import DoubleWriteError, IStructureMemory
+from .linearize import delinearize, linearize
+
+__all__ = ["SingleAssignmentArray", "UndefinedElementError"]
+
+
+class UndefinedElementError(RuntimeError):
+    """A read touched an element no producer has written yet."""
+
+
+class SingleAssignmentArray:
+    """A write-once, multi-dimensional array of float64.
+
+    Reads of undefined elements raise :class:`UndefinedElementError`
+    immediately — sequential host code has no other producer to wait
+    for, so a blocking read would deadlock.  (The simulated machine in
+    :mod:`repro.machine` uses deferred reads instead.)
+    """
+
+    def __init__(self, shape: Sequence[int] | int, name: str = "") -> None:
+        if isinstance(shape, int):
+            shape = (shape,)
+        self.shape = tuple(int(d) for d in shape)
+        if not self.shape or any(d <= 0 for d in self.shape):
+            raise ValueError(f"bad shape {self.shape!r}")
+        self.name = name or "anonymous"
+        size = 1
+        for d in self.shape:
+            size *= d
+        self._bank = IStructureMemory(size, name=self.name)
+
+    # -- factory helpers -------------------------------------------------------
+    @classmethod
+    def from_values(
+        cls, values: np.ndarray, name: str = ""
+    ) -> "SingleAssignmentArray":
+        """A fully initialised (every element defined) array."""
+        values = np.asarray(values, dtype=np.float64)
+        arr = cls(values.shape, name=name)
+        arr._bank.initialize(values.ravel())
+        return arr
+
+    # -- indexing ----------------------------------------------------------------
+    def _flat(self, idx: "int | Sequence[int]") -> int:
+        if isinstance(idx, (int, np.integer)):
+            idx = (int(idx),)
+        return linearize(tuple(int(i) for i in idx), self.shape)
+
+    def __setitem__(self, idx: "int | Sequence[int]", value: float) -> None:
+        flat = self._flat(idx)
+        try:
+            self._bank.write(flat, float(value))
+        except DoubleWriteError:
+            raise DoubleWriteError(
+                f"single assignment violated: element "
+                f"{delinearize(flat, self.shape)} of {self.name!r} "
+                "was already written"
+            ) from None
+
+    def __getitem__(self, idx: "int | Sequence[int]") -> float:
+        flat = self._flat(idx)
+        value = self._bank.try_read(flat)
+        if value is None:
+            raise UndefinedElementError(
+                f"element {delinearize(flat, self.shape)} of {self.name!r} "
+                "is undefined"
+            )
+        return value
+
+    # -- bulk views --------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self._bank.n_cells
+
+    def is_defined(self, idx: "int | Sequence[int]") -> bool:
+        return self._bank.is_defined(self._flat(idx))
+
+    def defined_fraction(self) -> float:
+        return self._bank.defined_count() / self.size
+
+    def to_numpy(self, *, require_full: bool = True) -> np.ndarray:
+        """Materialise the contents as a plain ndarray.
+
+        With ``require_full`` (default) every element must be defined;
+        otherwise undefined elements read as NaN.
+        """
+        mask = self._bank.defined_mask()
+        values = self._bank.values()
+        if require_full and not mask.all():
+            missing = int((~mask).sum())
+            raise UndefinedElementError(
+                f"{missing} element(s) of {self.name!r} are undefined"
+            )
+        if not require_full:
+            values = values.copy()
+            values[~mask] = np.nan
+        return values.reshape(self.shape)
+
+    def reinitialize(self) -> None:
+        """Clear all definitions (models a granted §5 re-initialisation)."""
+        self._bank.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"SingleAssignmentArray({self.name!r}, shape={self.shape}, "
+            f"defined={self._bank.defined_count()}/{self.size})"
+        )

@@ -1,0 +1,37 @@
+"""Shared fixtures: small kernels and their traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import kernel_trace
+from repro.ir import ProgramBuilder
+
+
+@pytest.fixture
+def hydro_small():
+    """Hydro Fragment at n=200: (program, inputs)."""
+    from repro.kernels import get_kernel
+
+    return get_kernel("hydro_fragment").build(n=200)
+
+
+@pytest.fixture
+def hydro_trace(hydro_small):
+    program, inputs = hydro_small
+    return kernel_trace(program, inputs)
+
+
+@pytest.fixture
+def matched_program():
+    """A tiny matched-class program: X(k) = A(k) + B(k), k = 0..63."""
+    b = ProgramBuilder("matched_tiny")
+    X = b.output("X", (64,))
+    A = b.input("A", (64,))
+    B = b.input("B", (64,))
+    k = b.index("k")
+    with b.loop(k, 0, 63):
+        b.assign(X[k], A[k] + B[k])
+    rng = np.random.default_rng(7)
+    return b.build(), {"A": rng.random(64), "B": rng.random(64)}

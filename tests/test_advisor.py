@@ -1,0 +1,89 @@
+"""Partitioning advisor (§9: compiler-selectable scheme & page size)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import kernel_trace
+from repro.core import (
+    AccessClass,
+    BlockPartition,
+    ModuloPartition,
+    advise,
+    advise_trace,
+)
+from repro.kernels import get_kernel
+
+
+@pytest.fixture(scope="module")
+def hydro_advice():
+    program, inputs = get_kernel("hydro_fragment").build(n=1000)
+    return advise(program, inputs)
+
+
+class TestAdvise:
+    def test_grid_fully_evaluated(self, hydro_advice):
+        # 4 schemes x 4 page sizes by default.
+        assert len(hydro_advice.candidates) == 16
+
+    def test_best_minimises_objective(self, hydro_advice):
+        best = hydro_advice.best
+        assert all(best.objective <= c.objective for c in hydro_advice.candidates)
+
+    def test_class_is_attached(self, hydro_advice):
+        assert hydro_advice.access_class is AccessClass.SKEWED
+
+    def test_improvement_over_baseline_nonnegative(self, hydro_advice):
+        assert hydro_advice.improvement_over("modulo", 32) >= 0.0
+
+    def test_improvement_unknown_baseline(self, hydro_advice):
+        with pytest.raises(KeyError):
+            hydro_advice.improvement_over("modulo", 1024)
+
+    def test_table_marks_recommendation(self, hydro_advice):
+        text = hydro_advice.table()
+        assert "<== recommended" in text
+        assert "hydro_fragment" in text
+
+    def test_matched_kernel_any_scheme_is_zero_remote(self):
+        program, inputs = get_kernel("pic_1d_fragment").build(n=500)
+        advice = advise(program, inputs)
+        assert advice.best.remote_pct == 0.0
+
+    def test_custom_grid(self):
+        program, inputs = get_kernel("first_diff").build(n=300)
+        advice = advise(
+            program,
+            inputs,
+            page_sizes=(32,),
+            schemes=(ModuloPartition(), BlockPartition()),
+        )
+        assert len(advice.candidates) == 2
+        assert advice.page_size == 32
+
+
+class TestAdviseTrace:
+    def test_block_wins_for_skewed_no_cache(self):
+        """§9's own observation: the division scheme beats modulo for
+        certain loops — neighbour pages share owners, so the skew-11
+        boundary reads become local."""
+        program, inputs = get_kernel("hydro_fragment").build(n=1000)
+        trace = kernel_trace(program, inputs)
+        advice = advise_trace(
+            "hydro_fragment",
+            trace,
+            AccessClass.SKEWED,
+            cache_elems=0,
+            page_sizes=(32,),
+            schemes=(ModuloPartition(), BlockPartition()),
+        )
+        assert advice.scheme.name == "block"
+
+    def test_n_pes_respected(self):
+        program, inputs = get_kernel("first_diff").build(n=300)
+        trace = kernel_trace(program, inputs)
+        advice = advise_trace(
+            "first_diff", trace, AccessClass.SKEWED, n_pes=4,
+            page_sizes=(32,),
+        )
+        assert advice.candidates  # ran without error at 4 PEs

@@ -1,0 +1,61 @@
+"""Public API surface: exports, docstrings, version."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.ir",
+    "repro.memory",
+    "repro.core",
+    "repro.cache",
+    "repro.machine",
+    "repro.hostproto",
+    "repro.kernels",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_public_classes_documented(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        obj = getattr(module, symbol)
+        if isinstance(obj, type):
+            assert obj.__doc__, f"{name}.{symbol} lacks a docstring"
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_quickstart_names():
+    # The names used in the README quickstart must exist at top level.
+    for symbol in (
+        "MachineConfig",
+        "simulate",
+        "simulate_program",
+        "classify",
+        "run_program",
+        "ProgramBuilder",
+        "SingleAssignmentArray",
+    ):
+        assert hasattr(repro, symbol)
+
+
+def test_no_accidental_numpy_export():
+    assert "np" not in repro.__all__
+    assert "numpy" not in repro.__all__

@@ -1,0 +1,153 @@
+"""ProgramBuilder DSL and loop/program structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import ArrayDecl, Loop, ProgramBuilder, Var
+from repro.ir.loops import Program
+
+
+def tiny_program(n=10):
+    b = ProgramBuilder("tiny")
+    X = b.output("X", (n,))
+    Y = b.input("Y", (n,))
+    k = b.index("k")
+    with b.loop(k, 0, n - 1):
+        b.assign(X[k], Y[k] * 2)
+    return b.build()
+
+
+class TestArrayDecl:
+    def test_size(self):
+        assert ArrayDecl("A", (3, 4)).size == 12
+
+    def test_bad_role(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("A", (3,), "scratch")
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("A", (0,))
+        with pytest.raises(ValueError):
+            ArrayDecl("A", ())
+
+
+class TestBuilder:
+    def test_duplicate_array_rejected(self):
+        b = ProgramBuilder("p")
+        b.input("A", (4,))
+        with pytest.raises(ValueError, match="declared twice"):
+            b.output("A", (4,))
+
+    def test_scalar_array_name_clash(self):
+        b = ProgramBuilder("p")
+        b.input("A", (4,))
+        with pytest.raises(ValueError):
+            b.scalar(A=1.0)
+        b.scalar(Q=1.0)
+        with pytest.raises(ValueError):
+            b.input("Q", (4,))
+
+    def test_scalar_returns_single_var(self):
+        b = ProgramBuilder("p")
+        q = b.scalar(Q=0.5)
+        assert isinstance(q, Var) and q.name == "Q"
+
+    def test_scalar_returns_tuple_in_order(self):
+        b = ProgramBuilder("p")
+        q, r = b.scalar(Q=0.5, R=1.5)
+        assert (q.name, r.name) == ("Q", "R")
+
+    def test_subscript_rank_checked(self):
+        b = ProgramBuilder("p")
+        A = b.input("A", (4, 4))
+        with pytest.raises(IndexError, match="rank"):
+            A[Var("i")]
+
+    def test_undeclared_array_in_statement_rejected_at_build(self):
+        from repro.ir import Ref
+
+        b = ProgramBuilder("p")
+        X = b.output("X", (4,))
+        k = b.index("k")
+        with b.loop(k, 0, 3):
+            b.assign(X[k], Ref("GHOST", [k]))
+        with pytest.raises(KeyError, match="GHOST"):
+            b.build()
+
+    def test_statement_ids_are_stable_and_sequential(self):
+        prog = tiny_program()
+        ids = [s.stmt_id for s in prog.statements()]
+        assert ids == list(range(len(ids)))
+
+    def test_outputs_recorded(self):
+        prog = tiny_program()
+        assert prog.outputs == ("X",)
+
+    def test_nested_loops(self):
+        b = ProgramBuilder("nest")
+        X = b.output("X", (4, 4))
+        i, j = b.index("i"), b.index("j")
+        with b.loop(i, 0, 3):
+            with b.loop(j, 0, 3):
+                b.assign(X[i, j], 1.0)
+        prog = b.build()
+        loops = list(prog.loops())
+        assert [lp.var for lp in loops] == ["i", "j"]
+        assert prog.loop_var_names() == {"i", "j"}
+
+
+class TestLoop:
+    def test_inclusive_bounds(self):
+        loop = Loop("k", 2, 5)
+        assert list(loop.iter_values({})) == [2, 3, 4, 5]
+
+    def test_step_two(self):
+        loop = Loop("k", 2, 8, step=2)
+        assert list(loop.iter_values({})) == [2, 4, 6, 8]
+
+    def test_negative_step(self):
+        loop = Loop("k", 5, 1, step=-2)
+        assert list(loop.iter_values({})) == [5, 3, 1]
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ValueError):
+            Loop("k", 0, 1, step=0)
+
+    def test_empty_range(self):
+        loop = Loop("k", 5, 2)
+        assert list(loop.iter_values({})) == []
+
+    def test_bounds_reference_outer_vars(self):
+        loop = Loop("k", 1, Var("i") - 1)
+        assert list(loop.iter_values({"i": 4})) == [1, 2, 3]
+
+    def test_bound_reading_array_rejected(self):
+        from repro.ir import Ref
+
+        loop = Loop("k", 0, Ref("N", [0]))
+        with pytest.raises(ValueError, match="bounds must be scalar"):
+            loop.bounds({})
+
+
+class TestProgram:
+    def test_arrays_read_written(self):
+        prog = tiny_program()
+        assert prog.arrays_written() == {"X"}
+        assert prog.arrays_read() == {"Y"}
+
+    def test_total_elements(self):
+        prog = tiny_program(10)
+        assert prog.total_elements() == 20
+
+    def test_repr_mentions_name(self):
+        assert "tiny" in repr(tiny_program())
+
+    def test_unbalanced_loop_context_detected(self):
+        b = ProgramBuilder("p")
+        X = b.output("X", (4,))
+        cm = b.loop(b.index("k"), 0, 3)
+        cm.__enter__()
+        with pytest.raises(RuntimeError, match="unbalanced"):
+            b.build()

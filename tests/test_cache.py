@@ -1,0 +1,200 @@
+"""Page caches: policy behaviour, capacity, statistics (§4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import (
+    DirectMappedCache,
+    FIFOCache,
+    LRUCache,
+    RandomCache,
+    make_cache,
+    POLICIES,
+)
+
+ALL_POLICIES = sorted(POLICIES)
+
+
+class TestFactory:
+    def test_make_cache(self):
+        for policy in ALL_POLICIES:
+            cache = make_cache(policy, 4)
+            assert cache.policy == policy
+            assert cache.capacity_pages == 4
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError, match="unknown cache policy"):
+            make_cache("plru", 4)
+
+    def test_negative_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_miss_then_hit(self, policy):
+        cache = make_cache(policy, 4)
+        assert not cache.access((0, 1))  # cold miss
+        assert cache.access((0, 1))      # now resident
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_zero_capacity_never_hits(self, policy):
+        cache = make_cache(policy, 0)
+        for _ in range(3):
+            assert not cache.access((0, 1))
+        assert len(cache) == 0
+        assert not cache.contains((0, 1))
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_capacity_never_exceeded(self, policy):
+        cache = make_cache(policy, 3)
+        for page in range(10):
+            cache.access((0, page))
+            assert len(cache) <= 3
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_stats_accumulate(self, policy):
+        cache = make_cache(policy, 2)
+        cache.access((0, 0))
+        cache.access((0, 0))
+        cache.access((0, 1))
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.accesses == 3
+        assert 0 < cache.stats.hit_rate < 1
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_clear(self, policy):
+        cache = make_cache(policy, 2)
+        cache.access((0, 0))
+        cache.clear()
+        assert len(cache) == 0
+        assert not cache.contains((0, 0))
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_invalidate(self, policy):
+        cache = make_cache(policy, 4)
+        cache.access((0, 0))
+        assert cache.invalidate((0, 0))
+        assert not cache.contains((0, 0))
+        assert not cache.invalidate((0, 0))  # already gone
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_distinct_arrays_distinct_keys(self, policy):
+        cache = make_cache(policy, 4)
+        cache.access((0, 5))
+        assert not cache.access((1, 5))  # same page number, other array
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        cache = LRUCache(2)
+        cache.access((0, 0))
+        cache.access((0, 1))
+        cache.access((0, 0))  # refresh page 0
+        cache.access((0, 2))  # evicts page 1
+        assert cache.contains((0, 0))
+        assert not cache.contains((0, 1))
+
+    def test_eviction_count(self):
+        cache = LRUCache(1)
+        cache.access((0, 0))
+        cache.access((0, 1))
+        assert cache.stats.evictions == 1
+
+
+class TestFIFO:
+    def test_hits_do_not_refresh(self):
+        cache = FIFOCache(2)
+        cache.access((0, 0))
+        cache.access((0, 1))
+        cache.access((0, 0))  # hit, but insertion order unchanged
+        cache.access((0, 2))  # evicts page 0 (oldest insertion)
+        assert not cache.contains((0, 0))
+        assert cache.contains((0, 1))
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        def run():
+            cache = RandomCache(2, seed=42)
+            outcomes = []
+            for page in [0, 1, 2, 0, 1, 2, 0]:
+                outcomes.append(cache.access((0, page)))
+            return outcomes
+
+        assert run() == run()
+
+    def test_invalidate_keeps_slots_consistent(self):
+        cache = RandomCache(3)
+        for page in range(3):
+            cache.access((0, page))
+        cache.invalidate((0, 1))
+        assert len(cache) == 2
+        assert cache.contains((0, 0)) and cache.contains((0, 2))
+
+
+class TestDirectMapped:
+    def test_conflict_eviction(self):
+        cache = DirectMappedCache(4)
+        cache.access((0, 0))
+        cache.access((0, 4))  # same slot (page % 4)
+        assert not cache.contains((0, 0))
+        assert cache.contains((0, 4))
+
+    def test_non_conflicting_coexist(self):
+        cache = DirectMappedCache(4)
+        cache.access((0, 0))
+        cache.access((0, 1))
+        assert cache.contains((0, 0)) and cache.contains((0, 1))
+
+
+class LRUModel:
+    """Reference model: Python list, most recent last."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.items = []
+
+    def access(self, key):
+        if key in self.items:
+            self.items.remove(key)
+            self.items.append(key)
+            return True
+        if self.capacity:
+            if len(self.items) >= self.capacity:
+                self.items.pop(0)
+            self.items.append(key)
+        return False
+
+
+@settings(max_examples=60)
+@given(
+    capacity=st.integers(1, 6),
+    keys=st.lists(st.tuples(st.integers(0, 2), st.integers(0, 9)), max_size=80),
+)
+def test_lru_matches_reference_model(capacity, keys):
+    cache = LRUCache(capacity)
+    model = LRUModel(capacity)
+    for key in keys:
+        assert cache.access(key) == model.access(key)
+        assert sorted(cache.resident_keys()) == sorted(model.items)
+
+
+@settings(max_examples=40)
+@given(
+    capacity=st.integers(0, 6),
+    keys=st.lists(st.tuples(st.integers(0, 2), st.integers(0, 9)), max_size=60),
+    policy=st.sampled_from(ALL_POLICIES),
+)
+def test_contains_consistent_with_access(capacity, keys, policy):
+    """After any access sequence: contains(k) iff a re-access would hit."""
+    cache = make_cache(policy, capacity)
+    for key in keys:
+        cache.access(key)
+    for key in set(keys):
+        resident = cache.contains(key)
+        assert resident == (key in cache.resident_keys())

@@ -1,0 +1,118 @@
+"""Access-distribution classifier: static structure and dynamic arbiter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AccessClass, classify
+from repro.core.classify import classify_dynamic, classify_static
+from repro.bench import kernel_trace
+from repro.ir import ProgramBuilder
+from repro.kernels import get_kernel
+
+
+class TestStatic:
+    def test_matched(self, matched_program):
+        program, _ = matched_program
+        evidence = classify_static(program)
+        assert evidence.hint is AccessClass.MATCHED
+        assert all(p.kind is AccessClass.MATCHED for p in evidence.patterns)
+
+    def test_skew_value_extracted(self):
+        program, _ = get_kernel("hydro_fragment").build(n=100)
+        evidence = classify_static(program)
+        skews = sorted(
+            p.skew for p in evidence.patterns if p.kind is AccessClass.SKEWED
+        )
+        # ZX is 11 elements longer than X, so k+10/k+11 are skews 10, 11.
+        assert skews == [10, 11]
+        assert evidence.hint is AccessClass.SKEWED
+
+    def test_velocity_mismatch_is_cyclic(self):
+        program, _ = get_kernel("iccg").build(n=64)
+        evidence = classify_static(program)
+        assert evidence.hint is AccessClass.CYCLIC
+        cyclic = [p for p in evidence.patterns if p.kind is AccessClass.CYCLIC]
+        assert cyclic  # write stride 1/2 vs read stride 1
+
+    def test_multidim_constant_skew_is_cyclic(self):
+        program, _ = get_kernel("hydro_2d").build(n=20)
+        evidence = classify_static(program)
+        assert evidence.hint is AccessClass.CYCLIC
+
+    def test_indirect_is_random(self):
+        program, _ = get_kernel("pic_2d").build(n=50)
+        evidence = classify_static(program)
+        assert evidence.hint is AccessClass.RANDOM
+
+    def test_reductions_noted_not_classified(self):
+        program, _ = get_kernel("inner_product").build(n=50)
+        evidence = classify_static(program)
+        assert evidence.notes  # the reduction is recorded
+        assert evidence.hint is AccessClass.MATCHED  # nothing else to rank
+
+    def test_negative_direction_skew(self):
+        # X(k) = Y(101-k): linear parts differ in sign -> not a constant
+        # offset -> structurally cyclic (pages revisited in reverse).
+        b = ProgramBuilder("reverse")
+        n = 100
+        X = b.output("X", (n + 1,))
+        Y = b.input("Y", (n + 1,))
+        k = b.index("k")
+        with b.loop(k, 1, n):
+            b.assign(X[k], Y[101 - k])
+        evidence = classify_static(b.build())
+        assert evidence.hint is AccessClass.CYCLIC
+
+
+class TestDynamic:
+    def test_matched_detected(self, matched_program):
+        program, inputs = matched_program
+        trace = kernel_trace(program, inputs)
+        label, evidence = classify_dynamic(trace)
+        assert label is AccessClass.MATCHED
+        assert max(evidence.remote_pct_nocache) == 0.0
+
+    def test_evidence_table_renders(self, matched_program):
+        program, inputs = matched_program
+        _, evidence = classify_dynamic(kernel_trace(program, inputs))
+        text = evidence.table()
+        assert "PEs" in text and "remote%" in text
+
+    def test_skewed_detected(self):
+        program, inputs = get_kernel("hydro_fragment").build(n=500)
+        label, _ = classify_dynamic(
+            kernel_trace(program, inputs), static_hint=AccessClass.SKEWED
+        )
+        assert label is AccessClass.SKEWED
+
+    def test_random_detected(self):
+        program, inputs = get_kernel("linear_recurrence").build(n=128)
+        label, _ = classify_dynamic(
+            kernel_trace(program, inputs), static_hint=AccessClass.CYCLIC
+        )
+        assert label is AccessClass.RANDOM
+
+
+class TestAgainstPaper:
+    """The classifier must agree with every class label in §7.1."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [k.name for k in __import__("repro.kernels", fromlist=["paper_kernels"]).paper_kernels()],
+    )
+    def test_agrees_with_paper(self, name):
+        kernel = get_kernel(name)
+        program, inputs = kernel.build()
+        result = classify(program, inputs)
+        assert result.final == kernel.paper_class, (
+            f"{name}: classified {result.final}, paper says "
+            f"{kernel.paper_class}\n{result.dynamic.table()}"
+        )
+
+    def test_classification_str(self):
+        program, inputs = get_kernel("pic_1d_fragment").build(n=100)
+        result = classify(program, inputs)
+        assert "Matched" in str(result)
+        assert result.static.patterns[0].describe().endswith("matched")

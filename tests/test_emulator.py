@@ -1,0 +1,156 @@
+"""Value-level emulation: parallel execution equals sequential values.
+
+The central determinism claim of the paper — single assignment plus
+owner-computes needs no synchronisation primitives — is checked by
+running every kernel under a round-robin parallel schedule and
+comparing the produced values against the sequential interpreter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import ProgramBuilder, Ref, run_program
+from repro.kernels import get_kernel
+from repro.machine import DeadlockError, EmulatedMachine
+
+SIZES = {
+    "hydro_fragment": 150,
+    "iccg": 64,
+    "inner_product": 120,
+    "tri_diagonal": 150,
+    "linear_recurrence": 32,
+    "equation_of_state": 150,
+    "adi": 40,
+    "integrate_predictors": 150,
+    "diff_predictors": 60,
+    "first_sum": 150,
+    "first_diff": 150,
+    "pic_2d": 120,
+    "pic_1d_fragment": 150,
+    "pic_1d": 120,
+    "hydro_2d": 24,
+    "matmul": 8,
+    "planckian": 150,
+}
+
+
+@pytest.mark.parametrize("name", sorted(SIZES))
+def test_parallel_values_equal_sequential(name):
+    kernel = get_kernel(name)
+    n = SIZES[name]
+    program, inputs = kernel.build(n=n)
+    sequential = run_program(program, inputs)
+    machine = EmulatedMachine(program, inputs, n_pes=4, page_size=16)
+    parallel = machine.run()
+    for array in program.arrays:
+        mask = sequential.defined[array]
+        np.testing.assert_array_equal(
+            parallel.defined[array], mask,
+            err_msg=f"{name}: definedness of {array} differs",
+        )
+        np.testing.assert_allclose(
+            parallel.values[array][mask],
+            sequential.values[array][mask],
+            rtol=1e-12,
+            err_msg=f"{name}: values of {array} differ",
+        )
+
+
+@pytest.mark.parametrize("n_pes", [1, 2, 3, 7, 16])
+def test_pe_count_never_changes_values(n_pes):
+    program, inputs = get_kernel("tri_diagonal").build(n=100)
+    result = EmulatedMachine(
+        program, inputs, n_pes=n_pes, page_size=16
+    ).run()
+    reference = run_program(program, inputs)
+    mask = reference.defined["X"]
+    np.testing.assert_allclose(
+        result.values["X"][mask], reference.values["X"][mask]
+    )
+
+
+class TestScheduling:
+    def test_every_instance_executed_exactly_once(self):
+        program, inputs = get_kernel("hydro_fragment").build(n=100)
+        machine = EmulatedMachine(program, inputs, n_pes=4, page_size=16)
+        result = machine.run()
+        assert result.total_instances == len(machine.instances)
+
+    def test_work_spread_over_pes(self):
+        program, inputs = get_kernel("hydro_fragment").build(n=128)
+        result = EmulatedMachine(
+            program, inputs, n_pes=4, page_size=16
+        ).run()
+        assert (result.instances_per_pe > 0).all()
+
+    def test_recurrence_causes_blocked_retries(self):
+        """tri_diagonal's chain crosses PE boundaries: downstream PEs
+        must wait for upstream values (deferred reads in action)."""
+        program, inputs = get_kernel("tri_diagonal").build(n=200)
+        machine = EmulatedMachine(program, inputs, n_pes=4, page_size=16)
+        result = machine.run()
+        assert result.blocked_retries > 0
+
+    def test_matched_loop_never_blocks_or_goes_remote(self):
+        program, inputs = get_kernel("pic_1d_fragment").build(n=128)
+        result = EmulatedMachine(
+            program, inputs, n_pes=4, page_size=16
+        ).run()
+        assert result.blocked_retries == 0
+        assert result.remote_reads.sum() == 0
+
+    def test_skewed_loop_reads_remotely(self):
+        program, inputs = get_kernel("hydro_fragment").build(n=256)
+        result = EmulatedMachine(
+            program, inputs, n_pes=4, page_size=16
+        ).run()
+        assert result.remote_reads.sum() > 0
+
+    def test_deadlock_detected_for_backward_dependence(self):
+        """X(k) = X(k+1) + 1 with X(n) produced *last* is executable
+        sequentially in reverse only; the forward program order makes
+        every PE wait forever -> DeadlockError, not a hang."""
+        b = ProgramBuilder("backward")
+        X = b.inout("X", (8,))
+        k = b.index("k")
+        with b.loop(k, 0, 6):
+            b.assign(X[k], Ref("X", [k + 1]) + 1.0)
+        seeds = np.full(8, np.nan)
+        # no seed for X[7]: the chain can never start
+        program = b.build()
+        machine = EmulatedMachine(
+            program, {"X": seeds}, n_pes=2, page_size=4
+        )
+        with pytest.raises(DeadlockError):
+            machine.run()
+
+    def test_missing_input_rejected(self):
+        program, inputs = get_kernel("hydro_fragment").build(n=32)
+        inputs.pop("Y")
+        with pytest.raises(KeyError, match="missing initial data"):
+            EmulatedMachine(program, inputs, n_pes=2, page_size=16)
+
+
+class TestReductions:
+    def test_reduction_result_published_at_completion(self):
+        program, inputs = get_kernel("inner_product").build(n=64)
+        result = EmulatedMachine(
+            program, inputs, n_pes=4, page_size=16
+        ).run()
+        expected = float(
+            np.dot(inputs["Z"][1:65], inputs["X"][1:65])
+        )
+        assert result.values["QS"][0] == pytest.approx(expected)
+
+    def test_indirect_scatter_reduction(self):
+        program, inputs = get_kernel("pic_1d").build(n=100)
+        sequential = run_program(program, inputs)
+        result = EmulatedMachine(
+            program, inputs, n_pes=4, page_size=16
+        ).run()
+        mask = sequential.defined["RHO"]
+        np.testing.assert_allclose(
+            result.values["RHO"][mask], sequential.values["RHO"][mask]
+        )

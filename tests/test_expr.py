@@ -1,0 +1,177 @@
+"""Expression construction, evaluation, and affine analysis."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir import BinOp, Call, Const, EvalContext, Max, Min, Ref, Var, as_expr
+from repro.ir.expr import AffineForm
+
+
+def ctx(scalars=None, arrays=None):
+    arrays = arrays or {}
+
+    def read(name, idx):
+        return arrays[name][idx]
+
+    return EvalContext(dict(scalars or {}), read)
+
+
+class TestConstruction:
+    def test_operator_overloading_builds_binops(self):
+        e = Var("k") + 10
+        assert isinstance(e, BinOp)
+        assert e.op == "+"
+
+    def test_reverse_operators(self):
+        e = 10 - Var("k")
+        assert isinstance(e, BinOp)
+        assert isinstance(e.lhs, Const) and e.lhs.value == 10
+
+    def test_as_expr_passthrough(self):
+        v = Var("x")
+        assert as_expr(v) is v
+
+    def test_as_expr_coerces_numbers(self):
+        assert isinstance(as_expr(3), Const)
+        assert isinstance(as_expr(2.5), Const)
+
+    def test_as_expr_rejects_strings(self):
+        with pytest.raises(TypeError):
+            as_expr("k")
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("**", Const(1), Const(2))
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError):
+            Call("sinh", Const(1))
+
+    def test_ref_requires_subscripts(self):
+        with pytest.raises(ValueError):
+            Ref("A", [])
+
+
+class TestEvaluation:
+    def test_arithmetic(self):
+        e = (Var("k") + 3) * 2 - 1
+        assert e.evaluate(ctx({"k": 5})) == 15
+
+    def test_division(self):
+        assert (Var("a") / 4).evaluate(ctx({"a": 10})) == 2.5
+
+    def test_floor_div_and_mod(self):
+        assert (Var("a") // 4).evaluate(ctx({"a": 10})) == 2
+        assert (Var("a") % 4).evaluate(ctx({"a": 10})) == 2
+
+    def test_negation(self):
+        assert (-Var("k")).evaluate(ctx({"k": 3})) == -3
+
+    def test_unbound_variable_raises_name_error(self):
+        with pytest.raises(NameError, match="unbound"):
+            Var("missing").evaluate(ctx())
+
+    def test_call_sqrt(self):
+        assert Call("sqrt", Const(16)).evaluate(ctx()) == 4.0
+
+    def test_call_trunc_floor(self):
+        assert Call("trunc", Const(3.7)).evaluate(ctx()) == 3
+        assert Call("floor", Const(-1.2)).evaluate(ctx()) == -2
+
+    def test_min_max(self):
+        assert Min(Var("a"), 3).evaluate(ctx({"a": 5})) == 3
+        assert Max(Var("a"), 3).evaluate(ctx({"a": 5})) == 5
+
+    def test_ref_reads_through_context(self):
+        e = Ref("A", [Var("k") + 1])
+        assert e.evaluate(ctx({"k": 1}, {"A": {(2,): 42.0}})) == 42.0
+
+    def test_nested_indirect_ref(self):
+        e = Ref("A", [Ref("P", [Var("k")])])
+        arrays = {"P": {(0,): 3.0}, "A": {(3,): 9.0}}
+        assert e.evaluate(ctx({"k": 0}, arrays)) == 9.0
+
+
+class TestAffine:
+    def test_var_plus_const(self):
+        form = (Var("k") + 10).affine()
+        assert form.const == 10
+        assert form.coeff("k") == 1
+
+    def test_linear_combination(self):
+        form = (2 * Var("i") - 3 * Var("j") + 5).affine()
+        assert form.coeff("i") == 2
+        assert form.coeff("j") == -3
+        assert form.const == 5
+
+    def test_subtraction_cancels(self):
+        form = (Var("k") - Var("k")).affine()
+        assert form.is_constant and form.const == 0
+
+    def test_division_by_constant(self):
+        form = ((Var("k") - 2) / 2).affine()
+        assert form.coeff("k") == Fraction(1, 2)
+        assert form.const == -1
+
+    def test_product_of_vars_not_affine(self):
+        assert (Var("i") * Var("j")).affine() is None
+
+    def test_division_by_var_not_affine(self):
+        assert (Const(1) / Var("k")).affine() is None
+
+    def test_call_not_affine(self):
+        assert Call("sqrt", Var("k")).affine() is None
+
+    def test_ref_not_affine(self):
+        assert Ref("A", [Var("k")]).affine() is None
+
+    def test_mod_not_affine(self):
+        assert (Var("k") % 4).affine() is None
+
+    def test_sub_affine_of_indirect_ref_is_none(self):
+        ref = Ref("A", [Ref("P", [Var("k")])])
+        assert ref.sub_affine() is None
+        assert ref.is_indirect
+
+    def test_sub_affine_of_affine_ref(self):
+        ref = Ref("A", [Var("i") + 1, 2 * Var("j")])
+        forms = ref.sub_affine()
+        assert forms[0].const == 1
+        assert forms[1].coeff("j") == 2
+        assert not ref.is_indirect
+
+
+class TestAffineForm:
+    def test_scale_zero_clears(self):
+        form = AffineForm.variable("k").scale(Fraction(0))
+        assert form.is_constant and form.const == 0
+
+    def test_substitute(self):
+        form = AffineForm.variable("k").scale(Fraction(2))
+        sub = form.substitute({"k": AffineForm.constant(3)})
+        assert sub.is_constant and sub.const == 6
+
+    def test_substitute_keeps_unbound(self):
+        form = AffineForm.variable("k") + AffineForm.variable("j")
+        sub = form.substitute({"k": AffineForm.constant(1)})
+        assert sub.coeff("j") == 1 and sub.const == 1
+
+
+class TestTraversal:
+    def test_walk_counts_nodes(self):
+        e = Var("a") + Var("b") * 2
+        kinds = [type(n).__name__ for n in e.walk()]
+        assert kinds.count("Var") == 2
+        assert kinds.count("Const") == 1
+
+    def test_refs_finds_nested(self):
+        e = Ref("A", [Var("k")]) + Ref("B", [Ref("C", [Var("j")])])
+        names = sorted(r.array for r in e.refs())
+        assert names == ["A", "B", "C"]
+
+    def test_free_vars(self):
+        e = Ref("A", [Var("k")]) * Var("q") + 1
+        assert e.free_vars() == {"k", "q"}

@@ -1,0 +1,192 @@
+"""Figure regeneration: the paper's qualitative claims as assertions.
+
+These tests encode the *shape* requirements of Figures 1-5 — who wins,
+by roughly what factor, where the crossovers fall — at reduced problem
+sizes so the whole suite stays fast.  The benchmark harness regenerates
+the full-size figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    Sweep,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    kernel_trace,
+    render,
+)
+from repro.kernels import get_kernel
+
+PES = (1, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return figure1(n=1000, pes=PES)
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return figure2(n=512, pes=PES)
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return figure3(n=100, pes=(1, 4, 8, 16, 32, 64))
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return figure4(n=128, pes=PES)
+
+
+class TestFigure1:
+    """Skewed: flat ~20% no-cache (ps 32), ~1% with cache."""
+
+    def test_one_pe_is_all_local(self, fig1):
+        for series in fig1.series.values():
+            assert series[0] == 0.0
+
+    def test_nocache_plateau_near_paper_value(self, fig1):
+        plateau = fig1.series["No Cache, ps 32"][1:]
+        assert all(18.0 < v < 24.0 for v in plateau)
+
+    def test_cache_collapses_remote_reads(self, fig1):
+        cached = fig1.series["Cache, ps 32"][1:]
+        assert all(v < 1.5 for v in cached)
+
+    def test_larger_pages_halve_boundary_fraction(self, fig1):
+        ps32 = fig1.series["No Cache, ps 32"][-1]
+        ps64 = fig1.series["No Cache, ps 64"][-1]
+        assert ps64 == pytest.approx(ps32 / 2, rel=0.15)
+
+    def test_flat_in_pe_count(self, fig1):
+        plateau = fig1.series["No Cache, ps 32"][1:]
+        assert max(plateau) - min(plateau) < 1.0
+
+
+class TestFigure2:
+    """Cyclic (ICCG): no-cache very high; cache removes almost all."""
+
+    def test_nocache_mostly_remote(self, fig2):
+        assert fig2.series["No Cache, ps 32"][-1] > 60.0
+
+    def test_cache_below_ten_percent(self, fig2):
+        assert fig2.series["Cache, ps 32"][-1] < 10.0
+
+    def test_reduction_factor_large(self, fig2):
+        no_cache = fig2.series["No Cache, ps 32"][-1]
+        cache = fig2.series["Cache, ps 32"][-1]
+        assert no_cache / max(cache, 1e-9) > 10.0
+
+
+class TestFigure3:
+    """Cyclic+skewed: cache series decreases as PEs grow."""
+
+    def test_cached_series_decreases_with_pes(self, fig3):
+        series = fig3.series["Cache, ps 32"]
+        # Compare the 4-PE value to the 64-PE value.
+        assert series[-1] < 0.5 * series[1]
+
+    def test_nocache_flat_and_low(self, fig3):
+        plateau = fig3.series["No Cache, ps 32"][1:]
+        assert all(v < 12.0 for v in plateau)
+        assert max(plateau) - min(plateau) < 2.0
+
+    def test_cache_always_helps(self, fig3):
+        for pes_idx in range(1, len(fig3.x_values)):
+            assert (
+                fig3.series["Cache, ps 32"][pes_idx]
+                <= fig3.series["No Cache, ps 32"][pes_idx]
+            )
+
+
+class TestFigure4:
+    """Random: high remote ratio, cache nearly useless."""
+
+    def test_remote_stays_high(self, fig4):
+        assert fig4.series["Cache, ps 32"][-1] > 15.0
+
+    def test_cache_barely_helps(self, fig4):
+        cache = fig4.series["Cache, ps 32"][-1]
+        no_cache = fig4.series["No Cache, ps 32"][-1]
+        assert (no_cache - cache) / no_cache < 0.35
+
+
+class TestFigure5:
+    """Load balance: flat per-PE read counts at 64 PEs."""
+
+    @pytest.fixture(scope="class")
+    def fig5(self):
+        return figure5(n=510, n_pes=64, page_size=32)
+
+    def test_all_four_series_present(self, fig5):
+        assert set(fig5.series) == {
+            "Remote with Cache",
+            "Remote with No Cache",
+            "Local with Cache",
+            "Local with No Cache",
+        }
+
+    def test_local_reads_evenly_balanced(self, fig5):
+        lb = fig5.load_balance["Local with No Cache"]
+        assert lb.cv < 0.2
+
+    def test_remote_reads_comparably_balanced(self, fig5):
+        lb = fig5.load_balance["Remote with No Cache"]
+        assert lb.cv < 0.35
+
+    def test_every_pe_participates(self, fig5):
+        local = np.asarray(fig5.series["Local with No Cache"])
+        assert (local > 0).all()
+
+    def test_local_counts_unaffected_by_cache(self, fig5):
+        assert fig5.series["Local with Cache"] == fig5.series["Local with No Cache"]
+
+
+class TestRendering:
+    def test_render_contains_series_and_axis(self, fig1):
+        text = render(fig1)
+        assert "Figure 1" in text
+        assert "Cache, ps 32" in text
+        assert "Number of PEs" in text
+
+    def test_render_figure5_includes_balance_summary(self):
+        fig = figure5(n=60, n_pes=16)
+        text = render(fig)
+        assert "load balance summary" in text
+        assert "jain" in text
+
+
+class TestSweepMachinery:
+    def test_series_keys_cover_grid(self):
+        program, inputs = get_kernel("first_diff").build(n=200)
+        sweep = Sweep.run(
+            "first_diff",
+            kernel_trace(program, inputs),
+            pes=(1, 2),
+            page_sizes=(16, 32),
+            caches=(256, 0),
+        )
+        assert set(sweep.series()) == {
+            "Cache, ps 16",
+            "No Cache, ps 16",
+            "Cache, ps 32",
+            "No Cache, ps 32",
+        }
+        assert sweep.pe_axis() == [1, 2]
+
+    def test_lookup_missing_point(self):
+        program, inputs = get_kernel("first_diff").build(n=100)
+        sweep = Sweep.run(
+            "first_diff", kernel_trace(program, inputs), pes=(1,),
+            page_sizes=(32,), caches=(0,),
+        )
+        with pytest.raises(KeyError):
+            sweep.lookup(2, 32, 0)

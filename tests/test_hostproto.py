@@ -1,0 +1,122 @@
+"""Host-processor re-initialisation protocol (§5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hostproto import ArrayPhase, ProtocolError, ReinitCoordinator
+
+
+@pytest.fixture
+def coord():
+    return ReinitCoordinator(["A", "B", "C", "D", "E"], n_pes=4)
+
+
+class TestHostAssignment:
+    def test_round_robin(self, coord):
+        assert [coord.host_of(a) for a in "ABCDE"] == [0, 1, 2, 3, 0]
+
+    def test_load_balanced_within_one(self, coord):
+        load = coord.host_load()
+        assert max(load.values()) - min(load.values()) <= 1
+
+    def test_unknown_array(self, coord):
+        with pytest.raises(KeyError):
+            coord.host_of("Z")
+
+
+class TestHandshake:
+    def test_grant_requires_all_pes(self, coord):
+        for pe in range(3):
+            assert not coord.request_reinit("A", pe)
+            assert coord.phase("A") == ArrayPhase.COLLECTING
+        assert coord.request_reinit("A", 3)  # last request grants
+        assert coord.phase("A") == ArrayPhase.ACTIVE
+        assert coord.generation("A") == 1
+
+    def test_generation_increments_per_round(self, coord):
+        for _ in range(3):
+            for pe in range(4):
+                coord.request_reinit("B", pe)
+        assert coord.generation("B") == 3
+        assert coord.stats.rounds == 3
+
+    def test_double_request_rejected(self, coord):
+        coord.request_reinit("A", 0)
+        with pytest.raises(ProtocolError, match="twice"):
+            coord.request_reinit("A", 0)
+
+    def test_pe_bounds(self, coord):
+        with pytest.raises(IndexError):
+            coord.request_reinit("A", 4)
+
+    def test_independent_arrays(self, coord):
+        coord.request_reinit("A", 0)
+        assert coord.phase("B") == ArrayPhase.ACTIVE
+        assert coord.pending_requests("A") == 1
+        assert coord.pending_requests("B") == 0
+
+
+class TestWriteGuard:
+    def test_write_after_request_before_grant_rejected(self, coord):
+        coord.request_reinit("A", 0)
+        with pytest.raises(ProtocolError, match="out-of-date"):
+            coord.check_write_allowed("A", 0)
+
+    def test_other_pes_may_still_write_old_generation(self, coord):
+        coord.request_reinit("A", 0)
+        coord.check_write_allowed("A", 1)  # no exception
+
+    def test_write_allowed_after_grant(self, coord):
+        for pe in range(4):
+            coord.request_reinit("A", pe)
+        coord.check_write_allowed("A", 0)
+
+
+class TestMessageCounting:
+    def test_messages_per_round(self, coord):
+        for pe in range(4):
+            coord.request_reinit("A", pe)
+        # N requests + (N-1) grant messages.
+        assert coord.stats.requests == 4
+        assert coord.stats.broadcasts == 3
+        assert coord.stats.messages == 7
+
+
+class TestGrantHooks:
+    def test_hooks_fire_once_per_round(self, coord):
+        events = []
+        coord.on_grant(lambda array, gen: events.append((array, gen)))
+        for pe in range(4):
+            coord.request_reinit("C", pe)
+        assert events == [("C", 1)]
+
+    def test_hook_integration_with_memory_and_caches(self):
+        """Grant clears the array's bank and invalidates cached pages —
+        the full §5 reuse path."""
+        import numpy as np
+
+        from repro.cache import LRUCache
+        from repro.core import DataLayout
+        from repro.memory import DistributedHeap
+
+        layout = DataLayout({"A": (64,)}, page_size=16, n_pes=2)
+        heap = DistributedHeap(layout)
+        caches = [LRUCache(4) for _ in range(2)]
+        coord = ReinitCoordinator(["A"], n_pes=2)
+
+        def on_grant(array, gen):
+            heap.reinitialize(array)
+            n_pages = layout.tables[array].n_pages
+            for cache in caches:
+                for page in range(n_pages):
+                    cache.invalidate((0, page))
+
+        coord.on_grant(on_grant)
+        heap.write(0, "A", 0, 1.0)       # generation 0 value
+        caches[1].access((0, 0))         # PE 1 caches page 0 remotely
+        for pe in range(2):
+            coord.request_reinit("A", pe)
+        assert heap.try_read("A", 0) is None      # bank cleared
+        assert not caches[1].contains((0, 0))     # stale page dropped
+        heap.write(0, "A", 0, 2.0)                # generation 1 write OK

@@ -1,0 +1,188 @@
+"""Reference interpreter: values, traces, single-assignment enforcement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    ProgramBuilder,
+    Ref,
+    SingleAssignmentError,
+    UndefinedReadError,
+    run_program,
+)
+
+
+def build_simple(n=8):
+    b = ProgramBuilder("simple")
+    X = b.output("X", (n,))
+    Y = b.input("Y", (n,))
+    k = b.index("k")
+    with b.loop(k, 0, n - 1):
+        b.assign(X[k], Y[k] + 1)
+    return b.build()
+
+
+class TestValues:
+    def test_simple_map(self):
+        prog = build_simple()
+        y = np.arange(8, dtype=float)
+        res = run_program(prog, {"Y": y})
+        assert np.array_equal(res.values["X"], y + 1)
+        assert res.defined["X"].all()
+
+    def test_counts(self):
+        res = run_program(build_simple(), {"Y": np.zeros(8)})
+        assert res.writes == 8
+        assert res.reads == 8
+
+    def test_scalars_fold_in(self):
+        b = ProgramBuilder("scaled")
+        X = b.output("X", (4,))
+        Y = b.input("Y", (4,))
+        Q = b.scalar(Q=2.5)
+        k = b.index("k")
+        with b.loop(k, 0, 3):
+            b.assign(X[k], Q * Y[k])
+        res = run_program(b.build(), {"Y": np.ones(4)})
+        assert np.allclose(res.values["X"], 2.5)
+
+    def test_triangular_nest(self):
+        b = ProgramBuilder("tri")
+        X = b.output("X", (5, 5))
+        i, j = b.index("i"), b.index("j")
+        with b.loop(i, 0, 4):
+            with b.loop(j, 0, i):
+                b.assign(X[i, j], 1.0)
+        res = run_program(b.build(), {})
+        assert res.writes == 15  # 1+2+3+4+5
+        assert np.array_equal(res.defined["X"], np.tril(np.ones((5, 5))) > 0)
+
+
+class TestSingleAssignment:
+    def test_double_write_raises(self):
+        b = ProgramBuilder("dw")
+        X = b.output("X", (4,))
+        k = b.index("k")
+        with b.loop(k, 0, 3):
+            b.assign(X[0], k)  # same cell each iteration
+        with pytest.raises(SingleAssignmentError, match="second write"):
+            run_program(b.build(), {})
+
+    def test_double_write_allowed_when_unchecked(self):
+        b = ProgramBuilder("dw")
+        X = b.output("X", (4,))
+        k = b.index("k")
+        with b.loop(k, 0, 3):
+            b.assign(X[0], k)
+        res = run_program(b.build(), {}, check_sa=False)
+        assert res.values["X"][0] == 3  # last write wins
+
+    def test_undefined_read_raises(self):
+        b = ProgramBuilder("ur")
+        X = b.output("X", (4,))
+        b.assign(X[0], Ref("X", [1]))  # X[1] never written
+        with pytest.raises(UndefinedReadError, match="undefined cell"):
+            run_program(b.build(), {})
+
+    def test_reduction_exempt_from_write_once(self):
+        b = ProgramBuilder("red")
+        S = b.output("S", (1,))
+        Y = b.input("Y", (5,))
+        k = b.index("k")
+        with b.loop(k, 0, 4):
+            b.reduce(S[0], Ref("Y", [k]))
+        res = run_program(b.build(), {"Y": np.arange(5.0)})
+        assert res.values["S"][0] == 10.0
+
+    def test_reduction_ops(self):
+        for op, expected in (("+", 10.0), ("*", 0.0), ("max", 4.0), ("min", 0.0)):
+            b = ProgramBuilder("red")
+            S = b.output("S", (1,))
+            Y = b.input("Y", (5,))
+            k = b.index("k")
+            with b.loop(k, 0, 4):
+                b.reduce(S[0], Ref("Y", [k]), op=op)
+            res = run_program(b.build(), {"Y": np.arange(5.0)})
+            assert res.values["S"][0] == expected
+
+    def test_seed_hazard_detection(self):
+        # Read a seeded cell, then overwrite it: destructive update.
+        b = ProgramBuilder("hazard")
+        X = b.inout("X", (4,))
+        b.assign(X[1], Ref("X", [0]) + 1)
+        b.assign(X[0], 5.0)  # overwrites the seed that X[1] consumed
+        seeds = np.array([1.0, np.nan, np.nan, np.nan])
+        res = run_program(b.build(), {"X": seeds}, check_sa=False)
+        assert ("X", 0) in res.seed_hazards
+
+    def test_recurrence_has_no_seed_hazard(self):
+        from repro.kernels import get_kernel
+
+        program, inputs = get_kernel("first_sum").build(n=50)
+        res = run_program(program, inputs)
+        assert res.seed_hazards == []
+
+
+class TestInputs:
+    def test_missing_input_rejected(self):
+        with pytest.raises(KeyError, match="missing initial data"):
+            run_program(build_simple(), {})
+
+    def test_output_initialisation_rejected(self):
+        with pytest.raises(ValueError, match="not allowed"):
+            run_program(
+                build_simple(), {"Y": np.zeros(8), "X": np.zeros(8)}
+            )
+
+    def test_nan_marks_undefined_in_inout(self):
+        b = ProgramBuilder("seeded")
+        X = b.inout("X", (3,))
+        b.assign(X[1], Ref("X", [0]) * 2)
+        seeds = np.array([21.0, np.nan, np.nan])
+        res = run_program(b.build(), {"X": seeds})
+        assert res.values["X"][1] == 42.0
+        assert not res.defined["X"][2]
+
+    def test_out_of_bounds_subscript_raises(self):
+        b = ProgramBuilder("oob")
+        X = b.output("X", (4,))
+        Y = b.input("Y", (4,))
+        k = b.index("k")
+        with b.loop(k, 0, 3):
+            b.assign(X[k], Ref("Y", [k + 1]))  # k=3 -> Y[4] out of range
+        with pytest.raises(IndexError):
+            run_program(b.build(), {"Y": np.zeros(4)})
+
+
+class TestTraceCollection:
+    def test_trace_matches_execution(self):
+        prog = build_simple()
+        res = run_program(prog, {"Y": np.zeros(8)})
+        trace = res.trace
+        assert trace.n_instances == 8
+        assert trace.n_reads == 8
+        x_id = trace.array_id("X")
+        assert np.array_equal(
+            trace.w_flat[trace.w_arr == x_id], np.arange(8)
+        )
+
+    def test_trace_disabled(self):
+        res = run_program(build_simple(), {"Y": np.zeros(8)}, collect_trace=False)
+        assert res.trace.n_instances == 0
+        assert res.writes == 8  # counters still accumulate
+
+    def test_reduction_mask(self):
+        b = ProgramBuilder("mix")
+        S = b.output("S", (1,))
+        X = b.output("X", (3,))
+        Y = b.input("Y", (3,))
+        k = b.index("k")
+        with b.loop(k, 0, 2):
+            b.assign(X[k], Ref("Y", [k]))
+            b.reduce(S[0], Ref("Y", [k]))
+        res = run_program(b.build(), {"Y": np.zeros(3)})
+        mask = res.trace.reduction_mask
+        assert mask.sum() == 3
+        assert not mask[0] and mask[1]

@@ -1,0 +1,140 @@
+"""I-structure memory semantics (§3): write-once, deferred reads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memory import CellState, DoubleWriteError, IStructureMemory
+
+
+class TestWriteOnce:
+    def test_write_then_read(self):
+        bank = IStructureMemory(4)
+        bank.write(0, 1.5)
+        seen = []
+        assert bank.read(0, seen.append)
+        assert seen == [1.5]
+
+    def test_double_write_raises(self):
+        bank = IStructureMemory(4, name="A")
+        bank.write(1, 1.0)
+        with pytest.raises(DoubleWriteError, match="written twice"):
+            bank.write(1, 2.0)
+
+    def test_states(self):
+        bank = IStructureMemory(2)
+        assert bank.state(0) == CellState.UNDEFINED
+        bank.write(0, 0.0)
+        assert bank.state(0) == CellState.DEFINED
+        assert bank.is_defined(0) and not bank.is_defined(1)
+
+    def test_bounds(self):
+        bank = IStructureMemory(2)
+        with pytest.raises(IndexError):
+            bank.write(2, 0.0)
+        with pytest.raises(IndexError):
+            bank.read(-1, lambda v: None)
+
+    def test_needs_cells(self):
+        with pytest.raises(ValueError):
+            IStructureMemory(0)
+
+
+class TestDeferredReads:
+    def test_read_before_write_defers(self):
+        bank = IStructureMemory(4)
+        seen = []
+        assert not bank.read(2, seen.append)
+        assert seen == []
+        assert bank.pending_reads(2) == 1
+        released = bank.write(2, 7.0)
+        assert released == 1
+        assert seen == [7.0]
+        assert bank.pending_reads(2) == 0
+
+    def test_multiple_waiters_released_in_order(self):
+        bank = IStructureMemory(4)
+        seen = []
+        bank.read(0, lambda v: seen.append(("a", v)))
+        bank.read(0, lambda v: seen.append(("b", v)))
+        bank.write(0, 3.0)
+        assert seen == [("a", 3.0), ("b", 3.0)]
+
+    def test_waiters_fire_exactly_once(self):
+        bank = IStructureMemory(4)
+        count = [0]
+        bank.read(0, lambda v: count.__setitem__(0, count[0] + 1))
+        bank.write(0, 1.0)
+        assert count[0] == 1
+        # A later read is immediate, not a replay of the waiter.
+        bank.read(0, lambda v: None)
+        assert count[0] == 1
+
+    def test_try_read(self):
+        bank = IStructureMemory(4)
+        assert bank.try_read(0) is None
+        bank.write(0, 2.0)
+        assert bank.try_read(0) == 2.0
+
+    def test_stats(self):
+        bank = IStructureMemory(4)
+        bank.read(0, lambda v: None)   # deferred
+        bank.write(0, 1.0)
+        bank.read(0, lambda v: None)   # immediate
+        assert bank.stats.deferred_reads == 1
+        assert bank.stats.resumed_reads == 1
+        assert bank.stats.immediate_reads == 1
+        assert bank.stats.total_reads == 2
+
+
+class TestInitialisation:
+    def test_bulk_initialize(self):
+        bank = IStructureMemory(4)
+        bank.initialize(np.arange(4.0))
+        assert bank.defined_count() == 4
+        assert bank.try_read(3) == 3.0
+
+    def test_masked_initialize(self):
+        bank = IStructureMemory(4)
+        mask = np.array([True, False, True, False])
+        bank.initialize(np.arange(4.0), mask)
+        assert bank.defined_count() == 2
+        assert bank.try_read(1) is None
+
+    def test_initialize_overlap_rejected(self):
+        bank = IStructureMemory(4)
+        bank.write(0, 1.0)
+        with pytest.raises(DoubleWriteError, match="overlaps"):
+            bank.initialize(np.zeros(4))
+
+    def test_initialize_length_checked(self):
+        bank = IStructureMemory(4)
+        with pytest.raises(ValueError):
+            bank.initialize(np.zeros(3))
+
+    def test_initialize_with_pending_reads_rejected(self):
+        bank = IStructureMemory(4)
+        bank.read(0, lambda v: None)
+        with pytest.raises(RuntimeError, match="pending"):
+            bank.initialize(np.zeros(4))
+
+    def test_reset_clears_everything(self):
+        bank = IStructureMemory(4)
+        bank.initialize(np.ones(4))
+        bank.reset()
+        assert bank.defined_count() == 0
+        bank.write(0, 2.0)  # write-once applies to the new generation
+
+    def test_reset_with_pending_reads_rejected(self):
+        bank = IStructureMemory(4)
+        bank.read(0, lambda v: None)
+        with pytest.raises(RuntimeError, match="pending"):
+            bank.reset()
+
+    def test_values_and_mask_views_are_copies(self):
+        bank = IStructureMemory(4)
+        bank.write(0, 5.0)
+        values = bank.values()
+        values[0] = -1
+        assert bank.try_read(0) == 5.0

@@ -1,0 +1,102 @@
+"""Structural properties of the kernel builders themselves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import all_kernels, get_kernel
+from repro.kernels.cyclic import KDIM, iccg_stages
+
+
+class TestIccgStaging:
+    def test_power_of_two_required(self):
+        for bad in (3, 6, 100, 0):
+            with pytest.raises(ValueError):
+                iccg_stages(bad)
+
+    def test_stage_regions_are_adjacent(self):
+        stages = iccg_stages(256)
+        for (_, prev_end), (start, _) in zip(stages, stages[1:]):
+            assert start == prev_end
+
+    def test_stage_sizes_halve(self):
+        stages = iccg_stages(256)
+        sizes = [end - start for start, end in stages]
+        assert sizes[0] == 256
+        for a, b in zip(sizes, sizes[1:]):
+            assert b == a // 2
+
+    def test_final_stage_has_more_than_one_iteration(self):
+        """The degenerate i == k+1 stage is excluded (see module doc)."""
+        stages = iccg_stages(64)
+        ipnt, ipntp = stages[-1]
+        iterations = len(range(ipnt + 2, ipntp + 1, 2))
+        assert iterations >= 2
+
+    def test_writes_disjoint_from_seeds(self):
+        """Stage writes land strictly above the seeded prefix."""
+        n = 64
+        program, inputs = get_kernel("iccg").build(n=n)
+        seeded = ~np.isnan(inputs["X"])
+        from repro.ir import run_program
+
+        result = run_program(program, inputs)
+        written = result.defined["X"] & ~seeded
+        assert written.any()
+        assert not (written & seeded).any()
+
+
+class TestHydro2D:
+    def test_kdim_covers_subscripts(self):
+        # k runs 2..6, subscripts reach k+1 = 7 -> KDIM must be >= 8.
+        assert KDIM >= 8
+
+    def test_boundary_cells_seeded(self):
+        program, inputs = get_kernel("hydro_2d").build(n=20)
+        za = inputs["ZA"]
+        assert not np.isnan(za[1, :]).any()     # row 1 seeded
+        assert not np.isnan(za[:, 7]).any()     # column 7 seeded
+        assert np.isnan(za[2:21, 2:7]).all()    # produced region
+
+
+class TestBuilders:
+    @pytest.mark.parametrize(
+        "name", [k.name for k in all_kernels()]
+    )
+    def test_seed_changes_inputs(self, name):
+        kernel = get_kernel(name)
+        n = 64 if name == "iccg" else 50
+        _, a = kernel.build(n=n, seed=1)
+        _, b = kernel.build(n=n, seed=2)
+        changed = any(
+            not np.array_equal(
+                np.nan_to_num(a[key]), np.nan_to_num(b[key])
+            )
+            for key in a
+        )
+        assert changed, f"{name}: seed had no effect on inputs"
+
+    @pytest.mark.parametrize(
+        "name", [k.name for k in all_kernels()]
+    )
+    def test_inputs_cover_declared_arrays(self, name):
+        kernel = get_kernel(name)
+        n = 64 if name == "iccg" else 50
+        program, inputs = kernel.build(n=n)
+        for decl in program.arrays.values():
+            if decl.role in ("input", "inout"):
+                assert decl.name in inputs
+                assert inputs[decl.name].shape == decl.shape or (
+                    inputs[decl.name].size == decl.size
+                )
+            else:
+                assert decl.name not in inputs
+
+    def test_pic_grid_defaults_to_particle_count(self):
+        program, _ = get_kernel("pic_1d").build(n=300)
+        assert program.arrays["EX"].shape == (302,)
+
+    def test_matmul_uses_m_parameter(self):
+        program, _ = get_kernel("matmul").build(n=8)
+        assert program.arrays["PX"].shape == (9, 9)

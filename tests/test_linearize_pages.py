@@ -1,0 +1,132 @@
+"""Row-major linearisation and page arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory import (
+    PageTable,
+    delinearize,
+    linearize,
+    linearize_many,
+    row_major_strides,
+)
+
+shapes = st.lists(st.integers(1, 9), min_size=1, max_size=4).map(tuple)
+
+
+class TestLinearize:
+    def test_1d_identity(self):
+        assert linearize((5,), (10,)) == 5
+
+    def test_row_major_order(self):
+        # Last index varies fastest.
+        assert linearize((0, 0), (3, 4)) == 0
+        assert linearize((0, 1), (3, 4)) == 1
+        assert linearize((1, 0), (3, 4)) == 4
+        assert linearize((2, 3), (3, 4)) == 11
+
+    def test_matches_numpy_ravel(self):
+        shape = (3, 5, 2)
+        arr = np.arange(np.prod(shape)).reshape(shape)
+        for idx in np.ndindex(shape):
+            assert linearize(idx, shape) == arr[idx]
+
+    def test_bounds_checked(self):
+        with pytest.raises(IndexError):
+            linearize((3,), (3,))
+        with pytest.raises(IndexError):
+            linearize((-1,), (3,))
+
+    def test_rank_checked(self):
+        with pytest.raises(IndexError):
+            linearize((1, 2), (6,))
+
+    def test_strides(self):
+        assert row_major_strides((3, 4, 5)) == (20, 5, 1)
+        assert row_major_strides((7,)) == (1,)
+
+    def test_strides_empty_shape_rejected(self):
+        with pytest.raises(ValueError):
+            row_major_strides(())
+
+    @given(shapes, st.data())
+    def test_roundtrip(self, shape, data):
+        size = int(np.prod(shape))
+        flat = data.draw(st.integers(0, size - 1))
+        assert linearize(delinearize(flat, shape), shape) == flat
+
+    def test_delinearize_bounds(self):
+        with pytest.raises(IndexError):
+            delinearize(12, (3, 4))
+
+    def test_vectorised_agrees_with_scalar(self):
+        shape = (4, 6)
+        ii, jj = np.meshgrid(np.arange(4), np.arange(6), indexing="ij")
+        flats = linearize_many([ii.ravel(), jj.ravel()], shape)
+        expected = [linearize((i, j), shape) for i, j in zip(ii.ravel(), jj.ravel())]
+        assert np.array_equal(flats, expected)
+
+    def test_vectorised_bounds_checked(self):
+        with pytest.raises(IndexError):
+            linearize_many([np.array([4])], (4,))
+
+
+class TestPageTable:
+    def test_exact_division(self):
+        table = PageTable(96, 32)
+        assert table.n_pages == 3
+        assert table.last_page_elements == 32
+
+    def test_partial_last_page_paper_example(self):
+        # The paper's example: arrays of 100 elements, page size 32 ->
+        # 4 pages, the last holding only 4 elements.
+        table = PageTable(100, 32)
+        assert table.n_pages == 4
+        assert table.last_page_elements == 4
+        assert table.page_range(3) == (96, 100)
+        assert table.elements_in_page(3) == 4
+
+    def test_page_of(self):
+        table = PageTable(100, 32)
+        assert table.page_of(0) == 0
+        assert table.page_of(31) == 0
+        assert table.page_of(32) == 1
+        assert table.page_of(99) == 3
+
+    def test_page_of_bounds(self):
+        table = PageTable(100, 32)
+        with pytest.raises(IndexError):
+            table.page_of(100)
+
+    def test_pages_of_vectorised(self):
+        table = PageTable(100, 32)
+        flats = np.array([0, 31, 32, 99])
+        assert np.array_equal(table.pages_of(flats), [0, 0, 1, 3])
+
+    def test_offset_in_page(self):
+        table = PageTable(100, 32)
+        assert table.offset_in_page(33) == 1
+
+    def test_page_range_bounds(self):
+        with pytest.raises(IndexError):
+            PageTable(100, 32).page_range(4)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PageTable(0, 32)
+        with pytest.raises(ValueError):
+            PageTable(10, 0)
+
+    @given(st.integers(1, 500), st.integers(1, 64))
+    def test_ranges_tile_array(self, n, ps):
+        """Page ranges partition [0, n) exactly."""
+        table = PageTable(n, ps)
+        covered = 0
+        for page in range(table.n_pages):
+            start, stop = table.page_range(page)
+            assert start == covered
+            covered = stop
+        assert covered == n

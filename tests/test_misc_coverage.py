@@ -1,0 +1,121 @@
+"""Remaining behaviours: convenience wrappers, summaries, interactions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MachineConfig, simulate_program
+from repro.bench import kernel_trace
+from repro.core import (
+    AccessClass,
+    BlockPartition,
+    advise,
+    simulate,
+)
+from repro.kernels import build_strided, get_kernel
+from repro.machine import EmulatedMachine
+
+
+class TestSimulateProgram:
+    def test_wrapper_matches_two_step_path(self, hydro_small):
+        program, inputs = hydro_small
+        cfg = MachineConfig(n_pes=8, page_size=32, cache_elems=256)
+        direct = simulate_program(program, inputs, cfg)
+        trace = kernel_trace(program, inputs)
+        staged = simulate(trace, cfg)
+        assert np.array_equal(direct.stats.counts, staged.stats.counts)
+
+
+class TestSimResultSummary:
+    def test_summary_fields(self, hydro_trace):
+        cfg = MachineConfig(n_pes=8, page_size=32, cache_elems=256)
+        summary = simulate(hydro_trace, cfg).summary()
+        assert summary["writes"] == hydro_trace.n_instances
+        assert summary["page_fetches"] >= 0
+        assert "remote_read_pct" in summary
+
+    def test_repr_mentions_config(self, hydro_trace):
+        cfg = MachineConfig(n_pes=8, page_size=32)
+        text = repr(simulate(hydro_trace, cfg))
+        assert "pes=8" in text and "ps=32" in text
+
+    def test_distinct_pages_bounded_by_fetches(self, hydro_trace):
+        cfg = MachineConfig(n_pes=8, page_size=32, cache_elems=256)
+        result = simulate(hydro_trace, cfg)
+        assert (result.distinct_pages_fetched <= result.page_fetches).all()
+
+    def test_distinct_pages_counted_without_cache(self, hydro_trace):
+        cfg = MachineConfig(n_pes=8, page_size=32, cache_elems=0)
+        result = simulate(hydro_trace, cfg)
+        assert (
+            result.distinct_pages_fetched.sum()
+            <= result.stats.remote_reads
+        )
+        assert result.distinct_pages_fetched.sum() > 0
+
+
+class TestEmulatorWithBlockPartition:
+    def test_values_scheme_independent(self):
+        program, inputs = get_kernel("first_sum").build(n=120)
+        modulo = EmulatedMachine(
+            program, inputs, n_pes=4, page_size=16
+        ).run()
+        block = EmulatedMachine(
+            program, inputs, n_pes=4, page_size=16, scheme=BlockPartition()
+        ).run()
+        mask = modulo.defined["X"]
+        np.testing.assert_array_equal(block.defined["X"], mask)
+        np.testing.assert_allclose(
+            block.values["X"][mask], modulo.values["X"][mask]
+        )
+
+    def test_block_partition_changes_communication_not_work(self):
+        program, inputs = get_kernel("hydro_fragment").build(n=256)
+        modulo = EmulatedMachine(
+            program, inputs, n_pes=4, page_size=16
+        ).run()
+        block = EmulatedMachine(
+            program, inputs, n_pes=4, page_size=16, scheme=BlockPartition()
+        ).run()
+        assert modulo.total_instances == block.total_instances
+        # The division scheme localises the skew traffic (§9).
+        assert block.remote_reads.sum() < modulo.remote_reads.sum()
+
+
+class TestAdvisorOnSynthetics:
+    def test_strided_loop_gets_nonmodulo_or_bigger_pages(self):
+        program, inputs = build_strided(n=256, stride=8)
+        advice = advise(program, inputs)
+        baseline = advice.improvement_over("modulo", 32)
+        assert baseline >= 0.0
+        assert advice.access_class is AccessClass.CYCLIC
+
+
+class TestConfigEdgeCases:
+    def test_more_pes_than_pages(self, hydro_trace):
+        # 1000 elements / ps 256 = 4 pages on 64 PEs: most PEs idle.
+        result = simulate(
+            hydro_trace, MachineConfig(n_pes=64, page_size=256, cache_elems=0)
+        )
+        busy = (result.stats.per_pe(1) + result.stats.counts[:, 0]) > 0
+        assert busy.sum() <= 8
+        assert result.stats.total_reads == hydro_trace.n_reads
+
+    def test_page_size_one(self, matched_program):
+        program, inputs = matched_program
+        result = simulate_program(
+            program, inputs, MachineConfig(n_pes=4, page_size=1, cache_elems=0)
+        )
+        # Pages coincide with elements; matched stays fully local.
+        assert result.stats.remote_reads == 0
+
+    def test_huge_cache_eliminates_repeat_fetches(self):
+        program, inputs = get_kernel("linear_recurrence").build(n=96)
+        trace = kernel_trace(program, inputs)
+        huge = simulate(
+            trace,
+            MachineConfig(n_pes=8, page_size=32, cache_elems=1 << 20),
+        )
+        # With an unbounded cache every remote read is a cold miss.
+        assert huge.stats.remote_reads == huge.distinct_pages_fetched.sum()

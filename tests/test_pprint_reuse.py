@@ -1,0 +1,125 @@
+"""Program pretty-printer and stack-distance reuse analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import kernel_trace
+from repro.core import MachineConfig, hit_rate_curve, simulate, stack_distances
+from repro.core.reuse import COLD
+from repro.ir import Call, Const, Ref, Var, format_expr, format_program
+from repro.kernels import build_skewed, get_kernel
+
+
+class TestFormatExpr:
+    def test_constants_and_vars(self):
+        assert format_expr(Const(3.0)) == "3"
+        assert format_expr(Const(2.5)) == "2.5"
+        assert format_expr(Var("k")) == "k"
+
+    def test_precedence_parens(self):
+        e = (Var("a") + Var("b")) * Var("c")
+        assert format_expr(e) == "(a + b) * c"
+        e2 = Var("a") + Var("b") * Var("c")
+        assert format_expr(e2) == "a + b * c"
+
+    def test_subtraction_right_assoc_parens(self):
+        e = Var("a") - (Var("b") - Var("c"))
+        assert format_expr(e) == "a - (b - c)"
+
+    def test_negation_compact(self):
+        assert format_expr(-Var("x")) == "-x"
+
+    def test_ref_and_call(self):
+        e = Call("sqrt", Ref("A", [Var("k") + 1]))
+        assert format_expr(e) == "SQRT(A(k + 1))"
+
+    def test_roundtrip_like_paper_listing(self):
+        program, _ = get_kernel("hydro_fragment").build(n=10)
+        text = format_program(program)
+        assert "DO k = 1, 10" in text
+        assert "X(k) = Q + Y(k) * (R * ZX(k + 10) + T * ZX(k + 11))" in text
+        assert "END DO" in text
+
+    def test_declarations_listed(self):
+        program, _ = get_kernel("hydro_fragment").build(n=10)
+        text = format_program(program)
+        assert "REAL X(11)  ! output" in text
+        assert "PARAMETER Q" in text
+
+    def test_reduction_renders_as_accumulation(self):
+        program, _ = get_kernel("inner_product").build(n=5)
+        text = format_program(program, declarations=False)
+        assert "QS(0) = QS(0) + Z(k) * X(k)" in text
+
+    def test_step_rendered(self):
+        program, _ = get_kernel("iccg").build(n=8)
+        text = format_program(program, declarations=False)
+        assert ", 2" in text  # the k loops step by 2
+
+
+class TestStackDistances:
+    def test_matched_loop_has_no_nonlocal_traffic(self, matched_program):
+        program, inputs = matched_program
+        trace = kernel_trace(program, inputs)
+        profile = stack_distances(
+            trace, MachineConfig(n_pes=4, page_size=8)
+        )
+        assert profile.nonlocal_reads == 0
+        assert profile.remote_pct_at(8) == 0.0
+
+    def test_cold_misses_counted(self):
+        program, inputs = build_skewed(n=256, skew=4)
+        trace = kernel_trace(program, inputs)
+        profile = stack_distances(
+            trace, MachineConfig(n_pes=4, page_size=32)
+        )
+        assert profile.histogram.get(COLD, 0) > 0
+
+    def test_zero_capacity_equals_all_nonlocal(self):
+        program, inputs = build_skewed(n=256, skew=4)
+        trace = kernel_trace(program, inputs)
+        profile = stack_distances(
+            trace, MachineConfig(n_pes=4, page_size=32)
+        )
+        assert profile.remote_reads_at(0) == profile.nonlocal_reads
+
+    @pytest.mark.parametrize(
+        "kernel_name,n",
+        [
+            ("hydro_fragment", 500),
+            ("iccg", 256),
+            ("hydro_2d", 60),
+            ("linear_recurrence", 64),
+            ("equation_of_state", 400),
+        ],
+    )
+    @pytest.mark.parametrize("capacity", [1, 2, 8, 32])
+    def test_curve_matches_direct_lru_simulation(self, kernel_name, n, capacity):
+        """Mattson inclusion: one pass predicts every LRU capacity."""
+        program, inputs = get_kernel(kernel_name).build(n=n)
+        trace = kernel_trace(program, inputs)
+        ps = 32
+        cfg = MachineConfig(n_pes=8, page_size=ps)
+        profile = stack_distances(trace, cfg)
+        direct = simulate(
+            trace,
+            MachineConfig(n_pes=8, page_size=ps, cache_elems=capacity * ps),
+        )
+        assert profile.remote_reads_at(capacity) == direct.stats.remote_reads
+
+    def test_hit_rate_curve_monotone(self):
+        program, inputs = get_kernel("linear_recurrence").build(n=96)
+        trace = kernel_trace(program, inputs)
+        cfg = MachineConfig(n_pes=8, page_size=32)
+        curve = hit_rate_curve(trace, cfg, [0, 1, 2, 4, 8, 16, 64, 256])
+        values = list(curve.values())
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_empty_trace(self):
+        from repro.ir import TraceBuilder
+
+        trace = TraceBuilder(["X"], [8]).freeze()
+        profile = stack_distances(trace, MachineConfig(n_pes=2, page_size=4))
+        assert profile.remote_pct_at(4) == 0.0

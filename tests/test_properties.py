@@ -1,0 +1,140 @@
+"""Cross-cutting property-based tests over randomly generated kernels.
+
+A random affine loop-nest generator produces small but structurally
+diverse programs (1-2 loop levels, 1-3 statements, random skews and
+strides).  Against these we check system-level invariants that no
+hand-picked example can cover as broadly:
+
+* the vectorised trace generator is bit-identical to the interpreter;
+* the untimed simulator conserves reads and writes in every
+  configuration, and caching only ever converts remote reads into
+  cached reads;
+* the blocking timed machine reproduces the untimed counters exactly;
+* the round-robin emulator reproduces the interpreter's values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import MachineConfig, simulate
+from repro.ir import ProgramBuilder, Ref, run_program
+from repro.ir.vectorize import _assert_equal, try_vectorize_trace
+from repro.machine import EmulatedMachine, TimedMachine
+
+ARRAY = 64  # all arrays 64 elements; subscripts built to stay in bounds
+
+
+@st.composite
+def affine_programs(draw):
+    """A random single-assignment program over 1-D arrays.
+
+    Writes ``OUTs[s][k + s_off]`` reading up to three inputs at random
+    skews; optionally a second (outer) loop level feeding a 2-D output.
+    Bounds are chosen so that every subscript stays within [0, ARRAY).
+    """
+    n_stmts = draw(st.integers(1, 3))
+    b = ProgramBuilder("random_affine")
+    n_inputs = draw(st.integers(1, 3))
+    for i in range(n_inputs):
+        b.input(f"IN{i}", (ARRAY,))
+    k = b.index("k")
+    lo = draw(st.integers(0, 8))
+    hi = draw(st.integers(lo, 47))
+    step = draw(st.sampled_from([1, 2, -1]))
+    rng_inputs = {
+        f"IN{i}": np.linspace(0, 1, ARRAY) * (i + 1) for i in range(n_inputs)
+    }
+    outs = []
+    for s in range(n_stmts):
+        out = b.output(f"OUT{s}", (ARRAY,))
+        outs.append(out)
+    loop_lo, loop_hi = (lo, hi) if step > 0 else (hi, lo)
+    with b.loop(k, loop_lo, loop_hi, step=step):
+        for s, out in enumerate(outs):
+            terms = []
+            for _ in range(draw(st.integers(1, 3))):
+                src = draw(st.integers(0, n_inputs - 1))
+                skew = draw(st.integers(0, 16))
+                terms.append(Ref(f"IN{src}", [k + skew]))
+            expr = terms[0]
+            for t in terms[1:]:
+                expr = expr + t
+            b.assign(out[k + s], expr * 0.5)
+    return b.build(), rng_inputs
+
+
+CONFIGS = [
+    MachineConfig(n_pes=1, page_size=8, cache_elems=0),
+    MachineConfig(n_pes=3, page_size=8, cache_elems=32),
+    MachineConfig(n_pes=4, page_size=16, cache_elems=0),
+    MachineConfig(n_pes=7, page_size=8, cache_elems=64),
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(affine_programs())
+def test_vectorized_trace_matches_interpreter(case):
+    program, inputs = case
+    vectorised = try_vectorize_trace(program)
+    assert vectorised is not None
+    reference = run_program(program, inputs).trace
+    _assert_equal(vectorised, reference)
+
+
+@settings(max_examples=30, deadline=None)
+@given(affine_programs())
+def test_simulator_conservation_laws(case):
+    program, inputs = case
+    trace = run_program(program, inputs).trace
+    for cfg in CONFIGS:
+        result = simulate(trace, cfg)
+        stats = result.stats
+        # Reads and writes are conserved across categories.
+        assert stats.total_reads == trace.n_reads
+        assert stats.writes == trace.n_instances
+        # At one PE everything is local.
+        if cfg.n_pes == 1:
+            assert stats.remote_reads == 0 and stats.cached_reads == 0
+        # The cache never increases remote+cached beyond no-cache remote.
+        base = simulate(trace, cfg.without_cache()).stats
+        assert stats.local_reads == base.local_reads
+        assert stats.cached_reads + stats.remote_reads == base.remote_reads
+        assert stats.remote_reads <= base.remote_reads
+
+
+@settings(max_examples=15, deadline=None)
+@given(affine_programs())
+def test_blocking_timed_machine_matches_untimed(case):
+    program, inputs = case
+    trace = run_program(program, inputs).trace
+    cfg = MachineConfig(n_pes=4, page_size=8, cache_elems=32)
+    timed = TimedMachine(trace, cfg, mode="blocking").run()
+    untimed = simulate(trace, cfg)
+    assert np.array_equal(timed.stats.counts, untimed.stats.counts)
+    assert timed.finish_time > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(affine_programs())
+def test_emulator_values_match_interpreter(case):
+    program, inputs = case
+    sequential = run_program(program, inputs)
+    parallel = EmulatedMachine(program, inputs, n_pes=3, page_size=8).run()
+    for array in program.arrays:
+        mask = sequential.defined[array]
+        np.testing.assert_array_equal(parallel.defined[array], mask)
+        np.testing.assert_allclose(
+            parallel.values[array][mask], sequential.values[array][mask]
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(affine_programs(), st.integers(2, 64))
+def test_remote_pct_bounded(case, n_pes):
+    program, inputs = case
+    trace = run_program(program, inputs).trace
+    result = simulate(trace, MachineConfig(n_pes=n_pes, page_size=8))
+    assert 0.0 <= result.remote_read_pct <= 100.0
+    assert 0.0 <= result.cached_read_pct <= 100.0

@@ -1,0 +1,89 @@
+"""Reduction execution strategies: host funnel vs subrange collection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import kernel_trace
+from repro.core import AccessKind, LoadBalance, MachineConfig, simulate
+from repro.kernels import get_kernel
+
+
+@pytest.fixture(scope="module")
+def ip_trace():
+    program, inputs = get_kernel("inner_product").build(n=1000)
+    return kernel_trace(program, inputs)
+
+
+def config(strategy, **kw):
+    defaults = dict(n_pes=16, page_size=32, cache_elems=256)
+    defaults.update(kw)
+    return MachineConfig(reduction_strategy=strategy, **defaults)
+
+
+class TestHostStrategy:
+    def test_all_folds_on_host(self, ip_trace):
+        result = simulate(ip_trace, config("host"))
+        writes = result.stats.per_pe(AccessKind.WRITE)
+        assert writes[0] == ip_trace.n_instances
+        assert writes[1:].sum() == 0
+
+    def test_host_reads_mostly_nonlocal(self, ip_trace):
+        result = simulate(ip_trace, config("host", cache_elems=0))
+        # The host owns only ~1/16 of the input pages.
+        assert result.remote_read_pct > 80.0
+
+
+class TestSubrangeStrategy:
+    def test_folds_spread_across_pes(self, ip_trace):
+        result = simulate(ip_trace, config("subrange"))
+        writes = result.stats.per_pe(AccessKind.WRITE)
+        balance = LoadBalance.from_series(writes)
+        assert balance.cv < 0.2
+        assert (writes > 0).all()
+
+    def test_reads_become_local(self, ip_trace):
+        host = simulate(ip_trace, config("host", cache_elems=0))
+        subrange = simulate(ip_trace, config("subrange", cache_elems=0))
+        assert subrange.remote_read_pct < 0.2 * host.remote_read_pct
+
+    def test_combine_phase_charged_to_host(self, ip_trace):
+        result = simulate(ip_trace, config("subrange", cache_elems=0))
+        # Z and X are read pairwise per fold; contributions come from
+        # all 16 PEs, so the host pulls 15 remote partials + 1 local,
+        # plus one final write.
+        remote_at_host = result.stats.counts[0, AccessKind.REMOTE_READ]
+        assert remote_at_host >= 15
+
+    def test_total_fold_reads_conserved(self, ip_trace):
+        """Element reads are identical; only the combine adds reads."""
+        host = simulate(ip_trace, config("host"))
+        subrange = simulate(ip_trace, config("subrange"))
+        extra = subrange.stats.total_reads - host.stats.total_reads
+        assert 0 < extra <= 16  # at most one partial per PE
+
+    def test_matmul_subrange_still_correct_counts(self):
+        program, inputs = get_kernel("matmul").build(n=12)
+        trace = kernel_trace(program, inputs)
+        host = simulate(trace, config("host"))
+        subrange = simulate(trace, config("subrange"))
+        assert host.stats.writes == trace.n_instances
+        # Subrange adds one final write per accumulator cell.
+        n_cells = len({
+            (int(a), int(f))
+            for a, f in zip(trace.w_arr[trace.reduction_mask],
+                            trace.w_flat[trace.reduction_mask])
+        })
+        assert subrange.stats.writes == trace.n_instances + n_cells
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ValueError, match="reduction strategy"):
+            MachineConfig(
+                n_pes=4, page_size=32, reduction_strategy="tree"
+            )
+
+    def test_non_reduction_traces_unaffected(self, hydro_trace):
+        host = simulate(hydro_trace, config("host"))
+        subrange = simulate(hydro_trace, config("subrange"))
+        assert np.array_equal(host.stats.counts, subrange.stats.counts)

@@ -1,0 +1,158 @@
+"""Static single-assignment analysis (the §5 data-path analysis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import ProgramBuilder, Ref, Verdict, check_program
+
+
+def accumulation_program(n=6):
+    """DO k: S(0) = S(0) + Y(k) written as repeated Assign — a violation."""
+    b = ProgramBuilder("acc")
+    S = b.output("S", (1,))
+    Y = b.input("Y", (n,))
+    k = b.index("k")
+    with b.loop(k, 0, n - 1):
+        b.assign(S[0], Ref("S", [0]) + Ref("Y", [k]))
+    return b.build()
+
+
+class TestStatementInjectivity:
+    def test_clean_map_is_ok(self, matched_program):
+        program, _ = matched_program
+        report = check_program(program)
+        assert report.ok
+
+    def test_missing_loop_var_is_violation_with_witness(self):
+        report = check_program(accumulation_program())
+        assert report.verdict == Verdict.VIOLATION
+        violation = report.violations()[0]
+        assert violation.witness is not None
+        first, second = violation.witness
+        assert first["k"] + 1 == second["k"]
+
+    def test_full_rank_multidim(self):
+        b = ProgramBuilder("p")
+        X = b.output("X", (8, 8))
+        i, j = b.index("i"), b.index("j")
+        with b.loop(i, 0, 7):
+            with b.loop(j, 0, 7):
+                b.assign(X[i, j], 1.0)
+        assert check_program(b.build()).ok
+
+    def test_rank_deficient_with_collision_witness(self):
+        # X(i+j) over a 2-D nest: (0,1) and (1,0) collide.
+        b = ProgramBuilder("p")
+        X = b.output("X", (16,))
+        i, j = b.index("i"), b.index("j")
+        with b.loop(i, 0, 3):
+            with b.loop(j, 0, 3):
+                b.assign(X[i + j], 1.0)
+        report = check_program(b.build())
+        assert report.verdict == Verdict.VIOLATION
+
+    def test_rank_deficient_but_separated_is_not_violation(self):
+        # X(4i + j) with j in 0..3 is actually injective: the null-space
+        # direction (1, -4) steps j out of its bounds.
+        b = ProgramBuilder("p")
+        X = b.output("X", (16,))
+        i, j = b.index("i"), b.index("j")
+        with b.loop(i, 0, 3):
+            with b.loop(j, 0, 3):
+                b.assign(X[4 * i + j], 1.0)
+        report = check_program(b.build())
+        assert report.verdict != Verdict.VIOLATION
+
+    def test_nonaffine_target_is_unknown(self):
+        b = ProgramBuilder("p")
+        X = b.output("X", (8,))
+        P = b.input("P", (8,))
+        k = b.index("k")
+        with b.loop(k, 0, 7):
+            b.assign(Ref("X", [Ref("P", [k])]), 1.0)
+        report = check_program(b.build())
+        assert report.verdict == Verdict.UNKNOWN
+
+    def test_single_trip_constant_target_ok(self):
+        b = ProgramBuilder("p")
+        X = b.output("X", (4,))
+        b.assign(X[0], 1.0)
+        assert check_program(b.build()).ok
+
+    def test_reduction_is_exempt(self):
+        b = ProgramBuilder("p")
+        S = b.output("S", (1,))
+        Y = b.input("Y", (4,))
+        k = b.index("k")
+        with b.loop(k, 0, 3):
+            b.reduce(S[0], Ref("Y", [k]))
+        assert check_program(b.build()).ok
+
+
+class TestCrossStatement:
+    def test_disjoint_regions_ok(self):
+        b = ProgramBuilder("p")
+        X = b.output("X", (20,))
+        k = b.index("k")
+        with b.loop(k, 0, 9):
+            b.assign(X[k], 1.0)
+        with b.loop(k, 10, 19):
+            b.assign(X[k], 2.0)
+        report = check_program(b.build())
+        assert report.ok
+
+    def test_overlapping_regions_unknown(self):
+        b = ProgramBuilder("p")
+        X = b.output("X", (20,))
+        k = b.index("k")
+        with b.loop(k, 0, 9):
+            b.assign(X[k], 1.0)
+        with b.loop(k, 5, 14):
+            b.assign(X[k], 2.0)
+        report = check_program(b.build())
+        assert report.verdict == Verdict.UNKNOWN
+
+    def test_dimension_separation(self):
+        # Writes to different rows of a 2-D array.
+        b = ProgramBuilder("p")
+        X = b.output("X", (4, 8))
+        k = b.index("k")
+        with b.loop(k, 0, 7):
+            b.assign(X[0, k], 1.0)
+        with b.loop(k, 0, 7):
+            b.assign(X[1, k], 2.0)
+        assert check_program(b.build()).ok
+
+
+class TestOnKernels:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "hydro_fragment",
+            "iccg",
+            "tri_diagonal",
+            "equation_of_state",
+            "first_sum",
+            "first_diff",
+            "hydro_2d",
+            "linear_recurrence",
+            "diff_predictors",
+            "planckian",
+            "pic_1d_fragment",
+        ],
+    )
+    def test_registered_kernels_never_flagged(self, name):
+        """No Livermore kernel in the suite is a definite violation."""
+        from repro.kernels import get_kernel
+
+        kernel = get_kernel(name)
+        program, _ = kernel.build(n=64 if name == "iccg" else 50)
+        report = check_program(program)
+        assert report.verdict in (Verdict.OK, Verdict.UNKNOWN)
+        assert not report.violations()
+
+    def test_report_renders(self):
+        report = check_program(accumulation_program())
+        text = str(report)
+        assert "violation" in text

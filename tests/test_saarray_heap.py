@@ -1,0 +1,130 @@
+"""SingleAssignmentArray and the distributed heap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DataLayout, ModuloPartition
+from repro.memory import (
+    DistributedHeap,
+    DoubleWriteError,
+    NotOwnerError,
+    SingleAssignmentArray,
+    UndefinedElementError,
+)
+
+
+class TestSingleAssignmentArray:
+    def test_write_read(self):
+        arr = SingleAssignmentArray(4, name="X")
+        arr[2] = 1.5
+        assert arr[2] == 1.5
+
+    def test_multi_dim(self):
+        arr = SingleAssignmentArray((3, 4))
+        arr[1, 2] = 9.0
+        assert arr[1, 2] == 9.0
+
+    def test_double_write(self):
+        arr = SingleAssignmentArray(4, name="X")
+        arr[0] = 1.0
+        with pytest.raises(DoubleWriteError, match="single assignment violated"):
+            arr[0] = 2.0
+
+    def test_undefined_read(self):
+        arr = SingleAssignmentArray(4, name="X")
+        with pytest.raises(UndefinedElementError):
+            _ = arr[1]
+
+    def test_from_values_fully_defined(self):
+        arr = SingleAssignmentArray.from_values(np.arange(6.0).reshape(2, 3))
+        assert arr.defined_fraction() == 1.0
+        assert arr[1, 2] == 5.0
+
+    def test_to_numpy_requires_full(self):
+        arr = SingleAssignmentArray(3)
+        arr[0] = 1.0
+        with pytest.raises(UndefinedElementError, match="2 element"):
+            arr.to_numpy()
+        partial = arr.to_numpy(require_full=False)
+        assert partial[0] == 1.0 and np.isnan(partial[1])
+
+    def test_reinitialize_allows_reuse(self):
+        arr = SingleAssignmentArray(3)
+        arr[0] = 1.0
+        arr.reinitialize()
+        arr[0] = 2.0
+        assert arr[0] == 2.0
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            SingleAssignmentArray((0,))
+
+    def test_is_defined(self):
+        arr = SingleAssignmentArray(3)
+        arr[1] = 0.0
+        assert arr.is_defined(1) and not arr.is_defined(0)
+
+
+@pytest.fixture
+def layout():
+    return DataLayout(
+        {"A": (100,), "B": (100,), "C": (100,)},
+        page_size=32,
+        n_pes=4,
+        scheme=ModuloPartition(),
+    )
+
+
+class TestDistributedHeap:
+    def test_hosts_round_robin(self, layout):
+        heap = DistributedHeap(layout)
+        assert sorted(heap.hosts.values()) == [0, 1, 2]
+
+    def test_owner_checked_write(self, layout):
+        heap = DistributedHeap(layout)
+        owner = heap.owner_of("A", 0)
+        heap.write(owner, "A", 0, 1.0)
+        with pytest.raises(NotOwnerError, match="area of responsibility"):
+            heap.write((owner + 1) % 4, "A", 1, 1.0)
+
+    def test_deferred_read_through_heap(self, layout):
+        heap = DistributedHeap(layout)
+        seen = []
+        assert not heap.read("A", 5, seen.append)
+        heap.write(heap.owner_of("A", 5), "A", 5, 2.5)
+        assert seen == [2.5]
+
+    def test_initialize_whole_array(self, layout):
+        heap = DistributedHeap(layout)
+        heap.initialize("B", np.arange(100.0))
+        assert heap.try_read("B", 99) == 99.0
+
+    def test_page_values_partial_nan(self, layout):
+        heap = DistributedHeap(layout)
+        heap.write(heap.owner_of("A", 0), "A", 0, 7.0)
+        page = heap.page_values("A", 0)
+        assert page[0] == 7.0
+        assert np.isnan(page[1:]).all()
+        assert not heap.page_fully_defined("A", 0)
+
+    def test_partial_page_size_matches_paper_example(self, layout):
+        # PE 3 holds the 4-element partial page of each array (§2).
+        heap = DistributedHeap(layout)
+        assert heap.layout.subranges("A", 3) == [(96, 100)]
+        assert len(heap.page_values("A", 3)) == 4
+
+    def test_reinitialize(self, layout):
+        heap = DistributedHeap(layout)
+        heap.write(heap.owner_of("A", 0), "A", 0, 1.0)
+        heap.reinitialize("A")
+        assert heap.try_read("A", 0) is None
+        heap.write(heap.owner_of("A", 0), "A", 0, 2.0)
+
+    def test_usage_balanced(self, layout):
+        heap = DistributedHeap(layout)
+        usage = heap.usage_per_pe()
+        # 3 arrays x 100 elements over 4 PEs: 32+32+32+4 pattern each.
+        assert usage.sum() == 300
+        assert usage.tolist() == [96, 96, 96, 12]

@@ -1,0 +1,144 @@
+"""Access statistics, load-balance metrics, and index screening."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AccessKind,
+    AccessStats,
+    DataLayout,
+    LoadBalance,
+    ModuloPartition,
+    screen_iterations,
+)
+
+
+class TestAccessStats:
+    def test_add_and_totals(self):
+        stats = AccessStats(2)
+        stats.add(0, AccessKind.WRITE, 3)
+        stats.add(0, AccessKind.LOCAL_READ, 5)
+        stats.add(1, AccessKind.REMOTE_READ, 2)
+        stats.add(1, AccessKind.CACHED_READ, 1)
+        assert stats.writes == 3
+        assert stats.total_reads == 8
+        assert stats.remote_read_pct == pytest.approx(25.0)
+        assert stats.cached_read_pct == pytest.approx(12.5)
+
+    def test_no_reads_pct_zero(self):
+        stats = AccessStats(2)
+        assert stats.remote_read_pct == 0.0
+
+    def test_add_vector_shape_check(self):
+        stats = AccessStats(2)
+        with pytest.raises(ValueError):
+            stats.add_vector(AccessKind.WRITE, np.zeros(3, dtype=np.int64))
+
+    def test_merge(self):
+        a = AccessStats(2)
+        b = AccessStats(2)
+        a.add(0, AccessKind.WRITE, 1)
+        b.add(1, AccessKind.WRITE, 2)
+        a.merge(b)
+        assert a.writes == 3
+
+    def test_merge_mismatched_pes(self):
+        with pytest.raises(ValueError):
+            AccessStats(2).merge(AccessStats(3))
+
+    def test_per_array_breakdown(self):
+        stats = AccessStats(2, ("X", "Y"))
+        stats.add(0, AccessKind.REMOTE_READ, 4, array_id=1)
+        assert stats.by_array[1, AccessKind.REMOTE_READ] == 4
+
+    def test_summary_keys(self):
+        summary = AccessStats(1).summary()
+        assert set(summary) >= {"writes", "remote_read_pct", "cached_read_pct"}
+
+    def test_needs_pes(self):
+        with pytest.raises(ValueError):
+            AccessStats(0)
+
+
+class TestLoadBalance:
+    def test_perfectly_balanced(self):
+        lb = LoadBalance.from_series(np.full(8, 100))
+        assert lb.cv == 0.0
+        assert lb.jain_index == pytest.approx(1.0)
+        assert lb.spread == 0
+
+    def test_imbalanced(self):
+        lb = LoadBalance.from_series(np.array([100, 0, 0, 0]))
+        assert lb.jain_index == pytest.approx(0.25)
+        assert lb.spread == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LoadBalance.from_series(np.array([]))
+
+    def test_zero_series(self):
+        lb = LoadBalance.from_series(np.zeros(4, dtype=int))
+        assert lb.cv == 0.0
+        assert lb.jain_index == 1.0
+
+
+class TestDataLayout:
+    def test_owner_queries_consistent(self):
+        layout = DataLayout({"A": (100,)}, page_size=32, n_pes=4)
+        for flat in (0, 31, 32, 99):
+            assert layout.owner_of_flat("A", flat) == (flat // 32) % 4
+        assert layout.owner_of("A", (33,)) == 1
+
+    def test_vectorised_owners(self):
+        layout = DataLayout({"A": (100,)}, page_size=32, n_pes=4)
+        flats = np.array([0, 32, 64, 96])
+        assert layout.owners_of_flats("A", flats).tolist() == [0, 1, 2, 3]
+
+    def test_multi_dim_layout(self):
+        layout = DataLayout({"Z": (10, 8)}, page_size=16, n_pes=2)
+        # element (1, 0) -> flat 8 -> page 0 -> PE 0
+        assert layout.owner_of("Z", (1, 0)) == 0
+        # element (2, 0) -> flat 16 -> page 1 -> PE 1
+        assert layout.owner_of("Z", (2, 0)) == 1
+
+    def test_memory_per_pe_totals(self):
+        layout = DataLayout(
+            {"A": (100,), "B": (50,)}, page_size=32, n_pes=4
+        )
+        assert layout.memory_per_pe().sum() == 150
+
+    def test_elements_owned(self):
+        layout = DataLayout({"A": (100,)}, page_size=32, n_pes=4)
+        assert [layout.elements_owned("A", pe) for pe in range(4)] == [
+            32, 32, 32, 4,
+        ]
+
+
+class TestScreening:
+    def test_screening_partitions_iteration_space(self):
+        """Every iteration is executed by exactly one PE (§3)."""
+        layout = DataLayout({"X": (128,)}, page_size=16, n_pes=4)
+        iterations = np.arange(128)
+        assigned = [
+            screen_iterations(layout, "X", lambda k: (k,), iterations, pe)
+            for pe in range(4)
+        ]
+        union = np.sort(np.concatenate(assigned))
+        assert np.array_equal(union, iterations)
+
+    def test_screening_respects_target_map(self):
+        # Writes X(127 - k): ownership follows the *written* element.
+        layout = DataLayout({"X": (128,)}, page_size=16, n_pes=4)
+        iterations = np.arange(128)
+        mine = screen_iterations(
+            layout, "X", lambda k: (127 - k,), iterations, 0
+        )
+        owners = layout.owners_of_flats("X", 127 - mine)
+        assert (owners == 0).all()
+
+    def test_order_preserved(self):
+        layout = DataLayout({"X": (64,)}, page_size=8, n_pes=2)
+        mine = screen_iterations(layout, "X", lambda k: (k,), np.arange(64), 1)
+        assert np.array_equal(mine, np.sort(mine))

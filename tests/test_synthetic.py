@@ -1,0 +1,136 @@
+"""Synthetic workloads: closed-form validation of the simulator.
+
+The skewed generator's remote fractions have exact closed forms
+(§7.1.2's boundary arithmetic); checking the simulator against them is
+the strongest correctness statement available for the core counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench import kernel_trace
+from repro.core import AccessClass, MachineConfig, classify, simulate
+from repro.kernels import (
+    build_matched,
+    build_permutation,
+    build_skewed,
+    build_strided,
+    expected_skew_remote_fraction,
+)
+from repro.ir import run_program
+
+
+class TestValues:
+    def test_matched_values(self):
+        program, inputs = build_matched(n=128)
+        res = run_program(program, inputs)
+        np.testing.assert_allclose(
+            res.values["X"], inputs["A"] + inputs["B"]
+        )
+
+    def test_skewed_values(self):
+        program, inputs = build_skewed(n=128, skew=5)
+        res = run_program(program, inputs)
+        np.testing.assert_allclose(res.values["X"], 2.0 * inputs["Y"][5:133])
+
+    def test_strided_values(self):
+        program, inputs = build_strided(n=32, stride=4, offset=1)
+        res = run_program(program, inputs)
+        expected = inputs["Y"][0:31, :] + 1.0
+        np.testing.assert_allclose(res.values["X"][1:32, :], expected)
+
+    def test_permutation_values(self):
+        program, inputs = build_permutation(n=128)
+        res = run_program(program, inputs)
+        perm = inputs["P"].astype(int)
+        np.testing.assert_allclose(res.values["X"], inputs["Y"][perm])
+
+    def test_skew_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            build_skewed(skew=-1)
+
+    def test_stride_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            build_strided(stride=1)
+
+
+class TestClosedFormSkew:
+    """Simulator counters == exact boundary arithmetic."""
+
+    @pytest.mark.parametrize("skew", [0, 1, 2, 5, 11, 31, 32, 33, 100])
+    @pytest.mark.parametrize("cached", [False, True])
+    def test_exact_remote_fraction(self, skew, cached):
+        n, ps = 1024, 32
+        program, inputs = build_skewed(n=n, skew=skew)
+        trace = kernel_trace(program, inputs)
+        cfg = MachineConfig(
+            n_pes=16, page_size=ps, cache_elems=256 if cached else 0
+        )
+        result = simulate(trace, cfg)
+        expected = expected_skew_remote_fraction(n, skew, ps, cached)
+        measured = result.stats.remote_reads / trace.n_reads
+        assert measured == pytest.approx(expected), (skew, cached)
+
+    def test_paper_skew_one_cache_no_effect(self):
+        """§7.1.2: 'For a skew of one, the cache has no effect'."""
+        n, ps = 1024, 32
+        program, inputs = build_skewed(n=n, skew=1)
+        trace = kernel_trace(program, inputs)
+        cfg = MachineConfig(n_pes=16, page_size=ps, cache_elems=256)
+        cached = simulate(trace, cfg).stats.remote_reads
+        plain = simulate(trace, cfg.without_cache()).stats.remote_reads
+        assert cached == plain
+
+    def test_paper_skew_two_cache_saves_one(self):
+        """'for a skew of two, the cache saves one remote access'
+        (per crossed page)."""
+        n, ps = 1024, 32
+        program, inputs = build_skewed(n=n, skew=2)
+        trace = kernel_trace(program, inputs)
+        cfg = MachineConfig(n_pes=16, page_size=ps, cache_elems=256)
+        cached = simulate(trace, cfg).stats.remote_reads
+        plain = simulate(trace, cfg.without_cache()).stats.remote_reads
+        crossed_pages = plain // 2  # 2 boundary reads per crossed page
+        assert plain - cached == crossed_pages
+
+    @settings(max_examples=25, deadline=None)
+    @given(skew=st.integers(0, 96), cached=st.booleans())
+    def test_closed_form_property(self, skew, cached):
+        n, ps = 512, 32
+        program, inputs = build_skewed(n=n, skew=skew)
+        trace = kernel_trace(program, inputs)
+        cfg = MachineConfig(
+            n_pes=8, page_size=ps, cache_elems=256 if cached else 0
+        )
+        # Guard: the closed form assumes remote pages don't wrap back
+        # onto the reader (skew < (n_pes - 1) * ps).
+        if skew >= (cfg.n_pes - 1) * ps:
+            return
+        result = simulate(trace, cfg)
+        expected = expected_skew_remote_fraction(n, skew, ps, cached)
+        assert result.stats.remote_reads / trace.n_reads == pytest.approx(
+            expected
+        )
+
+
+class TestClassifierOnSynthetics:
+    def test_matched(self):
+        program, inputs = build_matched(n=512)
+        assert classify(program, inputs).final is AccessClass.MATCHED
+
+    def test_skewed(self):
+        program, inputs = build_skewed(n=512, skew=7)
+        assert classify(program, inputs).final is AccessClass.SKEWED
+
+    def test_strided_is_cyclic(self):
+        program, inputs = build_strided(n=400, stride=8)
+        assert classify(program, inputs).final is AccessClass.CYCLIC
+
+    def test_permutation_is_random(self):
+        program, inputs = build_permutation(n=2048)
+        result = classify(program, inputs)
+        assert result.static.hint is AccessClass.RANDOM
+        assert result.final is AccessClass.RANDOM

@@ -1,0 +1,89 @@
+"""Table generators (T1-T3) and the report renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    bar_strip,
+    class_table,
+    conclusions_table,
+    render_class_table,
+    render_survey_table,
+    render_table,
+    skew_reduction,
+)
+from repro.core import AccessClass
+
+SMALL = ["hydro_fragment", "pic_1d_fragment", "first_diff"]
+
+
+class TestClassTable:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return class_table(SMALL)
+
+    def test_rows_cover_requested_kernels(self, rows):
+        assert [r.kernel for r in rows] == SMALL
+
+    def test_agreement_flags(self, rows):
+        by_name = {r.kernel: r for r in rows}
+        assert by_name["hydro_fragment"].agrees is True
+        assert by_name["pic_1d_fragment"].final is AccessClass.MATCHED
+
+    def test_render(self, rows):
+        text = render_class_table(rows)
+        assert "T1" in text and "hydro_fragment" in text and "yes" in text
+
+
+class TestConclusionsTable:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return conclusions_table(names=SMALL)
+
+    def test_skewed_loops_under_ten_percent_with_cache(self, rows):
+        """§8: 'For most access distributions, the percentages of remote
+        accesses are less than 10% when using a cache of 256 elements.'"""
+        for row in rows:
+            if row.access_class in (AccessClass.MATCHED, AccessClass.SKEWED):
+                assert row.remote_pct_cache < 10.0, row
+
+    def test_matched_is_exactly_zero(self, rows):
+        by_name = {r.kernel: r for r in rows}
+        frag = by_name["pic_1d_fragment"]
+        assert frag.remote_pct_cache == 0.0
+        assert frag.remote_pct_nocache == 0.0
+
+    def test_reduction_factor(self, rows):
+        by_name = {r.kernel: r for r in rows}
+        assert by_name["hydro_fragment"].reduction_factor > 10.0
+
+    def test_render(self, rows):
+        text = render_survey_table(rows)
+        assert "remote% (cache)" in text
+
+
+class TestSkewReduction:
+    def test_paper_t3_claim(self):
+        """§8: 'a reduction from 22% remote reads to 1% remote reads.'"""
+        no_cache, with_cache = skew_reduction()
+        assert no_cache == pytest.approx(22.0, abs=1.5)
+        assert with_cache == pytest.approx(1.0, abs=0.5)
+
+
+class TestReportPrimitives:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bbbb"], [[1, 2.5], [30, 4]], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equally wide
+
+    def test_bar_strip_scales(self):
+        bars = bar_strip([0.0, 5.0, 10.0], width=10)
+        assert bars[0] == ""
+        assert len(bars[2]) == 10
+        assert 0 < len(bars[1]) <= 6
+
+    def test_bar_strip_all_zero(self):
+        assert bar_strip([0.0, 0.0]) == ["", ""]

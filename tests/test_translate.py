@@ -1,0 +1,133 @@
+"""Automatic SA conversion by array expansion (§5 translator)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    ProgramBuilder,
+    Ref,
+    TranslationError,
+    auto_convert,
+    check_program,
+    expand_array,
+    expansion_cost,
+    run_program,
+)
+
+
+def accumulator_program(n=8):
+    """DO k = 1..n: S(j) = S(j) + Y(k)  for j in 0..2  (violates SA)."""
+    b = ProgramBuilder("acc")
+    S = b.inout("S", (3,))
+    Y = b.input("Y", (n + 1,))
+    j, k = b.index("j"), b.index("k")
+    with b.loop(j, 0, 2):
+        with b.loop(k, 1, n):
+            b.assign(S[j], Ref("S", [j]) + Ref("Y", [k]))
+    return b.build()
+
+
+def consumer_program(n=8):
+    """An accumulation whose final value feeds a later loop."""
+    b = ProgramBuilder("acc_consume")
+    S = b.inout("S", (1,))
+    Y = b.input("Y", (n + 1,))
+    Z = b.output("Z", (4,))
+    k = b.index("k")
+    with b.loop(k, 1, n):
+        b.assign(S[0], Ref("S", [0]) + Ref("Y", [k]))
+    with b.loop(k, 0, 3):
+        b.assign(Z[k], Ref("S", [0]) * 2)
+    return b.build()
+
+
+class TestExpansionCost:
+    def test_cost_is_tripcount_times_size(self):
+        plan = expansion_cost(accumulator_program(), "S", "k")
+        assert plan.trip_count == 8
+        assert plan.extra_elements == 8 * 3
+        assert plan.new_name == "S__sa"
+
+
+class TestExpandArray:
+    def test_expansion_restores_single_assignment(self):
+        converted = expand_array(accumulator_program(), "S", "k")
+        assert not check_program(converted).violations()
+
+    def test_expanded_values_match_unchecked_original(self):
+        n = 8
+        original = accumulator_program(n)
+        converted = expand_array(original, "S", "k")
+        rng = np.random.default_rng(3)
+        y = rng.random(n + 1)
+        seeds = np.zeros(3)
+        plain = run_program(original, {"S": seeds, "Y": y}, check_sa=False)
+        expanded_seed = np.full((n + 1, 3), np.nan)
+        expanded_seed[0] = seeds
+        conv = run_program(converted, {"S__sa": expanded_seed, "Y": y})
+        assert np.allclose(conv.values["S__sa"][n], plain.values["S"])
+
+    def test_final_version_feeds_consumers(self):
+        n = 8
+        converted = expand_array(consumer_program(n), "S", "k")
+        rng = np.random.default_rng(4)
+        y = rng.random(n + 1)
+        seed = np.full((n + 1, 1), np.nan)
+        seed[0, 0] = 0.0
+        res = run_program(converted, {"S__sa": seed, "Y": y})
+        expected = 2 * y[1 : n + 1].sum()
+        assert np.allclose(res.values["Z"], expected)
+
+    def test_rejects_differing_read_subscripts(self):
+        b = ProgramBuilder("bad")
+        S = b.inout("S", (4,))
+        k = b.index("k")
+        with b.loop(k, 1, 3):
+            b.assign(S[0], Ref("S", [1]) + 1)  # reads a different cell
+        with pytest.raises(TranslationError, match="different subscripts"):
+            expand_array(b.build(), "S", "k")
+
+    def test_rejects_nonunit_step(self):
+        b = ProgramBuilder("bad")
+        S = b.inout("S", (1,))
+        k = b.index("k")
+        with b.loop(k, 0, 8, step=2):
+            b.assign(S[0], Ref("S", [0]) + 1)
+        with pytest.raises(TranslationError, match="unit step"):
+            expand_array(b.build(), "S", "k")
+
+    def test_rejects_target_already_varying(self):
+        b = ProgramBuilder("vary")
+        S = b.inout("S", (10,))
+        k = b.index("k")
+        with b.loop(k, 1, 8):
+            b.assign(S[k], Ref("S", [k]) + 1)
+        with pytest.raises(TranslationError, match="nothing to expand"):
+            expand_array(b.build(), "S", "k")
+
+    def test_unknown_loop_var(self):
+        with pytest.raises(KeyError):
+            expand_array(accumulator_program(), "S", "zz")
+
+    def test_unknown_array(self):
+        with pytest.raises(KeyError):
+            expand_array(accumulator_program(), "Q", "k")
+
+
+class TestAutoConvert:
+    def test_converges_on_accumulator(self):
+        converted = auto_convert(accumulator_program())
+        assert not check_program(converted).violations()
+        assert "S__sa" in converted.arrays
+
+    def test_already_clean_program_unchanged(self, matched_program):
+        program, _ = matched_program
+        assert auto_convert(program) is program
+
+    def test_memory_growth_reported(self):
+        original = accumulator_program()
+        converted = auto_convert(original)
+        grown = converted.total_elements()
+        assert grown > original.total_elements()

@@ -1,0 +1,168 @@
+"""Vectorised trace generation must be bit-identical to the interpreter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import ProgramBuilder, Ref, run_program
+from repro.ir.vectorize import _assert_equal, fast_trace, try_vectorize_trace
+from repro.kernels import all_kernels, get_kernel
+
+AFFINE_SIZES = {
+    "hydro_fragment": 257,    # odd sizes exercise partial pages
+    "iccg": 128,
+    "inner_product": 200,
+    "tri_diagonal": 201,
+    "linear_recurrence": 48,
+    "equation_of_state": 200,
+    "adi": 50,
+    "integrate_predictors": 211,
+    "diff_predictors": 97,
+    "first_sum": 200,
+    "first_diff": 200,
+    "pic_1d_fragment": 200,
+    "hydro_2d": 37,
+    "matmul": 9,
+    "planckian": 150,
+}
+INDIRECT = {"pic_1d", "pic_2d"}
+
+
+@pytest.mark.parametrize("name", sorted(AFFINE_SIZES))
+def test_bit_identical_to_interpreter(name):
+    kernel = get_kernel(name)
+    program, inputs = kernel.build(n=AFFINE_SIZES[name])
+    vectorised = try_vectorize_trace(program)
+    assert vectorised is not None, f"{name} unexpectedly fell back"
+    reference = run_program(program, inputs).trace
+    _assert_equal(vectorised, reference)
+
+
+@pytest.mark.parametrize("name", sorted(INDIRECT))
+def test_indirect_kernels_fall_back(name):
+    kernel = get_kernel(name)
+    program, inputs = kernel.build(n=100)
+    assert try_vectorize_trace(program) is None
+    # fast_trace silently falls back to the interpreter.
+    trace = fast_trace(program, inputs)
+    reference = run_program(program, inputs).trace
+    _assert_equal(trace, reference)
+
+
+def test_fast_trace_validate_mode():
+    program, inputs = get_kernel("first_diff").build(n=100)
+    fast_trace(program, inputs, validate=True)  # must not raise
+
+
+class TestStructuralCases:
+    def test_statements_interleaved_in_shared_body(self):
+        """A, B inside the same loop alternate per iteration."""
+        b = ProgramBuilder("interleave")
+        X = b.output("X", (8,))
+        Y = b.output("Y", (8,))
+        A = b.input("A", (8,))
+        k = b.index("k")
+        with b.loop(k, 0, 7):
+            b.assign(X[k], Ref("A", [k]))
+            b.assign(Y[k], Ref("A", [k]) * 2)
+        program = b.build()
+        vec = try_vectorize_trace(program)
+        ref = run_program(program, {"A": np.zeros(8)}).trace
+        _assert_equal(vec, ref)
+        assert list(vec.stmt_ids[:4]) == [0, 1, 0, 1]
+
+    def test_statement_before_and_after_inner_loop(self):
+        """prologue; inner loop; epilogue — the GLRE shape."""
+        b = ProgramBuilder("sandwich")
+        X = b.output("X", (6, 6))
+        i, k = b.index("i"), b.index("k")
+        with b.loop(i, 1, 5):
+            b.assign(X[i, 0], 1.0)
+            with b.loop(k, 1, i - 1):
+                b.assign(X[i, k], Ref("X", [i, k - 1]) + 1)
+            b.assign(X[i, 5], Ref("X", [i, 0]))
+        program = b.build()
+        vec = try_vectorize_trace(program)
+        ref = run_program(program, {}).trace
+        _assert_equal(vec, ref)
+
+    def test_negative_step_loop(self):
+        b = ProgramBuilder("reverse")
+        X = b.output("X", (10,))
+        Y = b.input("Y", (10,))
+        k = b.index("k")
+        with b.loop(k, 9, 0, step=-1):
+            b.assign(X[k], Ref("Y", [k]))
+        program = b.build()
+        vec = try_vectorize_trace(program)
+        ref = run_program(program, {"Y": np.zeros(10)}).trace
+        _assert_equal(vec, ref)
+        assert vec.w_flat[0] == 9  # order preserved, descending
+
+    def test_step_two_loop(self):
+        b = ProgramBuilder("stride2")
+        X = b.output("X", (16,))
+        Y = b.input("Y", (17,))
+        k = b.index("k")
+        with b.loop(k, 0, 14, step=2):
+            b.assign(X[k], Ref("Y", [k + 1]))
+        program = b.build()
+        vec = try_vectorize_trace(program)
+        ref = run_program(program, {"Y": np.zeros(17)}).trace
+        _assert_equal(vec, ref)
+
+    def test_empty_iteration_space(self):
+        b = ProgramBuilder("empty")
+        X = b.output("X", (4,))
+        k = b.index("k")
+        with b.loop(k, 3, 1):
+            b.assign(X[k], 1.0)
+        vec = try_vectorize_trace(b.build())
+        assert vec is not None
+        assert vec.n_instances == 0
+
+    def test_out_of_bounds_raises(self):
+        b = ProgramBuilder("oob")
+        X = b.output("X", (4,))
+        Y = b.input("Y", (4,))
+        k = b.index("k")
+        with b.loop(k, 0, 3):
+            b.assign(X[k], Ref("Y", [k + 1]))
+        with pytest.raises(IndexError, match="out of bounds"):
+            try_vectorize_trace(b.build())
+
+    def test_reduction_mask_preserved(self):
+        program, _ = get_kernel("inner_product").build(n=50)
+        vec = try_vectorize_trace(program)
+        assert vec.reduction_mask.all()
+
+    def test_rational_coefficient_subscript(self):
+        """The ICCG form (k - c)/2 has coefficient 1/2."""
+        b = ProgramBuilder("half")
+        from repro.ir import Var
+
+        X = b.output("X", (8,))
+        Y = b.input("Y", (16,))
+        k = b.index("k")
+        with b.loop(k, 0, 14, step=2):
+            b.assign(X[Var("k") / 2], Ref("Y", [k]))
+        program = b.build()
+        vec = try_vectorize_trace(program)
+        ref = run_program(program, {"Y": np.zeros(16)}).trace
+        _assert_equal(vec, ref)
+
+
+class TestSimulationEquivalence:
+    def test_sweep_results_identical_between_paths(self):
+        """The harness may use either path; counters must agree."""
+        from repro.core import MachineConfig, simulate
+
+        program, inputs = get_kernel("hydro_2d").build(n=40)
+        vec = try_vectorize_trace(program)
+        ref = run_program(program, inputs).trace
+        for pes in (4, 16):
+            cfg = MachineConfig(n_pes=pes, page_size=32, cache_elems=256)
+            a = simulate(vec, cfg)
+            b = simulate(ref, cfg)
+            assert np.array_equal(a.stats.counts, b.stats.counts)
