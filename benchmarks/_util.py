@@ -3,6 +3,9 @@
 Every benchmark regenerates one of the paper's figures or tables,
 saves the rendered ASCII artefact under ``benchmarks/results/`` and
 prints it, while pytest-benchmark times the regeneration itself.
+Traces come from a persistent store co-located with the artefacts, so
+re-running the harness replays stored traces instead of re-interpreting
+every kernel (delete ``benchmarks/results/trace-store`` to go cold).
 """
 
 from __future__ import annotations
@@ -10,6 +13,13 @@ from __future__ import annotations
 from pathlib import Path
 
 RESULTS = Path(__file__).parent / "results"
+
+
+def trace_store():
+    """The harness's shared persistent trace store."""
+    from repro.engine import TraceStore
+
+    return TraceStore(RESULTS / "trace-store")
 
 
 def save(name: str, text: str) -> None:

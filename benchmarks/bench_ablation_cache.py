@@ -4,32 +4,37 @@
 complete cycle to reside in the cache or increasing the probability of
 a cache hit simply by having more of the remote pages stored locally."
 The sweep raises the per-PE cache from the paper's 256 elements to 16K
-and watches the RD kernels' remote ratio fall.
+and watches the RD kernels' remote ratio fall.  The whole grid is one
+engine campaign over the persistent trace store.
 """
 
 from __future__ import annotations
 
-from repro.bench import kernel_trace, render_table
-from repro.core import MachineConfig, simulate
-from repro.kernels import get_kernel
+from repro.bench import render_table
+from repro.engine import CampaignSpec, KernelSpec, kernel_trace_cached, run_campaign
 
-from _util import once, save
+from _util import once, save, trace_store
 
 CACHE_SIZES = (64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384)
 KERNELS = {"linear_recurrence": 256, "adi": 500, "pic_1d": 1000}
 
 
 def run_sweep():
-    table = {}
-    for name, n in KERNELS.items():
-        program, inputs = get_kernel(name).build(n=n)
-        trace = kernel_trace(program, inputs)
-        series = []
-        for cache in CACHE_SIZES:
-            cfg = MachineConfig(n_pes=16, page_size=32, cache_elems=cache)
-            series.append(simulate(trace, cfg).remote_read_pct)
-        table[name] = series
-    return table
+    spec = CampaignSpec(
+        name="ablation-a2-cache-size",
+        kernels=tuple(KernelSpec(name, n=n) for name, n in KERNELS.items()),
+        pes=(16,),
+        page_sizes=(32,),
+        cache_elems=CACHE_SIZES,
+    )
+    result = run_campaign(spec, store=trace_store(), parallel=False)
+    return {
+        name: [
+            result.find(kernel=name, cache_elems=cache).remote_read_pct
+            for cache in CACHE_SIZES
+        ]
+        for name in KERNELS
+    }
 
 
 def test_ablation_cache_size(benchmark):
@@ -59,8 +64,7 @@ def test_stack_distance_curve_predicts_the_sweep(benchmark):
     from repro.core import MachineConfig, hit_rate_curve, simulate
 
     name, n = "linear_recurrence", 256
-    program, inputs = get_kernel(name).build(n=n)
-    trace = kernel_trace(program, inputs)
+    trace = kernel_trace_cached(name, n=n, store=trace_store())
     cfg = MachineConfig(n_pes=16, page_size=32)
 
     def analyse():

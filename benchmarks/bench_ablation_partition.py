@@ -4,22 +4,16 @@
 worse for certain loops than a division scheme ... it may become
 necessary to allow the selection of one or the other scheme based on
 the access distribution class."  This ablation quantifies that: one
-representative kernel per class, remote ratios under each scheme.
+representative kernel per class, remote ratios under each scheme — a
+single engine campaign with the partition axis swept declaratively.
 """
 
 from __future__ import annotations
 
-from repro.bench import kernel_trace, render_table
-from repro.core import (
-    BlockCyclicPartition,
-    BlockPartition,
-    MachineConfig,
-    ModuloPartition,
-    simulate,
-)
-from repro.kernels import get_kernel
+from repro.bench import render_table
+from repro.engine import CampaignSpec, KernelSpec, run_campaign
 
-from _util import once, save
+from _util import once, save, trace_store
 
 REPRESENTATIVES = {
     "Matched": ("pic_1d_fragment", 1000),
@@ -27,22 +21,31 @@ REPRESENTATIVES = {
     "Cyclic": ("hydro_2d", 100),
     "Random": ("linear_recurrence", 256),
 }
-SCHEMES = [ModuloPartition(), BlockPartition(), BlockCyclicPartition(block=2)]
+SCHEMES = ("modulo", "block", "block-cyclic:2")
 
 
 def run_ablation():
+    spec = CampaignSpec(
+        name="ablation-a1-partition",
+        kernels=tuple(
+            KernelSpec(name, n=n) for name, n in REPRESENTATIVES.values()
+        ),
+        pes=(16,),
+        page_sizes=(32,),
+        cache_elems=(0, 256),
+        partitions=SCHEMES,
+    )
+    result = run_campaign(spec, store=trace_store(), parallel=False)
     rows = []
-    for label, (name, n) in REPRESENTATIVES.items():
-        program, inputs = get_kernel(name).build(n=n)
-        trace = kernel_trace(program, inputs)
+    for label, (name, _n) in REPRESENTATIVES.items():
         for scheme in SCHEMES:
-            values = []
-            for cache in (0, 256):
-                cfg = MachineConfig(
-                    n_pes=16, page_size=32, cache_elems=cache, partition=scheme
-                )
-                values.append(simulate(trace, cfg).remote_read_pct)
-            rows.append([label, name, scheme.name, values[0], values[1]])
+            values = [
+                result.find(
+                    kernel=name, partition=scheme, cache_elems=cache
+                ).remote_read_pct
+                for cache in (0, 256)
+            ]
+            rows.append([label, name, scheme, values[0], values[1]])
     return rows
 
 
@@ -62,4 +65,4 @@ def test_ablation_partition_schemes(benchmark):
     assert by[("hydro_fragment", "block")][0] < by[("hydro_fragment", "modulo")][0]
     # ... while matched loops are 0% under every scheme.
     for scheme in SCHEMES:
-        assert by[("pic_1d_fragment", scheme.name)] == (0.0, 0.0)
+        assert by[("pic_1d_fragment", scheme)] == (0.0, 0.0)

@@ -2,16 +2,16 @@
 
 The paper fixes LRU ("this choice leads to some interesting results",
 §4).  This ablation measures how much the choice matters per access
-class at the paper's cache size.
+class at the paper's cache size, as one engine campaign sweeping the
+``cache_policies`` axis.
 """
 
 from __future__ import annotations
 
-from repro.bench import kernel_trace, render_table
-from repro.core import MachineConfig, simulate
-from repro.kernels import get_kernel
+from repro.bench import render_table
+from repro.engine import CampaignSpec, KernelSpec, run_campaign
 
-from _util import once, save
+from _util import once, save, trace_store
 
 POLICIES = ("lru", "fifo", "random", "direct")
 KERNELS = {
@@ -23,20 +23,22 @@ KERNELS = {
 
 
 def run_ablation():
-    table = {}
-    for name, n in KERNELS.items():
-        program, inputs = get_kernel(name).build(n=n)
-        trace = kernel_trace(program, inputs)
-        table[name] = [
-            simulate(
-                trace,
-                MachineConfig(
-                    n_pes=16, page_size=32, cache_elems=256, cache_policy=policy
-                ),
-            ).remote_read_pct
+    spec = CampaignSpec(
+        name="ablation-a3-replacement",
+        kernels=tuple(KernelSpec(name, n=n) for name, n in KERNELS.items()),
+        pes=(16,),
+        page_sizes=(32,),
+        cache_elems=(256,),
+        cache_policies=POLICIES,
+    )
+    result = run_campaign(spec, store=trace_store(), parallel=False)
+    return {
+        name: [
+            result.find(kernel=name, cache_policy=policy).remote_read_pct
             for policy in POLICIES
         ]
-    return table
+        for name in KERNELS
+    }
 
 
 def test_ablation_replacement_policy(benchmark):

@@ -1,0 +1,101 @@
+"""Engine benchmarks — serial vs parallel fan-out, cold vs warm store.
+
+Times the two axes the ``repro.engine`` subsystem adds on top of the
+simulator core: (1) evaluating one campaign's configuration grid
+serially vs through the multiprocessing executor, and (2) acquiring
+campaign traces with a cold store (interpret + persist) vs a warm one
+(replay ``.npz``, zero interpreter executions — asserted).
+"""
+
+from __future__ import annotations
+
+import shutil
+
+from repro.engine import (
+    CampaignSpec,
+    KernelSpec,
+    TraceStore,
+    interpretation_count,
+    run_campaign,
+)
+
+from _util import once, save, trace_store
+
+#: 3 kernels × (7 PEs × 2 page sizes × 2 cache settings) = 84 configs.
+CAMPAIGN = CampaignSpec(
+    name="bench-engine",
+    kernels=(
+        KernelSpec("hydro_fragment", n=1000),
+        KernelSpec("iccg", n=1024),
+        KernelSpec("hydro_2d", n=100),
+    ),
+    pes=(1, 2, 4, 8, 16, 32, 64),
+    page_sizes=(32, 64),
+    cache_elems=(256, 0),
+)
+
+
+def _warm_store() -> TraceStore:
+    """The shared harness store, pre-warmed for CAMPAIGN's kernels."""
+    store = trace_store()
+    run_campaign(CAMPAIGN, store=store, parallel=False)  # seed entries
+    return store
+
+
+def test_engine_campaign_serial(benchmark):
+    store = _warm_store()
+    result = once(
+        benchmark, lambda: run_campaign(CAMPAIGN, store=store, parallel=False)
+    )
+    assert result.executor == "serial"
+    assert len(result) == CAMPAIGN.n_points
+    benchmark.extra_info["points"] = len(result)
+
+
+def test_engine_campaign_parallel(benchmark):
+    store = _warm_store()
+    baseline = run_campaign(CAMPAIGN, store=store, parallel=False)
+    result = once(
+        benchmark,
+        lambda: run_campaign(CAMPAIGN, store=store, parallel=True),
+    )
+    assert result.executor.startswith(("parallel[", "serial"))
+    benchmark.extra_info["executor"] = result.executor
+    # Whatever the interleaving, the output is bit-identical.
+    assert baseline.identical(result)
+    save(
+        "engine_campaign",
+        f"engine campaign: {CAMPAIGN.n_points} points, "
+        f"executor {result.executor}, "
+        f"{result.elapsed_s:.3f}s wall",
+    )
+
+
+def test_trace_store_cold(benchmark, tmp_path):
+    """Cold acquisition: interpret every kernel and persist the traces."""
+    def cold_run():
+        root = tmp_path / "cold"
+        shutil.rmtree(root, ignore_errors=True)
+        store = TraceStore(root)
+        before = interpretation_count()
+        run_campaign(CAMPAIGN, store=store, parallel=False)
+        return interpretation_count() - before
+
+    interpreted = once(benchmark, cold_run)
+    assert interpreted == len(CAMPAIGN.kernels)
+
+
+def test_trace_store_warm(benchmark, tmp_path):
+    """Warm acquisition: replay ``.npz`` files, zero interpretations."""
+    root = tmp_path / "warm"
+    run_campaign(CAMPAIGN, store=TraceStore(root), parallel=False)
+
+    def warm_run():
+        store = TraceStore(root)  # cold memory, warm disk
+        before = interpretation_count()
+        run_campaign(CAMPAIGN, store=store, parallel=False)
+        return interpretation_count() - before, store.counters.disk_hits
+
+    interpreted, disk_hits = once(benchmark, warm_run)
+    assert interpreted == 0
+    assert disk_hits == len(CAMPAIGN.kernels)

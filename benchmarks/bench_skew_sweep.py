@@ -13,11 +13,12 @@ point is also checked against the exact closed form.
 
 from __future__ import annotations
 
-from repro.bench import kernel_trace, render_table
 from repro.core import MachineConfig, simulate
+from repro.bench import render_table
+from repro.engine import TraceKey, build_trace
 from repro.kernels import build_skewed, expected_skew_remote_fraction
 
-from _util import once, save
+from _util import once, save, trace_store
 
 SKEWS = (0, 1, 2, 4, 8, 11, 16, 24, 32, 48)
 N = 2048
@@ -25,10 +26,15 @@ PS = 32
 
 
 def run_sweep():
+    store = trace_store()
     rows = []
     for skew in SKEWS:
-        program, inputs = build_skewed(n=N, skew=skew)
-        trace = kernel_trace(program, inputs)
+        # Synthetic kernels aren't in the registry, so they address the
+        # store directly: one entry per (n, skew), interpreted once.
+        trace = store.get(
+            TraceKey.make("synthetic_skewed", n=N, skew=skew),
+            lambda: build_trace(*build_skewed(n=N, skew=skew)),
+        )
         cfg = MachineConfig(n_pes=16, page_size=PS, cache_elems=256)
         with_cache = simulate(trace, cfg)
         without = simulate(trace, cfg.without_cache())

@@ -1,0 +1,24 @@
+"""Benchmark-harness fixtures: co-locate the trace store with results.
+
+Everything the harness runs — including the figure/table generators,
+which use the *default* store — reads and writes
+``benchmarks/results/trace-store``, so deleting that directory really
+does make the whole harness cold and no benchmark ever touches the
+user's per-machine cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import set_default_store
+
+from _util import trace_store
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _harness_trace_store():
+    store = trace_store()
+    set_default_store(store)
+    yield store
+    set_default_store(None)

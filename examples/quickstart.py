@@ -9,21 +9,22 @@ Run:  python examples/quickstart.py
 """
 
 from repro import MachineConfig, simulate
-from repro.bench import kernel_trace
+from repro.engine import default_store, kernel_trace_cached
 from repro.kernels import get_kernel
 
 
 def main() -> None:
     kernel = get_kernel("hydro_fragment")
-    program, inputs = kernel.build(n=1000)
     print(f"kernel: {kernel.title} (Livermore #{kernel.number})")
-    print(f"        {program.description}")
 
     # One interpreter run produces the access trace; every machine
-    # configuration is then evaluated against the same trace.
-    trace = kernel_trace(program, inputs)
+    # configuration is then evaluated against the same trace.  The
+    # engine's trace store persists it, so this script interprets the
+    # kernel at most once per machine — re-runs replay the .npz file.
+    trace = kernel_trace_cached("hydro_fragment", n=1000)
     print(f"trace:  {trace.n_instances} statement instances, "
-          f"{trace.n_reads} array reads\n")
+          f"{trace.n_reads} array reads "
+          f"(store: {default_store().root})\n")
 
     print(f"{'PEs':>4} {'remote% (no cache)':>20} {'remote% (cache 256)':>20}")
     for n_pes in (1, 4, 8, 16, 32, 64):

@@ -18,7 +18,13 @@ The package provides:
   protocol;
 * :mod:`repro.kernels` — Livermore Loops workloads (IR + NumPy
   references);
-* :mod:`repro.bench` — sweeps, figure and table generators.
+* :mod:`repro.engine` — the production sweep layer: a persistent,
+  content-addressed trace store (a kernel is interpreted once per
+  machine, ever), declarative campaign specs (Python or JSON), a
+  process-parallel executor with deterministic result ordering, and
+  typed campaign results with JSON export;
+* :mod:`repro.bench` — sweeps, figure and table generators (running
+  on :mod:`repro.engine`).
 
 Quickstart::
 

@@ -17,9 +17,9 @@ import numpy as np
 from ..core.access import AccessKind
 from ..core.simulator import MachineConfig, simulate
 from ..core.stats import LoadBalance
-from ..kernels import get_kernel
+from ..engine.store import kernel_trace_cached
 from .report import render_series_table, render_table
-from .sweep import DEFAULT_PES, Sweep, kernel_trace
+from .sweep import DEFAULT_PES, Sweep
 
 __all__ = [
     "FigureData",
@@ -55,9 +55,9 @@ def _pe_sweep_figure(
     pes: Sequence[int],
     notes: str = "",
 ) -> FigureData:
-    kernel = get_kernel(kernel_name)
-    program, inputs = kernel.build(n=n)
-    trace = kernel_trace(program, inputs)
+    # Store-backed acquisition: the kernel is interpreted at most once
+    # per machine; later figure regenerations replay the stored trace.
+    trace = kernel_trace_cached(kernel_name, n=n)
     sweep = Sweep.run(kernel_name, trace, pes=pes)
     return FigureData(
         figure_id=figure_id,
@@ -156,9 +156,7 @@ def figure5(
     elements = 128 pages, i.e. two pages per PE at 64 PEs and page size
     32 — all PEs participate, as in the paper's figure.
     """
-    kernel = get_kernel("hydro_2d")
-    program, inputs = kernel.build(n=n)
-    trace = kernel_trace(program, inputs)
+    trace = kernel_trace_cached("hydro_2d", n=n)
     cfg = MachineConfig(n_pes=n_pes, page_size=page_size, cache_elems=cache_elems)
     with_cache = simulate(trace, cfg)
     without_cache = simulate(trace, cfg.without_cache())

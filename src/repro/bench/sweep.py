@@ -5,29 +5,37 @@
 series.  A :class:`Sweep` runs one kernel's trace over the cross
 product and exposes the results keyed by configuration, ready for the
 figure and table generators.
+
+The evaluation itself is delegated to :mod:`repro.engine`: the grid is
+materialised as :class:`~repro.core.simulator.MachineConfig` points and
+executed through :func:`repro.engine.run_grid`, which can fan the work
+out across cores (``parallel=True``) while preserving the canonical
+result order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from ..core.partition import ModuloPartition, PartitionScheme
-from ..core.simulator import MachineConfig, SimResult, simulate
+from ..core.simulator import MachineConfig, SimResult
+from ..engine.campaign import DEFAULT_CACHES, DEFAULT_PAGE_SIZES, DEFAULT_PES
+from ..engine.executor import run_grid
+from ..engine.store import build_trace
 from ..ir.loops import Program
 from ..ir.trace import Trace
 
-__all__ = ["Sweep", "SweepPoint", "kernel_trace"]
-
-#: The PE axis of the paper's Figures 1-4 (we extend past 16 to cover
-#: the 32- and 64-PE claims of §7.1.3 and Figure 5).
-DEFAULT_PES: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
-#: The paper's two page sizes.
-DEFAULT_PAGE_SIZES: tuple[int, ...] = (32, 64)
-#: The paper's fixed cache capacity, plus 0 for the "No Cache" series.
-DEFAULT_CACHES: tuple[int, ...] = (256, 0)
+__all__ = [
+    "DEFAULT_CACHES",
+    "DEFAULT_PAGE_SIZES",
+    "DEFAULT_PES",
+    "Sweep",
+    "SweepPoint",
+    "kernel_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -70,28 +78,51 @@ class Sweep:
         caches: Sequence[int] = DEFAULT_CACHES,
         cache_policy: str = "lru",
         partition: PartitionScheme | None = None,
+        parallel: bool = False,
+        workers: int | None = None,
     ) -> "Sweep":
         """Simulate the full cross product (trace is reused throughout)."""
         scheme = partition if partition is not None else ModuloPartition()
+        configs = [
+            MachineConfig(
+                n_pes=n_pes,
+                page_size=page_size,
+                cache_elems=cache_elems,
+                cache_policy=cache_policy,
+                partition=scheme,
+            )
+            for page_size in page_sizes
+            for cache_elems in caches
+            for n_pes in pes
+        ]
+        results = run_grid(trace, configs, parallel=parallel, workers=workers)
         sweep = Sweep(kernel=kernel)
-        for page_size in page_sizes:
-            for cache_elems in caches:
-                for n_pes in pes:
-                    config = MachineConfig(
-                        n_pes=n_pes,
-                        page_size=page_size,
-                        cache_elems=cache_elems,
-                        cache_policy=cache_policy,
-                        partition=scheme,
-                    )
-                    sweep.points.append(
-                        SweepPoint(
-                            n_pes=n_pes,
-                            page_size=page_size,
-                            cache_elems=cache_elems,
-                            result=simulate(trace, config),
-                        )
-                    )
+        sweep.points = [
+            SweepPoint(
+                n_pes=config.n_pes,
+                page_size=config.page_size,
+                cache_elems=config.cache_elems,
+                result=result,
+            )
+            for config, result in zip(configs, results)
+        ]
+        return sweep
+
+    @staticmethod
+    def from_campaign(result, kernel: str) -> "Sweep":
+        """View one kernel of a :class:`repro.engine.CampaignResult`
+        as a Sweep (for the series/figure machinery)."""
+        sweep = Sweep(kernel=kernel)
+        for record in result.select(kernel=kernel):
+            config = record.config
+            sweep.points.append(
+                SweepPoint(
+                    n_pes=config.n_pes,
+                    page_size=config.page_size,
+                    cache_elems=config.cache_elems,
+                    result=record.result,
+                )
+            )
         return sweep
 
     # -- selection ---------------------------------------------------------------
@@ -135,10 +166,9 @@ def kernel_trace(
 ) -> Trace:
     """Generate the kernel's trace once; it drives every configuration.
 
-    Uses the vectorised affine fast path (bit-identical to the
-    interpreter, asserted by the test suite) and falls back to the
-    interpreter for kernels with indirect subscripts.
+    Delegates to :func:`repro.engine.build_trace` — the single trace
+    acquisition path — so every interpretation is accounted for and the
+    vectorised affine fast path (bit-identical to the interpreter,
+    asserted by the test suite) is used wherever it applies.
     """
-    from ..ir.vectorize import fast_trace
-
-    return fast_trace(program, inputs)
+    return build_trace(program, inputs)

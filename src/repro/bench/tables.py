@@ -21,9 +21,9 @@ from typing import Sequence
 
 from ..core.classify import AccessClass, classify
 from ..core.simulator import MachineConfig, simulate
+from ..engine.store import kernel_trace_cached
 from ..kernels import all_kernels, get_kernel
 from .report import render_table
-from .sweep import kernel_trace
 
 __all__ = [
     "ClassRow",
@@ -130,7 +130,7 @@ def conclusions_table(
     for kernel in kernels:
         program, inputs = kernel.build()
         result = classify(program, inputs)
-        trace = kernel_trace(program, inputs)
+        trace = kernel_trace_cached(kernel.name)
         cfg = MachineConfig(
             n_pes=n_pes, page_size=page_size, cache_elems=cache_elems
         )
@@ -182,9 +182,7 @@ def skew_reduction(
 
     The paper quotes 22% -> 1%.
     """
-    kernel = get_kernel("hydro_fragment")
-    program, inputs = kernel.build(n=n)
-    trace = kernel_trace(program, inputs)
+    trace = kernel_trace_cached("hydro_fragment", n=n)
     cfg = MachineConfig(n_pes=n_pes, page_size=page_size, cache_elems=cache_elems)
     with_cache = simulate(trace, cfg)
     without_cache = simulate(trace, cfg.without_cache())

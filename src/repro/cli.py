@@ -7,7 +7,13 @@ Usage::
     python -m repro tables                   # T1-T3
     python -m repro classify hydro_fragment  # one kernel's class
     python -m repro sweep iccg --pes 4 16 64 # custom sweep
+    python -m repro sweep --campaign spec.json --parallel --json out.json
     python -m repro advise hydro_2d          # §9 partitioning advisor
+
+The ``sweep`` subcommand runs on :mod:`repro.engine`: traces come from
+the persistent store (interpreted once per machine), a JSON campaign
+spec can drive multi-kernel / multi-axis sweeps, and ``--parallel``
+fans the configuration grid out across cores.
 """
 
 from __future__ import annotations
@@ -100,26 +106,59 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .bench import Sweep, kernel_trace, render_series_table
+    from .bench import Sweep, render_series_table, render_table
+    from .engine import CampaignSpec, KernelSpec, run_campaign
 
-    _, (program, inputs) = _build(args.kernel, args.n)
-    trace = kernel_trace(program, inputs)
-    sweep = Sweep.run(
-        args.kernel,
-        trace,
-        pes=tuple(args.pes),
-        page_sizes=tuple(args.page_sizes),
-        caches=(args.cache, 0) if args.cache else (0,),
-    )
-    print(
-        render_series_table(
-            "PEs",
-            sweep.pe_axis(),
-            sweep.series(),
-            title=f"{args.kernel}: % of reads remote",
-            unit="",
+    if args.campaign:
+        spec = CampaignSpec.load(args.campaign)
+        if args.kernel:
+            spec = spec.subset(args.kernel)
+    elif args.kernel:
+        spec = CampaignSpec(
+            name="cli-sweep",
+            kernels=tuple(KernelSpec(k, n=args.n) for k in args.kernel),
+            pes=tuple(args.pes),
+            page_sizes=tuple(args.page_sizes),
+            cache_elems=(args.cache, 0) if args.cache else (0,),
+            cache_policies=(args.policy,),
+            partitions=(args.partition,),
         )
+    else:
+        print("error: need a kernel name or --campaign FILE", file=sys.stderr)
+        return 2
+    result = run_campaign(
+        spec, parallel=args.parallel, workers=args.workers
     )
+    if args.json:
+        print(f"wrote {result.save_json(args.json)}")
+    # Figure-style series tables need one value per (page size, cache
+    # on/off, PEs) cell; richer grids get the flat record table.
+    series_friendly = (
+        len(spec.cache_policies) == 1
+        and len(spec.partitions) == 1
+        and len(spec.reduction_strategies) == 1
+        and len([c for c in spec.cache_elems if c]) <= 1
+    )
+    for label in result.kernels():
+        if series_friendly:
+            sweep = Sweep.from_campaign(result, label)
+            print(
+                render_series_table(
+                    "PEs",
+                    sweep.pe_axis(),
+                    sweep.series(),
+                    title=f"{label}: % of reads remote",
+                    unit="",
+                )
+            )
+        else:
+            headers, rows = result.rows(label)
+            print(
+                render_table(
+                    headers, rows, title=f"{label}: campaign records"
+                )
+            )
+        print()
     return 0
 
 
@@ -186,8 +225,12 @@ def build_parser() -> argparse.ArgumentParser:
     cls.add_argument("-v", "--verbose", action="store_true")
     cls.set_defaults(fn=_cmd_classify)
 
-    swp = sub.add_parser("sweep", help="sweep machine configurations")
-    swp.add_argument("kernel")
+    swp = sub.add_parser(
+        "sweep", help="sweep machine configurations (engine-backed)"
+    )
+    swp.add_argument(
+        "kernel", nargs="*", help="kernel name(s); optional with --campaign"
+    )
     swp.add_argument("--n", type=int, default=None)
     swp.add_argument(
         "--pes", nargs="+", type=int, default=[1, 4, 8, 16, 32, 64]
@@ -195,6 +238,34 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--page-sizes", nargs="+", type=int, default=[32, 64])
     swp.add_argument(
         "--cache", type=int, default=256, help="cache elements (0 = none)"
+    )
+    swp.add_argument(
+        "--policy", default="lru", help="cache policy (lru/fifo/random/direct)"
+    )
+    swp.add_argument(
+        "--partition",
+        default="modulo",
+        help="partition scheme (modulo, block, block-cyclic:K)",
+    )
+    swp.add_argument(
+        "--campaign",
+        metavar="FILE",
+        default=None,
+        help="JSON campaign spec (overrides the axis flags)",
+    )
+    swp.add_argument(
+        "--json",
+        metavar="OUT",
+        default=None,
+        help="write full campaign results as JSON",
+    )
+    swp.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan the configuration grid out across cores",
+    )
+    swp.add_argument(
+        "--workers", type=int, default=None, help="worker processes"
     )
     swp.set_defaults(fn=_cmd_sweep)
 
@@ -222,6 +293,6 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
-    except KeyError as exc:
+    except (KeyError, ValueError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,74 @@
+"""repro.engine — parallel sweep execution over a persistent trace store.
+
+The production layer between the simulator core and the bench/CLI
+surface, exploiting the paper's trace-once / sweep-many structure at
+scale:
+
+* :mod:`~repro.engine.store` — content-addressed ``.npz`` trace store
+  (a kernel is interpreted once per machine, ever) and the single
+  code path for trace acquisition;
+* :mod:`~repro.engine.campaign` — declarative sweep specs (kernels ×
+  PEs × page sizes × caches × policies × partitions), JSON in and out;
+* :mod:`~repro.engine.executor` — a multiprocessing fan-out with
+  copy-on-write trace sharing, deterministic result ordering and a
+  serial fallback;
+* :mod:`~repro.engine.results` — typed records with bit-exact
+  comparison and JSON export.
+
+Quickstart::
+
+    from repro.engine import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        name="demo",
+        kernels=("hydro_fragment", "iccg"),
+        pes=(1, 4, 16, 64),
+        page_sizes=(32, 64),
+        cache_elems=(256, 0),
+    )
+    result = run_campaign(spec)           # parallel, store-backed
+    print(result.to_json())
+"""
+
+from .campaign import (
+    DEFAULT_CACHES,
+    DEFAULT_PAGE_SIZES,
+    DEFAULT_PES,
+    CampaignSpec,
+    KernelSpec,
+)
+from .executor import default_workers, run_campaign, run_grid
+from .results import CampaignResult, EvalRecord
+from .store import (
+    TRACE_STORE_ENV,
+    StoreCounters,
+    TraceKey,
+    TraceStore,
+    build_trace,
+    default_store,
+    interpretation_count,
+    kernel_trace_cached,
+    set_default_store,
+)
+
+__all__ = [
+    "DEFAULT_CACHES",
+    "DEFAULT_PAGE_SIZES",
+    "DEFAULT_PES",
+    "TRACE_STORE_ENV",
+    "CampaignResult",
+    "CampaignSpec",
+    "EvalRecord",
+    "KernelSpec",
+    "StoreCounters",
+    "TraceKey",
+    "TraceStore",
+    "build_trace",
+    "default_store",
+    "default_workers",
+    "interpretation_count",
+    "kernel_trace_cached",
+    "run_campaign",
+    "run_grid",
+    "set_default_store",
+]

@@ -1,0 +1,231 @@
+"""Declarative sweep campaigns: kernels × machine-configuration axes.
+
+A :class:`CampaignSpec` names the workloads and the full cross product
+of machine parameters to evaluate them under — the paper's §6 sweep
+("number of processors; page size ...; with the cache toggled per
+series") generalised to every axis the simulator exposes: cache
+policy, partition scheme and reduction strategy.  Specs are plain
+frozen data, expressible in Python or JSON (``to_json``/``from_json``),
+and enumerate their points in one canonical order so serial and
+parallel executions are comparable record for record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, replace
+from itertools import product
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+from ..core.partition import named_scheme
+from ..core.simulator import MachineConfig
+
+__all__ = [
+    "DEFAULT_CACHES",
+    "DEFAULT_PAGE_SIZES",
+    "DEFAULT_PES",
+    "CampaignSpec",
+    "KernelSpec",
+]
+
+#: The PE axis of the paper's Figures 1-4 (extended past 16 to cover
+#: the 32- and 64-PE claims of §7.1.3 and Figure 5).
+DEFAULT_PES: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+#: The paper's two page sizes.
+DEFAULT_PAGE_SIZES: tuple[int, ...] = (32, 64)
+#: The paper's fixed cache capacity, plus 0 for the "No Cache" series.
+DEFAULT_CACHES: tuple[int, ...] = (256, 0)
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One workload of a campaign: registry name + build parameters."""
+
+    name: str
+    n: int | None = None
+    seed: int | None = None
+
+    @property
+    def label(self) -> str:
+        """Unique, stable identifier of this workload within a spec."""
+        parts = [self.name]
+        if self.n is not None:
+            parts.append(f"n={self.n}")
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        return parts[0] if len(parts) == 1 else f"{parts[0]}[{','.join(parts[1:])}]"
+
+    def to_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {"name": self.name}
+        if self.n is not None:
+            out["n"] = self.n
+        if self.seed is not None:
+            out["seed"] = self.seed
+        return out
+
+    @staticmethod
+    def coerce(value: "KernelSpec | str | Mapping[str, object]") -> "KernelSpec":
+        if isinstance(value, KernelSpec):
+            return value
+        if isinstance(value, str):
+            return KernelSpec(name=value)
+        extra = set(value) - {"name", "n", "seed"}
+        if extra:
+            raise ValueError(f"unknown kernel spec keys: {sorted(extra)}")
+        return KernelSpec(
+            name=str(value["name"]),
+            n=None if value.get("n") is None else int(value["n"]),
+            seed=None if value.get("seed") is None else int(value["seed"]),
+        )
+
+
+_AXIS_FIELDS = (
+    "pes",
+    "page_sizes",
+    "cache_elems",
+    "cache_policies",
+    "partitions",
+    "reduction_strategies",
+)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative sweep: every kernel under every configuration.
+
+    ``partitions`` holds partition-scheme *names* ("modulo", "block",
+    "block-cyclic:K") so the spec stays JSON-serialisable; they are
+    resolved through :func:`repro.core.partition.named_scheme` when the
+    configurations are materialised.
+    """
+
+    name: str
+    kernels: tuple[KernelSpec, ...]
+    pes: tuple[int, ...] = DEFAULT_PES
+    page_sizes: tuple[int, ...] = DEFAULT_PAGE_SIZES
+    cache_elems: tuple[int, ...] = DEFAULT_CACHES
+    cache_policies: tuple[str, ...] = ("lru",)
+    partitions: tuple[str, ...] = ("modulo",)
+    reduction_strategies: tuple[str, ...] = ("host",)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "kernels",
+            tuple(KernelSpec.coerce(k) for k in self.kernels),
+        )
+        for axis in _AXIS_FIELDS:
+            object.__setattr__(self, axis, tuple(getattr(self, axis)))
+        if not self.kernels:
+            raise ValueError("campaign needs at least one kernel")
+        for axis in _AXIS_FIELDS:
+            if not getattr(self, axis):
+                raise ValueError(f"campaign axis {axis!r} is empty")
+        labels = [k.label for k in self.kernels]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate kernel specs in campaign: {labels}")
+        for scheme in self.partitions:
+            named_scheme(scheme)  # fail fast on typos
+
+    # -- enumeration -----------------------------------------------------------
+    @property
+    def n_configs(self) -> int:
+        """Machine configurations evaluated per kernel."""
+        total = 1
+        for axis in _AXIS_FIELDS:
+            total *= len(getattr(self, axis))
+        return total
+
+    @property
+    def n_points(self) -> int:
+        return len(self.kernels) * self.n_configs
+
+    def configs(self) -> list[MachineConfig]:
+        """The configuration grid, in canonical order.
+
+        The innermost nesting (page size → cache → PEs) matches the
+        historical :class:`repro.bench.Sweep` ordering so refactored
+        callers see records in the order they always did.
+        """
+        out = []
+        for scheme, policy, strategy, page_size, cache, n_pes in product(
+            self.partitions,
+            self.cache_policies,
+            self.reduction_strategies,
+            self.page_sizes,
+            self.cache_elems,
+            self.pes,
+        ):
+            out.append(
+                MachineConfig(
+                    n_pes=n_pes,
+                    page_size=page_size,
+                    cache_elems=cache,
+                    cache_policy=policy,
+                    partition=named_scheme(scheme),
+                    reduction_strategy=strategy,
+                )
+            )
+        return out
+
+    def points(self) -> Iterator[tuple[KernelSpec, MachineConfig]]:
+        """Every (kernel, configuration) pair, kernel-major."""
+        configs = self.configs()
+        for kernel in self.kernels:
+            for config in configs:
+                yield kernel, config
+
+    def subset(self, kernels: Sequence[str]) -> "CampaignSpec":
+        """Restrict to the named kernels (by label or registry name)."""
+        wanted = set(kernels)
+        keep = tuple(
+            k for k in self.kernels if k.label in wanted or k.name in wanted
+        )
+        if not keep:
+            raise KeyError(f"no campaign kernels match {sorted(wanted)}")
+        return replace(self, kernels=keep)
+
+    # -- (de)serialisation -----------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "kernels": [k.to_dict() for k in self.kernels],
+            **{axis: list(getattr(self, axis)) for axis in _AXIS_FIELDS},
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "CampaignSpec":
+        known = {"name", "kernels", *_AXIS_FIELDS}
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown campaign spec keys: {sorted(extra)}")
+        if "kernels" not in data:
+            raise ValueError("campaign spec needs a 'kernels' list")
+        kwargs: dict[str, object] = {
+            "name": str(data.get("name", "campaign")),
+            "kernels": tuple(
+                KernelSpec.coerce(k) for k in data["kernels"]  # type: ignore[union-attr]
+            ),
+        }
+        for axis in _AXIS_FIELDS:
+            if axis in data:
+                kwargs[axis] = tuple(data[axis])  # type: ignore[arg-type]
+        return CampaignSpec(**kwargs)  # type: ignore[arg-type]
+
+    @staticmethod
+    def from_json(text: str) -> "CampaignSpec":
+        return CampaignSpec.from_dict(json.loads(text))
+
+    def save(self, path: str | os.PathLike) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @staticmethod
+    def load(path: str | os.PathLike) -> "CampaignSpec":
+        return CampaignSpec.from_json(Path(path).read_text())

@@ -1,0 +1,168 @@
+"""Process-parallel campaign execution with a serial twin.
+
+The unit of work is one ``simulate(trace, config)`` call — pure,
+deterministic, and independent of every other point, so a campaign
+fans out embarrassingly across cores.  Traces are loaded (or pulled
+from the :mod:`store <repro.engine.store>`) exactly once in the parent
+and *shared* with the workers: under the ``fork`` start method the
+worker pool inherits the parent's trace table copy-on-write, paying
+zero serialisation cost; under ``spawn``/``forkserver`` the table is
+shipped once per worker through the pool initializer.
+
+Jobs carry their position in the spec's canonical enumeration and
+results are reassembled by that index, so the parallel executor
+returns records in exactly the serial order — bit-identical output,
+whatever the scheduling interleaving (asserted by the test suite).
+If a pool cannot be created at all (restricted sandboxes without
+working process primitives), execution degrades to the serial path
+with a warning rather than failing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import warnings
+from typing import Sequence
+
+from ..core.simulator import MachineConfig, SimResult, simulate
+from ..ir.trace import Trace
+from .campaign import CampaignSpec
+from .results import CampaignResult
+from .store import TraceStore, kernel_trace_cached
+
+__all__ = ["default_workers", "run_campaign", "run_grid"]
+
+#: Traces published to pool workers.  Populated in the parent right
+#: before the pool is created: fork children inherit it copy-on-write;
+#: spawn children receive the same table through ``_init_worker``.
+_SHARED_TRACES: dict[str, Trace] = {}
+
+#: A job is (canonical index, trace label, machine configuration).
+_Job = tuple[int, str, MachineConfig]
+
+
+def default_workers() -> int:
+    """Worker count when unspecified: one per available core."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _init_worker(traces: dict[str, Trace] | None) -> None:
+    if traces is not None:  # spawn/forkserver: table arrives pickled
+        _SHARED_TRACES.clear()
+        _SHARED_TRACES.update(traces)
+
+
+def _eval_job(job: _Job) -> tuple[int, SimResult]:
+    index, label, config = job
+    return index, simulate(_SHARED_TRACES[label], config)
+
+
+def _run_serial(jobs: Sequence[_Job]) -> dict[int, SimResult]:
+    return dict(_eval_job(job) for job in jobs)
+
+
+def _run_parallel(
+    jobs: Sequence[_Job], traces: dict[str, Trace], workers: int
+) -> dict[int, SimResult]:
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else None)
+    fork = ctx.get_start_method() == "fork"
+    # fork children inherit the already-populated _SHARED_TRACES
+    # copy-on-write; other start methods get the table pickled once
+    # per worker through the initializer.
+    initargs = (None,) if fork else (traces,)
+    chunksize = max(1, len(jobs) // (workers * 4))
+    with ctx.Pool(
+        processes=workers, initializer=_init_worker, initargs=initargs
+    ) as pool:
+        return dict(pool.map(_eval_job, jobs, chunksize=chunksize))
+
+
+def _execute(
+    jobs: Sequence[_Job],
+    traces: dict[str, Trace],
+    parallel: bool,
+    workers: int | None,
+) -> tuple[dict[int, SimResult], str]:
+    """Run all jobs; returns (index→result, executor description)."""
+    _SHARED_TRACES.clear()
+    _SHARED_TRACES.update(traces)
+    try:
+        if not parallel or len(jobs) < 2:
+            return _run_serial(jobs), "serial"
+        n_workers = min(workers or default_workers(), len(jobs))
+        try:
+            return (
+                _run_parallel(jobs, traces, n_workers),
+                f"parallel[{n_workers}]",
+            )
+        except OSError as exc:
+            warnings.warn(
+                f"worker pool unavailable ({exc}); falling back to serial",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return _run_serial(jobs), "serial-fallback"
+    finally:
+        _SHARED_TRACES.clear()
+
+
+def run_grid(
+    trace: Trace,
+    configs: Sequence[MachineConfig],
+    *,
+    parallel: bool = False,
+    workers: int | None = None,
+) -> list[SimResult]:
+    """Evaluate one trace under many configurations, in input order.
+
+    The engine primitive beneath :class:`repro.bench.Sweep`: serial by
+    default (cheap grids are dominated by pool startup), parallel on
+    request, identical results either way.
+    """
+    configs = list(configs)
+    jobs: list[_Job] = [(i, "", config) for i, config in enumerate(configs)]
+    results, _ = _execute(jobs, {"": trace}, parallel, workers)
+    return [results[i] for i in range(len(configs))]
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    store: TraceStore | None = None,
+    parallel: bool = True,
+    workers: int | None = None,
+) -> CampaignResult:
+    """Execute a campaign: acquire traces once, fan configurations out.
+
+    Traces come from ``store`` (the default store when ``None``) —
+    interpreted at most once per machine, then replayed from ``.npz``.
+    Results arrive in the spec's canonical order regardless of how the
+    pool interleaved the work.
+    """
+    started = time.perf_counter()
+    traces: dict[str, Trace] = {}
+    trace_meta: dict[str, dict[str, int]] = {}
+    for kernel in spec.kernels:
+        trace = kernel_trace_cached(
+            kernel.name, n=kernel.n, seed=kernel.seed, store=store
+        )
+        traces[kernel.label] = trace
+        trace_meta[kernel.label] = {
+            "n_instances": trace.n_instances,
+            "n_reads": trace.n_reads,
+        }
+    jobs: list[_Job] = [
+        (i, kernel.label, config)
+        for i, (kernel, config) in enumerate(spec.points())
+    ]
+    results, executor = _execute(jobs, traces, parallel, workers)
+    return CampaignResult.from_mapping(
+        spec,
+        results,
+        trace_meta=trace_meta,
+        executor=executor,
+        elapsed_s=time.perf_counter() - started,
+    )

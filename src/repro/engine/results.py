@@ -1,0 +1,210 @@
+"""Typed campaign results with JSON export.
+
+One :class:`EvalRecord` per (kernel, configuration) point, in the
+spec's canonical order, each carrying the full :class:`SimResult` so
+nothing is lost between execution and reporting; ``to_dict`` flattens
+a record to the JSON-friendly summary the CLI and the figure/table
+generators consume.  :meth:`CampaignResult.identical` compares two
+runs counter for counter — the bit-exactness contract between the
+serial and parallel executors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from ..core.simulator import SimResult
+from .campaign import CampaignSpec, KernelSpec
+
+__all__ = ["CampaignResult", "EvalRecord"]
+
+
+@dataclass(frozen=True)
+class EvalRecord:
+    """One evaluated sweep point."""
+
+    kernel: KernelSpec
+    result: SimResult
+
+    # -- convenient views ------------------------------------------------------
+    @property
+    def config(self):
+        return self.result.config
+
+    @property
+    def remote_read_pct(self) -> float:
+        return self.result.remote_read_pct
+
+    @property
+    def cached_read_pct(self) -> float:
+        return self.result.cached_read_pct
+
+    def matches(self, **criteria: object) -> bool:
+        """True when every criterion equals the record's field.
+
+        Criteria may name ``kernel`` (registry name or label) or any
+        configuration axis (``n_pes``, ``page_size``, ``cache_elems``,
+        ``cache_policy``, ``partition`` — by scheme label — or
+        ``reduction_strategy``).
+        """
+        config = self.config
+        for key, wanted in criteria.items():
+            if key == "kernel":
+                if wanted not in (self.kernel.name, self.kernel.label):
+                    return False
+            elif key == "partition":
+                if config.partition.label != wanted:
+                    return False
+            elif key in ("n", "seed"):
+                if getattr(self.kernel, key) != wanted:
+                    return False
+            else:
+                if getattr(config, key) != wanted:
+                    return False
+        return True
+
+    def to_dict(self) -> dict[str, object]:
+        config = self.config
+        out: dict[str, object] = {
+            "kernel": self.kernel.name,
+            "n": self.kernel.n,
+            "seed": self.kernel.seed,
+            "n_pes": config.n_pes,
+            "page_size": config.page_size,
+            "cache_elems": config.cache_elems,
+            "cache_policy": config.cache_policy,
+            "partition": config.partition.label,
+            "reduction_strategy": config.reduction_strategy,
+        }
+        out.update(self.result.summary())
+        return out
+
+    def identical(self, other: "EvalRecord") -> bool:
+        """Bit-exact comparison of every simulation counter."""
+        mine, theirs = self.result, other.result
+        return (
+            self.kernel == other.kernel
+            and self.config.label() == other.config.label()
+            and np.array_equal(mine.stats.counts, theirs.stats.counts)
+            and np.array_equal(mine.stats.by_array, theirs.stats.by_array)
+            and np.array_equal(mine.page_fetches, theirs.page_fetches)
+            and np.array_equal(
+                mine.distinct_pages_fetched, theirs.distinct_pages_fetched
+            )
+        )
+
+
+@dataclass
+class CampaignResult:
+    """All records of one executed campaign, in canonical spec order."""
+
+    spec: CampaignSpec
+    records: list[EvalRecord]
+    #: per-kernel-label trace shape, recorded at acquisition time
+    trace_meta: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: how the campaign ran ("serial" or "parallel[N]")
+    executor: str = "serial"
+    elapsed_s: float | None = None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[EvalRecord]:
+        return iter(self.records)
+
+    # -- selection -------------------------------------------------------------
+    def select(self, **criteria: object) -> list[EvalRecord]:
+        return [r for r in self.records if r.matches(**criteria)]
+
+    def find(self, **criteria: object) -> EvalRecord:
+        """The unique record matching the criteria (KeyError otherwise)."""
+        hits = self.select(**criteria)
+        if len(hits) != 1:
+            raise KeyError(
+                f"{len(hits)} records match {criteria!r} (need exactly 1)"
+            )
+        return hits[0]
+
+    def kernels(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.kernel.label)
+        return list(seen)
+
+    # -- comparison ------------------------------------------------------------
+    def identical(self, other: "CampaignResult") -> bool:
+        """Record-for-record bit-exact equality (order included)."""
+        if len(self.records) != len(other.records):
+            return False
+        return all(
+            a.identical(b) for a, b in zip(self.records, other.records)
+        )
+
+    # -- export ----------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "campaign": self.spec.to_dict(),
+            "executor": self.executor,
+            "elapsed_s": self.elapsed_s,
+            "traces": self.trace_meta,
+            "results": [record.to_dict() for record in self.records],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save_json(self, path: str | os.PathLike) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    def rows(
+        self, kernel: str | None = None
+    ) -> tuple[list[str], list[list[object]]]:
+        """(headers, rows) for ASCII rendering, optionally one kernel."""
+        records = self.select(kernel=kernel) if kernel else self.records
+        headers = [
+            "kernel",
+            "pes",
+            "ps",
+            "cache",
+            "policy",
+            "partition",
+            "remote%",
+            "cached%",
+        ]
+        rows: list[list[object]] = []
+        for record in records:
+            config = record.config
+            rows.append(
+                [
+                    record.kernel.label,
+                    config.n_pes,
+                    config.page_size,
+                    config.cache_elems,
+                    config.cache_policy,
+                    config.partition.label,
+                    record.remote_read_pct,
+                    record.cached_read_pct,
+                ]
+            )
+        return headers, rows
+
+    @staticmethod
+    def from_mapping(
+        spec: CampaignSpec,
+        results: Mapping[int, SimResult],
+        **kwargs: object,
+    ) -> "CampaignResult":
+        """Assemble records from index→result, restoring spec order."""
+        records = [
+            EvalRecord(kernel=kernel, result=results[i])
+            for i, (kernel, _config) in enumerate(spec.points())
+        ]
+        return CampaignResult(spec=spec, records=records, **kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,288 @@
+"""Persistent, content-addressed trace store.
+
+The paper's method is trace-once / sweep-many: a kernel's access trace
+depends only on the program and its data, never on the machine
+configuration, so one interpreter run drives an entire parameter space
+(§6).  The store pushes that to its logical end — a kernel is
+interpreted once *per machine, ever*.  Traces are serialised to
+compressed ``.npz`` files (:meth:`repro.ir.trace.Trace.save`) under a
+root directory and addressed by a digest of ``(kernel name, build
+parameters, trace format version)``, so a change to any ingredient
+yields a fresh entry instead of a stale hit.
+
+This module is also the single code path for trace *acquisition*:
+:func:`build_trace` is the only place the interpreter (or its
+vectorised fast path) is invoked on behalf of the engine, the bench
+harness and the CLI, which is what lets the test suite assert that a
+warm store performs **zero** interpreter executions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..ir.loops import Program
+from ..ir.trace import TRACE_FORMAT_VERSION, Trace
+
+__all__ = [
+    "TRACE_STORE_ENV",
+    "StoreCounters",
+    "TraceKey",
+    "TraceStore",
+    "build_trace",
+    "default_store",
+    "interpretation_count",
+    "kernel_trace_cached",
+    "set_default_store",
+]
+
+#: Environment variable overriding the default store root.
+TRACE_STORE_ENV = "REPRO_TRACE_STORE"
+
+# ---------------------------------------------------------------------------
+# the one interpretation path
+# ---------------------------------------------------------------------------
+
+_interpretations = 0
+
+
+def interpretation_count() -> int:
+    """How many traces this process has generated from scratch.
+
+    Every trace acquisition in the repo funnels through
+    :func:`build_trace`, so this counter is exactly the number of
+    interpreter / fast-path executions — a warm store keeps it flat.
+    """
+    return _interpretations
+
+
+def build_trace(program: Program, inputs: Mapping[str, np.ndarray]) -> Trace:
+    """Generate a trace from scratch (the *only* interpretation path).
+
+    Uses the vectorised affine fast path (bit-identical to the
+    interpreter, asserted by the test suite) and falls back to the
+    interpreter for kernels with indirect subscripts.
+    """
+    global _interpretations
+    _interpretations += 1
+    from ..ir.vectorize import fast_trace
+
+    return fast_trace(program, inputs)
+
+
+# ---------------------------------------------------------------------------
+# content addressing
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceKey:
+    """Identity of a stored trace: kernel name + canonicalised params.
+
+    The digest covers the trace format version too, so a format bump
+    invalidates every old entry instead of misreading it.
+    """
+
+    kernel: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    @staticmethod
+    def make(kernel: str, **params: object) -> "TraceKey":
+        return TraceKey(kernel=kernel, params=tuple(sorted(params.items())))
+
+    @property
+    def digest(self) -> str:
+        from .. import __version__
+
+        # The package version is part of the identity: a release that
+        # changes kernel builders or the trace generator invalidates
+        # every old entry instead of silently replaying stale traces.
+        # (Within one dev version, ``TraceStore.clear()`` or deleting
+        # the store root forces a rebuild.)
+        document = json.dumps(
+            {
+                "kernel": self.kernel,
+                "params": list(self.params),
+                "format_version": TRACE_FORMAT_VERSION,
+                "package_version": __version__,
+            },
+            sort_keys=True,
+            default=str,
+        )
+        return hashlib.sha256(document.encode()).hexdigest()
+
+    @property
+    def filename(self) -> str:
+        safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", self.kernel) or "trace"
+        return f"{safe}-{self.digest[:16]}.npz"
+
+    def describe(self) -> str:
+        args = ", ".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.kernel}({args})"
+
+
+@dataclass
+class StoreCounters:
+    """Observability: where each ``get`` was satisfied."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.memory_hits + self.disk_hits + self.misses
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+        }
+
+
+class TraceStore:
+    """Two-level (memory, disk) cache of frozen traces.
+
+    ``get`` resolves a :class:`TraceKey` against the in-process map
+    first, then the ``.npz`` file under ``root``, and only then invokes
+    the builder — persisting its result for every later process.
+    Unreadable or stale-format files are treated as misses and
+    rebuilt in place, never propagated.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.counters = StoreCounters()
+        self._memory: dict[TraceKey, Trace] = {}
+
+    # -- paths -----------------------------------------------------------------
+    def path_for(self, key: TraceKey) -> Path:
+        return self.root / key.filename
+
+    def __contains__(self, key: TraceKey) -> bool:
+        return key in self._memory or self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.npz"))
+
+    # -- access ----------------------------------------------------------------
+    def load(self, key: TraceKey) -> Trace | None:
+        """Disk lookup only; ``None`` on absent or unreadable entries."""
+        path = self.path_for(key)
+        if not path.is_file():
+            return None
+        try:
+            return Trace.load(path)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            return None
+
+    def put(self, key: TraceKey, trace: Trace) -> Path:
+        self._memory[key] = trace
+        return trace.save(self.path_for(key))
+
+    def get(self, key: TraceKey, builder: Callable[[], Trace]) -> Trace:
+        """Memory → disk → ``builder()`` (which is then persisted)."""
+        trace = self._memory.get(key)
+        if trace is not None:
+            self.counters.memory_hits += 1
+            return trace
+        trace = self.load(key)
+        if trace is not None:
+            self.counters.disk_hits += 1
+            self._memory[key] = trace
+            return trace
+        self.counters.misses += 1
+        trace = builder()
+        self.put(key, trace)
+        return trace
+
+    # -- maintenance -----------------------------------------------------------
+    def clear_memory(self) -> None:
+        self._memory.clear()
+
+    def clear(self) -> None:
+        """Drop the memory map and delete every on-disk entry."""
+        self.clear_memory()
+        if self.root.is_dir():
+            for path in self.root.glob("*.npz"):
+                path.unlink(missing_ok=True)
+
+    def __repr__(self) -> str:
+        return f"TraceStore({str(self.root)!r}, entries={len(self)})"
+
+
+# ---------------------------------------------------------------------------
+# default store
+# ---------------------------------------------------------------------------
+
+_override: TraceStore | None = None
+_instances: dict[Path, TraceStore] = {}
+
+
+def set_default_store(store: TraceStore | None) -> None:
+    """Globally override (or with ``None`` reset) the default store.
+
+    The test suite points the default at a tmpdir through this hook so
+    runs never pollute the user's cache directory.
+    """
+    global _override
+    _override = store
+
+
+def default_store() -> TraceStore:
+    """The process-wide store: ``$REPRO_TRACE_STORE`` or ``~/.cache``.
+
+    Instances are memoised per resolved root so the in-memory layer
+    survives repeated calls while env-var changes take effect.
+    """
+    if _override is not None:
+        return _override
+    env = os.environ.get(TRACE_STORE_ENV)
+    root = (
+        Path(env).expanduser()
+        if env
+        else Path.home() / ".cache" / "repro" / "traces"
+    )
+    store = _instances.get(root)
+    if store is None:
+        store = _instances.setdefault(root, TraceStore(root))
+    return store
+
+
+def kernel_trace_cached(
+    name: str,
+    n: int | None = None,
+    seed: int | None = None,
+    store: TraceStore | None = None,
+) -> Trace:
+    """Trace of a registered kernel, interpreted at most once per machine.
+
+    The canonical acquisition path for everything keyed by a registry
+    kernel name: resolves ``n`` to the kernel's default so equivalent
+    requests share one store entry, and only builds (program, inputs)
+    on a miss.
+    """
+    from ..kernels import get_kernel
+
+    kernel = get_kernel(name)
+    eff_n = kernel.default_n if n is None else n
+    key = TraceKey.make(name, n=eff_n, seed=seed)
+    target = store if store is not None else default_store()
+
+    def _build() -> Trace:
+        program, inputs = kernel.build(n=eff_n, seed=seed)
+        return build_trace(program, inputs)
+
+    return target.get(key, _build)

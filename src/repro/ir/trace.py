@@ -17,12 +17,32 @@ simulator can vectorise owner computations with NumPy.
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["Trace", "TraceBuilder"]
+__all__ = ["TRACE_FORMAT_VERSION", "Trace", "TraceBuilder"]
+
+#: On-disk ``.npz`` layout version.  Bump when the set of columns or
+#: their meaning changes; :meth:`Trace.load` refuses other versions so
+#: a stale store entry can never be misread silently.
+TRACE_FORMAT_VERSION = 1
+
+#: The numpy columns of a trace, in canonical order.
+_COLUMNS = (
+    "stmt_ids",
+    "w_arr",
+    "w_flat",
+    "r_ptr",
+    "r_arr",
+    "r_flat",
+    "reduction_mask",
+)
 
 
 @dataclass(frozen=True)
@@ -84,6 +104,75 @@ class Trace:
                 int(self.w_flat[i]),
                 self.reads_of(i),
             )
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> Path:
+        """Serialise to a compressed ``.npz`` file (atomic replace).
+
+        The numpy columns keep their exact dtypes; names, sizes and the
+        format version travel as an embedded JSON document.  The write
+        goes through a temporary file in the destination directory so
+        concurrent writers (parallel sweep workers, several processes
+        warming one trace store) can never leave a torn file behind.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        meta = json.dumps(
+            {
+                "format_version": TRACE_FORMAT_VERSION,
+                "array_names": list(self.array_names),
+                "array_sizes": list(self.array_sizes),
+            }
+        )
+        payload = {name: getattr(self, name) for name in _COLUMNS}
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez_compressed(fh, meta=np.array(meta), **payload)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Trace":
+        """Load a trace saved by :meth:`save` (validated, exact dtypes)."""
+        with np.load(Path(path), allow_pickle=False) as data:
+            try:
+                meta = json.loads(str(data["meta"][()]))
+                columns = {name: data[name] for name in _COLUMNS}
+            except KeyError as exc:
+                raise ValueError(f"not a trace file: missing {exc}") from None
+        version = meta.get("format_version")
+        if version != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {version!r} "
+                f"(expected {TRACE_FORMAT_VERSION})"
+            )
+        trace = cls(
+            array_names=tuple(meta["array_names"]),
+            array_sizes=tuple(int(s) for s in meta["array_sizes"]),
+            **columns,
+        )
+        trace.validate()
+        return trace
+
+    def identical(self, other: "Trace") -> bool:
+        """Bit-exact equality: same metadata, same arrays, same dtypes."""
+        if (
+            self.array_names != other.array_names
+            or self.array_sizes != other.array_sizes
+        ):
+            return False
+        for field in _COLUMNS:
+            mine, theirs = getattr(self, field), getattr(other, field)
+            if mine.dtype != theirs.dtype or not np.array_equal(mine, theirs):
+                return False
+        return True
 
     def validate(self) -> None:
         """Internal-consistency checks (used by tests)."""

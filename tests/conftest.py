@@ -1,4 +1,4 @@
-"""Shared fixtures: small kernels and their traces."""
+"""Shared fixtures: small kernels, their traces, and store isolation."""
 
 from __future__ import annotations
 
@@ -6,7 +6,22 @@ import numpy as np
 import pytest
 
 from repro.bench import kernel_trace
+from repro.engine import TraceStore, set_default_store
 from repro.ir import ProgramBuilder
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_trace_store(tmp_path_factory):
+    """Point the default trace store at a session tmpdir.
+
+    Tests exercise the store-backed figure/table/CLI paths freely
+    without ever touching the user's per-machine cache or the working
+    directory; within the session, traces are still shared (warm).
+    """
+    store = TraceStore(tmp_path_factory.mktemp("trace-store"))
+    set_default_store(store)
+    yield store
+    set_default_store(None)
 
 
 @pytest.fixture

@@ -1,0 +1,226 @@
+"""Trace serialization and the persistent trace store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    TraceKey,
+    TraceStore,
+    build_trace,
+    default_store,
+    interpretation_count,
+    kernel_trace_cached,
+    set_default_store,
+)
+from repro.ir import TraceBuilder
+from repro.ir.trace import TRACE_FORMAT_VERSION, Trace
+
+
+def multi_array_trace() -> Trace:
+    """Three arrays, an empty-reads instance, and a reduction."""
+    tb = TraceBuilder(["X", "Y", "Z"], [10, 20, 7])
+    tb.record_read(1, 5)
+    tb.record_read(2, 6)
+    tb.commit_instance(0, 0, 3, False)
+    tb.commit_instance(0, 0, 4, False)  # no reads
+    tb.record_read(0, 3)
+    tb.commit_instance(1, 1, 19, True)
+    return tb.freeze()
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self, tmp_path):
+        trace = multi_array_trace()
+        path = trace.save(tmp_path / "t.npz")
+        loaded = Trace.load(path)
+        assert loaded.array_names == trace.array_names
+        assert loaded.array_sizes == trace.array_sizes
+        for column in (
+            "stmt_ids",
+            "w_arr",
+            "w_flat",
+            "r_ptr",
+            "r_arr",
+            "r_flat",
+            "reduction_mask",
+        ):
+            mine = getattr(trace, column)
+            theirs = getattr(loaded, column)
+            assert mine.dtype == theirs.dtype, column
+            assert np.array_equal(mine, theirs), column
+        assert trace.identical(loaded)
+        assert loaded.identical(trace)
+
+    def test_kernel_trace_round_trip(self, hydro_trace, tmp_path):
+        path = hydro_trace.save(tmp_path / "hydro.npz")
+        assert hydro_trace.identical(Trace.load(path))
+
+    def test_empty_trace_round_trip(self, tmp_path):
+        trace = TraceBuilder([], []).freeze()
+        loaded = Trace.load(trace.save(tmp_path / "empty.npz"))
+        assert loaded.n_instances == 0
+        assert loaded.n_reads == 0
+        assert trace.identical(loaded)
+
+    def test_save_creates_parent_dirs(self, tmp_path):
+        path = multi_array_trace().save(tmp_path / "a" / "b" / "t.npz")
+        assert path.is_file()
+
+    def test_identical_detects_differences(self, tmp_path):
+        trace = multi_array_trace()
+        other = Trace.load(trace.save(tmp_path / "t.npz"))
+        tampered = type(other)(
+            array_names=other.array_names,
+            array_sizes=other.array_sizes,
+            stmt_ids=other.stmt_ids,
+            w_arr=other.w_arr,
+            w_flat=other.w_flat + 1,
+            r_ptr=other.r_ptr,
+            r_arr=other.r_arr,
+            r_flat=other.r_flat,
+            reduction_mask=other.reduction_mask,
+        )
+        assert not trace.identical(tampered)
+
+    def test_version_mismatch_rejected(self, tmp_path, monkeypatch):
+        trace = multi_array_trace()
+        path = trace.save(tmp_path / "t.npz")
+        monkeypatch.setattr(
+            "repro.ir.trace.TRACE_FORMAT_VERSION", TRACE_FORMAT_VERSION + 1
+        )
+        with pytest.raises(ValueError, match="format version"):
+            Trace.load(path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"not a zip archive")
+        with pytest.raises(Exception):
+            Trace.load(path)
+
+
+class TestTraceKey:
+    def test_params_change_the_digest(self):
+        a = TraceKey.make("hydro_fragment", n=100)
+        b = TraceKey.make("hydro_fragment", n=200)
+        assert a.digest != b.digest
+        assert a.filename != b.filename
+
+    def test_param_order_is_canonical(self):
+        a = TraceKey.make("k", n=5, seed=1)
+        b = TraceKey.make("k", seed=1, n=5)
+        assert a == b
+        assert a.digest == b.digest
+
+    def test_filename_is_safe(self):
+        key = TraceKey.make("weird/kernel name!", n=1)
+        assert "/" not in key.filename
+        assert key.filename.endswith(".npz")
+
+
+class TestStore:
+    def test_miss_builds_then_hits(self, tmp_path):
+        store = TraceStore(tmp_path)
+        key = TraceKey.make("synthetic", n=3)
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return multi_array_trace()
+
+        first = store.get(key, builder)
+        second = store.get(key, builder)
+        assert len(calls) == 1
+        assert first is second  # memory layer
+        assert store.counters.misses == 1
+        assert store.counters.memory_hits == 1
+        assert key in store
+        assert len(store) == 1
+
+    def test_disk_hit_across_instances(self, tmp_path):
+        key = TraceKey.make("synthetic", n=3)
+        TraceStore(tmp_path).get(key, multi_array_trace)
+        fresh = TraceStore(tmp_path)
+
+        def explode():
+            raise AssertionError("warm store must not rebuild")
+
+        loaded = fresh.get(key, explode)
+        assert fresh.counters.disk_hits == 1
+        assert loaded.identical(multi_array_trace())
+
+    def test_corrupt_entry_is_rebuilt(self, tmp_path):
+        store = TraceStore(tmp_path)
+        key = TraceKey.make("synthetic", n=3)
+        store.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        store.path_for(key).write_bytes(b"garbage")
+        trace = store.get(key, multi_array_trace)
+        assert store.counters.misses == 1
+        assert trace.identical(Trace.load(store.path_for(key)))
+
+    def test_clear(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.get(TraceKey.make("a"), multi_array_trace)
+        store.clear()
+        assert len(store) == 0
+        assert TraceKey.make("a") not in store
+
+
+class TestAcquisitionPath:
+    def test_kernel_trace_cached_interprets_once(self, tmp_path):
+        store = TraceStore(tmp_path)
+        before = interpretation_count()
+        first = kernel_trace_cached("first_diff", n=64, store=store)
+        assert interpretation_count() == before + 1
+        again = kernel_trace_cached("first_diff", n=64, store=store)
+        assert interpretation_count() == before + 1
+        assert first is again
+        # A cold process over the same root replays the file: zero
+        # interpreter executions on a warm store.
+        warm = TraceStore(tmp_path)
+        replayed = kernel_trace_cached("first_diff", n=64, store=warm)
+        assert interpretation_count() == before + 1
+        assert replayed.identical(first)
+
+    def test_default_n_and_explicit_default_share_an_entry(self, tmp_path):
+        from repro.kernels import get_kernel
+
+        store = TraceStore(tmp_path)
+        kernel_trace_cached("first_diff", store=store)
+        kernel_trace_cached(
+            "first_diff", n=get_kernel("first_diff").default_n, store=store
+        )
+        assert store.counters.misses == 1
+        assert store.counters.memory_hits == 1
+
+    def test_build_trace_counts_interpretations(self, matched_program):
+        program, inputs = matched_program
+        before = interpretation_count()
+        build_trace(program, inputs)
+        assert interpretation_count() == before + 1
+
+    def test_default_store_override(self, tmp_path):
+        store = TraceStore(tmp_path)
+        previous = default_store()
+        set_default_store(store)
+        try:
+            assert default_store() is store
+        finally:
+            set_default_store(previous)
+
+    def test_default_store_env(self, tmp_path, monkeypatch):
+        previous = default_store()  # session isolation store
+        set_default_store(None)
+        try:
+            monkeypatch.setenv("REPRO_TRACE_STORE", str(tmp_path / "env"))
+            assert default_store().root == tmp_path / "env"
+        finally:
+            set_default_store(previous)
+
+    def test_store_files_live_under_root_only(self, tmp_path):
+        store = TraceStore(tmp_path / "root")
+        kernel_trace_cached("first_diff", n=32, store=store)
+        files = [p for p in (tmp_path / "root").iterdir()]
+        assert len(files) == 1
+        assert files[0].suffix == ".npz"
