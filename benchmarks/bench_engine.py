@@ -44,8 +44,12 @@ def _warm_store() -> TraceStore:
 
 def test_engine_campaign_serial(benchmark):
     store = _warm_store()
+    # use_cache=False: time the evaluations, not result-cache lookups.
     result = once(
-        benchmark, lambda: run_campaign(CAMPAIGN, store=store, parallel=False)
+        benchmark,
+        lambda: run_campaign(
+            CAMPAIGN, store=store, parallel=False, use_cache=False
+        ),
     )
     assert result.executor == "serial"
     assert len(result) == CAMPAIGN.n_points
@@ -54,10 +58,14 @@ def test_engine_campaign_serial(benchmark):
 
 def test_engine_campaign_parallel(benchmark):
     store = _warm_store()
-    baseline = run_campaign(CAMPAIGN, store=store, parallel=False)
+    baseline = run_campaign(
+        CAMPAIGN, store=store, parallel=False, use_cache=False
+    )
     result = once(
         benchmark,
-        lambda: run_campaign(CAMPAIGN, store=store, parallel=True),
+        lambda: run_campaign(
+            CAMPAIGN, store=store, parallel=True, use_cache=False
+        ),
     )
     assert result.executor.startswith(("parallel[", "serial"))
     benchmark.extra_info["executor"] = result.executor
@@ -69,6 +77,26 @@ def test_engine_campaign_parallel(benchmark):
         f"executor {result.executor}, "
         f"{result.elapsed_s:.3f}s wall",
     )
+
+
+def test_result_cache_warm(benchmark, tmp_path):
+    """A repeated identical campaign replays entirely from the result
+    cache — zero backend evaluations, pure store lookups."""
+    from repro.backends import evaluation_count
+
+    root = tmp_path / "result-cache"
+    run_campaign(CAMPAIGN, store=TraceStore(root), parallel=False)
+
+    def cached_run():
+        store = TraceStore(root)  # cold memory, warm disk
+        before = evaluation_count()
+        result = run_campaign(CAMPAIGN, store=store, parallel=False)
+        return evaluation_count() - before, result
+
+    evaluated, result = once(benchmark, cached_run)
+    assert evaluated == 0
+    assert len(result) == CAMPAIGN.n_points
+    benchmark.extra_info["executor"] = result.executor
 
 
 def test_trace_store_cold(benchmark, tmp_path):

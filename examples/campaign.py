@@ -1,4 +1,4 @@
-"""Engine walkthrough: trace store → campaign → parallel run → JSON.
+"""Engine walkthrough: one evaluation API, pluggable backends.
 
 The end-to-end ``repro.engine`` workflow:
 
@@ -7,8 +7,12 @@ The end-to-end ``repro.engine`` workflow:
 2. declare a sweep campaign (kernels × machine axes) in Python, show
    its JSON form;
 3. execute it with the process-parallel executor (results arrive in
-   canonical order, bit-identical to a serial run);
-4. export the aggregated results as JSON and query them in memory.
+   canonical order, bit-identical to a serial run) and export JSON;
+4. run the *same* campaign again — every record replays from the
+   store's result cache, zero simulations;
+5. switch the backend to the timed discrete-event machine and sweep
+   its own axes (topologies × execution modes), streaming records as
+   workers complete them.
 
 Run:  python examples/campaign.py
 """
@@ -17,6 +21,7 @@ import json
 import tempfile
 from pathlib import Path
 
+from repro.backends import evaluation_count
 from repro.bench import render_table
 from repro.engine import (
     CampaignSpec,
@@ -61,29 +66,56 @@ def main() -> None:
     result = run_campaign(spec, store=store, parallel=True)
     print(f"executed via {result.executor} in {result.elapsed_s:.2f}s; "
           f"interpreter runs: {interpretation_count() - before} "
-          "(iccg cold, hydro warm)\n")
-
-    # -- 4. aggregation and export ----------------------------------------
+          "(iccg cold, hydro warm)")
     json_path = result.save_json(workdir / "results.json")
     data = json.loads(json_path.read_text())
     print(f"wrote {len(data['results'])} records to {json_path}\n")
 
+    # -- 4. the result cache ----------------------------------------------
+    before_evals = evaluation_count()
+    again = run_campaign(spec, store=store, parallel=False)
+    print(f"identical re-run: executor={again.executor}, "
+          f"evaluations={evaluation_count() - before_evals}, "
+          f"bit-identical={again.identical(result)}")
+    print(f"  result cache counters: {store.result_counters.as_dict()}\n")
+
+    # -- 5. the timed backend, streamed -----------------------------------
+    timed = CampaignSpec(
+        name="timed-topologies",
+        backend="timed",
+        kernels=(KernelSpec("hydro_fragment", n=1000),),
+        pes=(4, 16),
+        page_sizes=(32,),
+        cache_elems=(256,),
+        topologies=("mesh", "torus"),          # aliases are canonicalised
+        modes=("blocking", "multithreaded"),
+    )
+    print(f"timed campaign ({timed.n_points} points), streaming:")
+    stream = run_campaign(timed, store=store, parallel=True, stream=True)
+    for record in stream:
+        print(f"  [{record.index:2d}] {record.scenario.label():<55} "
+              f"speedup {record.metrics['speedup']:.2f}")
+    timed_result = stream.result()
+
     rows = [
         [
-            pes,
-            result.find(
-                kernel="iccg", n_pes=pes, page_size=32, cache_elems=0
-            ).remote_read_pct,
-            result.find(
-                kernel="iccg", n_pes=pes, page_size=32, cache_elems=256
-            ).remote_read_pct,
+            topology,
+            mode,
+            timed_result.find(
+                n_pes=16, topology=topology, mode=mode
+            ).metrics["finish_time"],
+            timed_result.find(
+                n_pes=16, topology=topology, mode=mode
+            ).metrics["speedup"],
         ]
-        for pes in (1, 4, 16, 64)
+        for topology in ("mesh2d", "torus2d")
+        for mode in ("blocking", "multithreaded")
     ]
+    print()
     print(render_table(
-        ["PEs", "no cache (remote %)", "cache 256 (remote %)"],
+        ["topology", "mode", "finish (cycles)", "speedup"],
         rows,
-        title="ICCG, page size 32 — the paper's Figure 2 shape",
+        title="Hydro Fragment at 16 PEs — the §9 questions, engine-run",
     ))
 
 

@@ -1,51 +1,68 @@
 """Execution time on the discrete-event machine (the §9 simulation).
 
-Runs the Hydro Fragment on the timed machine model across PE counts,
-interconnect topologies and the two PE execution modes, reporting
-speedup over one PE, stall time, and network contention — the
-questions the paper's future-work section poses.
+Runs the Hydro Fragment on the *timed evaluation backend* across PE
+counts, interconnect topologies and the two PE execution modes,
+reporting speedup over one PE, stall time, and network contention —
+the questions the paper's future-work section poses.
+
+Everything goes through the engine: one campaign spec per question,
+``run_campaign`` fans the scenarios out and caches every outcome, and
+the records carry the timed backend's metric columns (finish_time,
+speedup, stall_time, messages_per_link_max, ...).
 
 Run:  python examples/timed_speedup.py
 """
 
-from repro.bench import kernel_trace
-from repro.core import MachineConfig
-from repro.kernels import get_kernel
-from repro.machine import TimedMachine, serial_time
+from repro.engine import CampaignSpec, KernelSpec, run_campaign
+
+KERNEL = KernelSpec("hydro_fragment", n=1000)
 
 
 def main() -> None:
-    program, inputs = get_kernel("hydro_fragment").build(n=1000)
-    trace = kernel_trace(program, inputs)
-    base = serial_time(trace)
-    print(f"serial execution: {base:.0f} cycles\n")
-
     print("speedup vs PEs (mesh2d, blocking vs multithreaded PEs):")
+    modes = CampaignSpec(
+        name="timed-modes",
+        backend="timed",
+        kernels=(KERNEL,),
+        pes=(2, 4, 8, 16, 32, 64),
+        page_sizes=(32,),
+        cache_elems=(256,),
+        topologies=("mesh2d",),
+        modes=("blocking", "multithreaded"),
+    )
+    result = run_campaign(modes)
     print(f"{'PEs':>4} {'blocking':>10} {'multithreaded':>14} {'stall%':>8}")
-    for pes in (2, 4, 8, 16, 32, 64):
-        cfg = MachineConfig(n_pes=pes, page_size=32, cache_elems=256)
-        blocking = TimedMachine(trace, cfg, topology="mesh2d").run()
-        threaded = TimedMachine(
-            trace, cfg, topology="mesh2d", mode="multithreaded"
-        ).run()
-        stall_pct = 100 * blocking.stall_time.sum() / (
-            blocking.finish_time * pes
+    for pes in modes.pes:
+        blocking = result.find(n_pes=pes, mode="blocking")
+        threaded = result.find(n_pes=pes, mode="multithreaded")
+        stall_pct = 100 * blocking.metrics["stall_time"] / (
+            blocking.metrics["finish_time"] * pes
         )
         print(
-            f"{pes:>4} {blocking.speedup(base):>10.2f} "
-            f"{threaded.speedup(base):>14.2f} {stall_pct:>8.1f}"
+            f"{pes:>4} {blocking.metrics['speedup']:>10.2f} "
+            f"{threaded.metrics['speedup']:>14.2f} {stall_pct:>8.1f}"
         )
 
     print("\ntopology comparison at 16 PEs:")
+    topologies = CampaignSpec(
+        name="timed-topologies",
+        backend="timed",
+        kernels=(KERNEL,),
+        pes=(16,),
+        page_sizes=(32,),
+        cache_elems=(256,),
+        topologies=("crossbar", "hypercube", "mesh2d", "torus2d", "ring", "bus"),
+    )
+    result = run_campaign(topologies)
     print(f"{'topology':>10} {'finish':>10} {'speedup':>8} {'hops':>6} "
           f"{'max link load':>14}")
-    cfg = MachineConfig(n_pes=16, page_size=32, cache_elems=256)
-    for topo in ("crossbar", "hypercube", "mesh2d", "ring", "bus"):
-        result = TimedMachine(trace, cfg, topology=topo).run()
+    for topo in topologies.topologies:
+        record = result.find(topology=topo)
         print(
-            f"{topo:>10} {result.finish_time:>10.0f} "
-            f"{result.speedup(base):>8.2f} {result.total_hops:>6} "
-            f"{result.contention['messages_per_link_max']:>14.0f}"
+            f"{topo:>10} {record.metrics['finish_time']:>10.0f} "
+            f"{record.metrics['speedup']:>8.2f} "
+            f"{record.metrics['total_hops']:>6.0f} "
+            f"{record.metrics['messages_per_link_max']:>14.0f}"
         )
 
     print(

@@ -14,15 +14,22 @@ The package provides:
 * :mod:`repro.cache` — coherence-free per-PE page caches;
 * :mod:`repro.machine` — a timed discrete-event machine model with
   network topologies (the paper's §9 future-work simulation);
+* :mod:`repro.backends` — the evaluation API: a frozen ``Scenario``
+  type, the ``EvalBackend`` protocol and registry, and the two
+  built-in backends ("untimed" wraps the §6 simulator, "timed" wraps
+  the discrete-event machine) so every evaluator is sweepable through
+  one contract;
 * :mod:`repro.hostproto` — the §5 host-processor re-initialisation
   protocol;
 * :mod:`repro.kernels` — Livermore Loops workloads (IR + NumPy
   references);
-* :mod:`repro.engine` — the production sweep layer: a persistent,
-  content-addressed trace store (a kernel is interpreted once per
-  machine, ever), declarative campaign specs (Python or JSON), a
-  process-parallel executor with deterministic result ordering, and
-  typed campaign results with JSON export;
+* :mod:`repro.engine` — the single evaluation surface: persistent,
+  content-addressed stores for traces (a kernel is interpreted once
+  per machine, ever) *and* results (identical campaigns replay from
+  cache), declarative campaign specs with backend axes (Python or
+  JSON), a process-parallel executor dispatching through the backend
+  registry with deterministic ordering and streaming progress, and
+  backend-tagged typed results with JSON export;
 * :mod:`repro.bench` — sweeps, figure and table generators (running
   on :mod:`repro.engine`).
 
@@ -37,6 +44,20 @@ Quickstart::
         program, inputs, MachineConfig(n_pes=16, page_size=32)
     )
     print(f"{result.remote_read_pct:.2f}% of reads were remote")
+
+Or through the engine, picking an evaluation backend::
+
+    from repro.engine import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        name="timed-mesh",
+        backend="timed",
+        kernels=("hydro_fragment",),
+        pes=(4, 16, 64),
+        topologies=("mesh2d", "torus2d"),
+    )
+    for record in run_campaign(spec, stream=True):
+        print(record.scenario.label(), record.metrics["speedup"])
 """
 
 from .core import (

@@ -1,0 +1,50 @@
+"""The untimed trace-driven simulator as an evaluation backend (§6-§7).
+
+A thin adapter: :func:`repro.core.simulator.simulate` already takes
+(trace, config) and returns counters; this backend maps its
+:class:`~repro.core.simulator.SimResult` onto the common
+:class:`~repro.backends.base.EvalOutcome` shape.  It consumes no
+scenario axes beyond the machine configuration — topology, mode and
+cost model do not exist in the untimed model.
+"""
+
+from __future__ import annotations
+
+from ..core.simulator import simulate
+from ..ir.trace import Trace
+from .base import EvalOutcome, Scenario, register_backend
+
+__all__ = ["UntimedBackend"]
+
+
+class UntimedBackend:
+    """Backend ``"untimed"``: the paper's measurement instrument."""
+
+    name = "untimed"
+    scenario_axes: tuple[str, ...] = ()
+    result_schema: tuple[str, ...] = (
+        "page_fetches",
+        "distinct_pages_fetched",
+    )
+    table_metrics: tuple[str, ...] = ("page_fetches",)
+
+    def evaluate(self, trace: Trace, scenario: Scenario) -> EvalOutcome:
+        result = simulate(trace, scenario.config)
+        return EvalOutcome(
+            backend=self.name,
+            scenario=scenario,
+            stats=result.stats,
+            metrics={
+                "page_fetches": float(result.page_fetches.sum()),
+                "distinct_pages_fetched": float(
+                    result.distinct_pages_fetched.sum()
+                ),
+            },
+            per_pe={
+                "page_fetches": result.page_fetches,
+                "distinct_pages_fetched": result.distinct_pages_fetched,
+            },
+        )
+
+
+register_backend(UntimedBackend())

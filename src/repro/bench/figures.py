@@ -15,8 +15,9 @@ from typing import Sequence
 import numpy as np
 
 from ..core.access import AccessKind
-from ..core.simulator import MachineConfig, simulate
+from ..core.simulator import MachineConfig
 from ..core.stats import LoadBalance
+from ..engine.executor import run_grid
 from ..engine.store import kernel_trace_cached
 from .report import render_series_table, render_table
 from .sweep import DEFAULT_PES, Sweep
@@ -158,8 +159,9 @@ def figure5(
     """
     trace = kernel_trace_cached("hydro_2d", n=n)
     cfg = MachineConfig(n_pes=n_pes, page_size=page_size, cache_elems=cache_elems)
-    with_cache = simulate(trace, cfg)
-    without_cache = simulate(trace, cfg.without_cache())
+    # Through the engine like every other figure: the grid is two
+    # untimed scenarios, evaluated via the backend registry.
+    with_cache, without_cache = run_grid(trace, [cfg, cfg.without_cache()])
     series = {
         "Remote with Cache": with_cache.stats.per_pe(
             AccessKind.REMOTE_READ

@@ -20,8 +20,9 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from ..backends import EvalOutcome
 from ..core.partition import ModuloPartition, PartitionScheme
-from ..core.simulator import MachineConfig, SimResult
+from ..core.simulator import MachineConfig
 from ..engine.campaign import DEFAULT_CACHES, DEFAULT_PAGE_SIZES, DEFAULT_PES
 from ..engine.executor import run_grid
 from ..engine.store import build_trace
@@ -40,12 +41,12 @@ __all__ = [
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One (configuration, result) pair."""
+    """One (configuration, outcome) pair."""
 
     n_pes: int
     page_size: int
     cache_elems: int
-    result: SimResult
+    result: EvalOutcome
 
     @property
     def remote_pct(self) -> float:
@@ -120,7 +121,7 @@ class Sweep:
                     n_pes=config.n_pes,
                     page_size=config.page_size,
                     cache_elems=config.cache_elems,
-                    result=record.result,
+                    result=record.outcome,
                 )
             )
         return sweep

@@ -7,13 +7,17 @@ Usage::
     python -m repro tables                   # T1-T3
     python -m repro classify hydro_fragment  # one kernel's class
     python -m repro sweep iccg --pes 4 16 64 # custom sweep
+    python -m repro sweep iccg --backend timed --topology mesh torus
     python -m repro sweep --campaign spec.json --parallel --json out.json
     python -m repro advise hydro_2d          # §9 partitioning advisor
 
 The ``sweep`` subcommand runs on :mod:`repro.engine`: traces come from
-the persistent store (interpreted once per machine), a JSON campaign
-spec can drive multi-kernel / multi-axis sweeps, and ``--parallel``
-fans the configuration grid out across cores.
+the persistent store (interpreted once per machine), results replay
+from the store's result cache, a JSON campaign spec can drive
+multi-kernel / multi-axis sweeps, ``--backend timed`` evaluates on the
+discrete-event machine model (topologies × modes × cost models), and
+``--parallel`` fans the scenario grid out across cores with a
+streaming progress line.
 """
 
 from __future__ import annotations
@@ -117,24 +121,54 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         spec = CampaignSpec(
             name="cli-sweep",
             kernels=tuple(KernelSpec(k, n=args.n) for k in args.kernel),
+            backend=args.backend,
             pes=tuple(args.pes),
             page_sizes=tuple(args.page_sizes),
             cache_elems=(args.cache, 0) if args.cache else (0,),
             cache_policies=(args.policy,),
             partitions=(args.partition,),
+            topologies=tuple(args.topology),
+            modes=tuple(args.mode),
+            cost_models=tuple(args.cost_model),
         )
     else:
         print("error: need a kernel name or --campaign FILE", file=sys.stderr)
         return 2
-    result = run_campaign(
-        spec, parallel=args.parallel, workers=args.workers
-    )
+    use_cache = not args.no_cache
+    if args.parallel:
+        # Stream records as workers complete them: a progress line on
+        # stderr, the same canonically-ordered result at the end.
+        stream = run_campaign(
+            spec,
+            parallel=True,
+            workers=args.workers,
+            stream=True,
+            use_cache=use_cache,
+        )
+        done = 0
+        width = 0
+        for record in stream:
+            done += 1
+            line = (
+                f"  [{done}/{spec.n_points}] {record.kernel.label} "
+                f"{record.scenario.label()}"
+            )
+            # Pad to the longest line so a shorter label fully
+            # overwrites the previous one.
+            width = max(width, len(line))
+            print(f"\r{line.ljust(width)}", end="", file=sys.stderr)
+        if done:
+            print(file=sys.stderr)
+        result = stream.result()
+    else:
+        result = run_campaign(spec, parallel=False, use_cache=use_cache)
     if args.json:
         print(f"wrote {result.save_json(args.json)}")
     # Figure-style series tables need one value per (page size, cache
     # on/off, PEs) cell; richer grids get the flat record table.
     series_friendly = (
-        len(spec.cache_policies) == 1
+        spec.backend == "untimed"
+        and len(spec.cache_policies) == 1
         and len(spec.partitions) == 1
         and len(spec.reduction_strategies) == 1
         and len([c for c in spec.cache_elems if c]) <= 1
@@ -226,12 +260,17 @@ def build_parser() -> argparse.ArgumentParser:
     cls.set_defaults(fn=_cmd_classify)
 
     swp = sub.add_parser(
-        "sweep", help="sweep machine configurations (engine-backed)"
+        "sweep", help="sweep evaluation scenarios (engine-backed)"
     )
     swp.add_argument(
         "kernel", nargs="*", help="kernel name(s); optional with --campaign"
     )
     swp.add_argument("--n", type=int, default=None)
+    swp.add_argument(
+        "--backend",
+        default="untimed",
+        help="evaluation backend (untimed, timed)",
+    )
     swp.add_argument(
         "--pes", nargs="+", type=int, default=[1, 4, 8, 16, 32, 64]
     )
@@ -246,6 +285,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--partition",
         default="modulo",
         help="partition scheme (modulo, block, block-cyclic:K)",
+    )
+    swp.add_argument(
+        "--topology",
+        nargs="+",
+        default=["crossbar"],
+        help=(
+            "timed backend: interconnect topologies (crossbar, bus, ring, "
+            "mesh, torus, hypercube)"
+        ),
+    )
+    swp.add_argument(
+        "--mode",
+        nargs="+",
+        default=["blocking"],
+        choices=["blocking", "multithreaded"],
+        help="timed backend: PE execution modes",
+    )
+    swp.add_argument(
+        "--cost-model",
+        nargs="+",
+        default=["default"],
+        help="timed backend: cost-model presets "
+        "(default, fast-network, slow-network)",
+    )
+    swp.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the store's result cache (force re-evaluation)",
     )
     swp.add_argument(
         "--campaign",

@@ -35,7 +35,7 @@ from ..ir.loops import Program
 from ..ir.trace import Trace
 from ..memory.pages import PageTable
 from .access import AccessKind
-from .partition import ModuloPartition, PartitionScheme
+from .partition import ModuloPartition, PartitionScheme, named_scheme
 from .stats import AccessStats
 
 __all__ = ["MachineConfig", "SimResult", "simulate", "simulate_program"]
@@ -93,10 +93,58 @@ class MachineConfig:
         return replace(self, cache_elems=0)
 
     def label(self) -> str:
+        """Unique, stable identifier of this configuration.
+
+        Every axis that distinguishes two configurations appears:
+        the partition by its parameterised label (so "block-cyclic:2"
+        and "block-cyclic:4" differ) and, when not at their defaults,
+        the cache policy and reduction strategy.  Default-valued
+        configurations keep their historical labels.
+        """
         cache = f"cache={self.cache_elems}" if self.has_cache else "no-cache"
-        return (
-            f"pes={self.n_pes} ps={self.page_size} {cache} "
-            f"{self.partition.name}"
+        parts = [
+            f"pes={self.n_pes}",
+            f"ps={self.page_size}",
+            cache,
+            self.partition.label,
+        ]
+        if self.has_cache and self.cache_policy != "lru":
+            parts.append(f"policy={self.cache_policy}")
+        if self.reduction_strategy != "host":
+            parts.append(f"red={self.reduction_strategy}")
+        return " ".join(parts)
+
+    # -- (de)serialisation -----------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form; the partition travels by scheme name."""
+        return {
+            "n_pes": self.n_pes,
+            "page_size": self.page_size,
+            "cache_elems": self.cache_elems,
+            "cache_policy": self.cache_policy,
+            "partition": self.partition.label,
+            "reduction_strategy": self.reduction_strategy,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "MachineConfig":
+        extra = set(data) - {
+            "n_pes",
+            "page_size",
+            "cache_elems",
+            "cache_policy",
+            "partition",
+            "reduction_strategy",
+        }
+        if extra:
+            raise ValueError(f"unknown machine config keys: {sorted(extra)}")
+        return MachineConfig(
+            n_pes=int(data["n_pes"]),  # type: ignore[arg-type]
+            page_size=int(data["page_size"]),  # type: ignore[arg-type]
+            cache_elems=int(data.get("cache_elems", 256)),  # type: ignore[arg-type]
+            cache_policy=str(data.get("cache_policy", "lru")),
+            partition=named_scheme(str(data.get("partition", "modulo"))),
+            reduction_strategy=str(data.get("reduction_strategy", "host")),
         )
 
 

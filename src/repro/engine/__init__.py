@@ -1,19 +1,24 @@
-"""repro.engine — parallel sweep execution over a persistent trace store.
+"""repro.engine — the system's single evaluation surface.
 
-The production layer between the simulator core and the bench/CLI
-surface, exploiting the paper's trace-once / sweep-many structure at
-scale:
+The production layer between the pluggable evaluation backends
+(:mod:`repro.backends`) and the bench/CLI surface, exploiting the
+paper's trace-once / sweep-many structure at scale:
 
-* :mod:`~repro.engine.store` — content-addressed ``.npz`` trace store
-  (a kernel is interpreted once per machine, ever) and the single
-  code path for trace acquisition;
+* :mod:`~repro.engine.store` — content-addressed ``.npz`` stores for
+  *traces* (a kernel is interpreted once per machine, ever — the
+  single trace-acquisition path) and for *results* (an evaluation is
+  pure in ``(trace, scenario, backend)``, so re-running an identical
+  campaign skips simulation entirely), both with hit/miss counters;
 * :mod:`~repro.engine.campaign` — declarative sweep specs (kernels ×
-  PEs × page sizes × caches × policies × partitions), JSON in and out;
-* :mod:`~repro.engine.executor` — a multiprocessing fan-out with
-  copy-on-write trace sharing, deterministic result ordering and a
-  serial fallback;
-* :mod:`~repro.engine.results` — typed records with bit-exact
-  comparison and JSON export.
+  PEs × page sizes × caches × policies × partitions, plus the timed
+  backend's topologies × modes × cost models), JSON in and out;
+* :mod:`~repro.engine.executor` — a multiprocessing fan-out that
+  dispatches through the backend registry, with copy-on-write trace
+  sharing, deterministic result ordering, a serial fallback, and
+  streaming (:class:`~repro.engine.executor.CampaignStream`) for
+  progress on long sweeps;
+* :mod:`~repro.engine.results` — backend-tagged typed records with
+  bit-exact comparison and JSON export.
 
 Quickstart::
 
@@ -28,6 +33,17 @@ Quickstart::
     )
     result = run_campaign(spec)           # parallel, store-backed
     print(result.to_json())
+
+    timed = CampaignSpec(
+        name="demo-timed",
+        backend="timed",                  # same engine, timed model
+        kernels=("hydro_fragment",),
+        pes=(4, 16),
+        topologies=("mesh2d", "torus2d"),
+        modes=("blocking", "multithreaded"),
+    )
+    for record in run_campaign(timed, stream=True):   # progress
+        print(record.index, record.metrics["speedup"])
 """
 
 from .campaign import (
@@ -37,10 +53,12 @@ from .campaign import (
     CampaignSpec,
     KernelSpec,
 )
-from .executor import default_workers, run_campaign, run_grid
+from .executor import CampaignStream, default_workers, run_campaign, run_grid
 from .results import CampaignResult, EvalRecord
 from .store import (
+    RESULT_FORMAT_VERSION,
     TRACE_STORE_ENV,
+    ResultKey,
     StoreCounters,
     TraceKey,
     TraceStore,
@@ -48,6 +66,7 @@ from .store import (
     default_store,
     interpretation_count,
     kernel_trace_cached,
+    kernel_trace_key,
     set_default_store,
 )
 
@@ -55,11 +74,14 @@ __all__ = [
     "DEFAULT_CACHES",
     "DEFAULT_PAGE_SIZES",
     "DEFAULT_PES",
+    "RESULT_FORMAT_VERSION",
     "TRACE_STORE_ENV",
     "CampaignResult",
     "CampaignSpec",
+    "CampaignStream",
     "EvalRecord",
     "KernelSpec",
+    "ResultKey",
     "StoreCounters",
     "TraceKey",
     "TraceStore",
@@ -68,6 +90,7 @@ __all__ = [
     "default_workers",
     "interpretation_count",
     "kernel_trace_cached",
+    "kernel_trace_key",
     "run_campaign",
     "run_grid",
     "set_default_store",

@@ -1,13 +1,15 @@
-"""Declarative sweep campaigns: kernels × machine-configuration axes.
+"""Declarative sweep campaigns: kernels × backend × scenario axes.
 
-A :class:`CampaignSpec` names the workloads and the full cross product
-of machine parameters to evaluate them under — the paper's §6 sweep
-("number of processors; page size ...; with the cache toggled per
-series") generalised to every axis the simulator exposes: cache
-policy, partition scheme and reduction strategy.  Specs are plain
-frozen data, expressible in Python or JSON (``to_json``/``from_json``),
-and enumerate their points in one canonical order so serial and
-parallel executions are comparable record for record.
+A :class:`CampaignSpec` names the workloads, the evaluation *backend*,
+and the full cross product of scenario parameters to evaluate them
+under — the paper's §6 sweep ("number of processors; page size ...;
+with the cache toggled per series") generalised to every axis the
+evaluators expose: cache policy, partition scheme, reduction strategy,
+and (for the timed backend) interconnect topology, PE execution mode
+and cost-model preset.  Specs are plain frozen data, expressible in
+Python or JSON (``to_json``/``from_json``), and enumerate their points
+in one canonical order so serial and parallel executions are
+comparable record for record.
 """
 
 from __future__ import annotations
@@ -19,8 +21,10 @@ from itertools import product
 from pathlib import Path
 from typing import Iterator, Mapping, Sequence
 
+from ..backends import MODES, Scenario, cost_model, get_backend
 from ..core.partition import named_scheme
 from ..core.simulator import MachineConfig
+from ..machine.network import canonical_topology
 
 __all__ = [
     "DEFAULT_CACHES",
@@ -81,7 +85,8 @@ class KernelSpec:
         )
 
 
-_AXIS_FIELDS = (
+#: Machine-configuration axes (feed the :class:`MachineConfig` grid).
+_CONFIG_AXES = (
     "pes",
     "page_sizes",
     "cache_elems",
@@ -90,25 +95,48 @@ _AXIS_FIELDS = (
     "reduction_strategies",
 )
 
+#: Backend axes (feed the :class:`~repro.backends.Scenario` envelope);
+#: a backend declares which of these it consumes via ``scenario_axes``.
+#: Axes a backend does not consume must sit at these defaults — a
+#: non-default value would silently taint scenario labels and result
+#: cache keys with a knob that never reaches the evaluator.
+_BACKEND_AXIS_DEFAULTS = {
+    "topologies": ("crossbar",),
+    "modes": ("blocking",),
+    "cost_models": ("default",),
+}
+
+_BACKEND_AXES = tuple(_BACKEND_AXIS_DEFAULTS)
+
+_AXIS_FIELDS = _CONFIG_AXES + _BACKEND_AXES
+
 
 @dataclass(frozen=True)
 class CampaignSpec:
-    """A declarative sweep: every kernel under every configuration.
+    """A declarative sweep: every kernel under every scenario.
 
     ``partitions`` holds partition-scheme *names* ("modulo", "block",
     "block-cyclic:K") so the spec stays JSON-serialisable; they are
     resolved through :func:`repro.core.partition.named_scheme` when the
-    configurations are materialised.
+    configurations are materialised.  Likewise ``topologies`` and
+    ``cost_models`` hold registry names; sweeping a backend axis the
+    chosen backend does not consume is rejected up front rather than
+    silently producing duplicate points.
     """
 
     name: str
     kernels: tuple[KernelSpec, ...]
+    backend: str = "untimed"
     pes: tuple[int, ...] = DEFAULT_PES
     page_sizes: tuple[int, ...] = DEFAULT_PAGE_SIZES
     cache_elems: tuple[int, ...] = DEFAULT_CACHES
     cache_policies: tuple[str, ...] = ("lru",)
     partitions: tuple[str, ...] = ("modulo",)
     reduction_strategies: tuple[str, ...] = ("host",)
+    topologies: tuple[str, ...] = ("crossbar",)
+    modes: tuple[str, ...] = ("blocking",)
+    cost_models: tuple[str, ...] = ("default",)
+    max_outstanding: int = 4
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -118,6 +146,13 @@ class CampaignSpec:
         )
         for axis in _AXIS_FIELDS:
             object.__setattr__(self, axis, tuple(getattr(self, axis)))
+        # Canonicalise topology aliases so specs, labels and cache keys
+        # agree however the sweep was requested ("mesh" == "mesh2d").
+        object.__setattr__(
+            self,
+            "topologies",
+            tuple(canonical_topology(t) for t in self.topologies),
+        )
         if not self.kernels:
             raise ValueError("campaign needs at least one kernel")
         for axis in _AXIS_FIELDS:
@@ -128,11 +163,50 @@ class CampaignSpec:
             raise ValueError(f"duplicate kernel specs in campaign: {labels}")
         for scheme in self.partitions:
             named_scheme(scheme)  # fail fast on typos
+        for preset in self.cost_models:
+            cost_model(preset)
+        for mode in self.modes:
+            if mode not in MODES:
+                raise ValueError(
+                    f"unknown mode {mode!r}; choose from {MODES}"
+                )
+        if self.max_outstanding < 1:
+            raise ValueError("max_outstanding must be at least 1")
+        backend = get_backend(self.backend)  # KeyError on typos
+        for axis in _BACKEND_AXES:
+            if axis in backend.scenario_axes:
+                continue
+            if getattr(self, axis) != _BACKEND_AXIS_DEFAULTS[axis]:
+                raise ValueError(
+                    f"axis {axis!r} is not used by backend "
+                    f"{self.backend!r}; leave it at "
+                    f"{_BACKEND_AXIS_DEFAULTS[axis]!r}"
+                )
+        # max_outstanding rides with the execution-mode knob: backends
+        # without a modes axis never read it, so a non-default value
+        # would only taint scenario digests and result-cache keys.
+        if "modes" not in backend.scenario_axes and self.max_outstanding != 4:
+            raise ValueError(
+                f"'max_outstanding' is not used by backend "
+                f"{self.backend!r}; leave it at 4"
+            )
+        # Backends may declare the reduction strategies they can model
+        # (the timed machine handles only "host"); fail at spec
+        # construction, not minutes later inside a pool worker.
+        supported = getattr(backend, "supported_reductions", None)
+        if supported is not None:
+            for strategy in self.reduction_strategies:
+                if strategy not in supported:
+                    raise ValueError(
+                        f"backend {self.backend!r} does not model "
+                        f"reduction strategy {strategy!r} "
+                        f"(supported: {tuple(supported)})"
+                    )
 
     # -- enumeration -----------------------------------------------------------
     @property
     def n_configs(self) -> int:
-        """Machine configurations evaluated per kernel."""
+        """Scenarios evaluated per kernel (all axes crossed)."""
         total = 1
         for axis in _AXIS_FIELDS:
             total *= len(getattr(self, axis))
@@ -143,7 +217,7 @@ class CampaignSpec:
         return len(self.kernels) * self.n_configs
 
     def configs(self) -> list[MachineConfig]:
-        """The configuration grid, in canonical order.
+        """The machine-configuration grid, in canonical order.
 
         The innermost nesting (page size → cache → PEs) matches the
         historical :class:`repro.bench.Sweep` ordering so refactored
@@ -170,12 +244,37 @@ class CampaignSpec:
             )
         return out
 
-    def points(self) -> Iterator[tuple[KernelSpec, MachineConfig]]:
-        """Every (kernel, configuration) pair, kernel-major."""
+    def scenarios(self) -> list[Scenario]:
+        """The full scenario grid: backend axes × configuration grid.
+
+        Backend axes nest outermost, so a spec that leaves them at
+        their defaults (every untimed campaign) enumerates in exactly
+        the historical configuration order.
+        """
         configs = self.configs()
-        for kernel in self.kernels:
+        out = []
+        for topology, mode, preset in product(
+            self.topologies, self.modes, self.cost_models
+        ):
             for config in configs:
-                yield kernel, config
+                out.append(
+                    Scenario(
+                        config=config,
+                        backend=self.backend,
+                        topology=topology,
+                        mode=mode,
+                        cost_model=preset,
+                        max_outstanding=self.max_outstanding,
+                    )
+                )
+        return out
+
+    def points(self) -> Iterator[tuple[KernelSpec, Scenario]]:
+        """Every (kernel, scenario) pair, kernel-major."""
+        scenarios = self.scenarios()
+        for kernel in self.kernels:
+            for scenario in scenarios:
+                yield kernel, scenario
 
     def subset(self, kernels: Sequence[str]) -> "CampaignSpec":
         """Restrict to the named kernels (by label or registry name)."""
@@ -191,8 +290,10 @@ class CampaignSpec:
     def to_dict(self) -> dict[str, object]:
         return {
             "name": self.name,
+            "backend": self.backend,
             "kernels": [k.to_dict() for k in self.kernels],
             **{axis: list(getattr(self, axis)) for axis in _AXIS_FIELDS},
+            "max_outstanding": self.max_outstanding,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -200,7 +301,7 @@ class CampaignSpec:
 
     @staticmethod
     def from_dict(data: Mapping[str, object]) -> "CampaignSpec":
-        known = {"name", "kernels", *_AXIS_FIELDS}
+        known = {"name", "backend", "kernels", "max_outstanding", *_AXIS_FIELDS}
         extra = set(data) - known
         if extra:
             raise ValueError(f"unknown campaign spec keys: {sorted(extra)}")
@@ -212,6 +313,10 @@ class CampaignSpec:
                 KernelSpec.coerce(k) for k in data["kernels"]  # type: ignore[union-attr]
             ),
         }
+        if "backend" in data:
+            kwargs["backend"] = str(data["backend"])
+        if "max_outstanding" in data:
+            kwargs["max_outstanding"] = int(data["max_outstanding"])  # type: ignore[arg-type]
         for axis in _AXIS_FIELDS:
             if axis in data:
                 kwargs[axis] = tuple(data[axis])  # type: ignore[arg-type]

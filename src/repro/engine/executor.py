@@ -1,21 +1,39 @@
-"""Process-parallel campaign execution with a serial twin.
+"""Backend-dispatched campaign execution: parallel, cached, streamable.
 
-The unit of work is one ``simulate(trace, config)`` call — pure,
-deterministic, and independent of every other point, so a campaign
-fans out embarrassingly across cores.  Traces are loaded (or pulled
-from the :mod:`store <repro.engine.store>`) exactly once in the parent
-and *shared* with the workers: under the ``fork`` start method the
-worker pool inherits the parent's trace table copy-on-write, paying
-zero serialisation cost; under ``spawn``/``forkserver`` the table is
-shipped once per worker through the pool initializer.
+The unit of work is one ``evaluate_scenario(trace, scenario)`` call —
+pure, deterministic, and independent of every other point, so a
+campaign fans out embarrassingly across cores whatever the backend.
+Traces are loaded (or pulled from the :mod:`store
+<repro.engine.store>`) exactly once in the parent and *shared* with
+the workers: under the ``fork`` start method the worker pool inherits
+the parent's trace table copy-on-write, paying zero serialisation
+cost; under ``spawn``/``forkserver`` the table is shipped once per
+worker through the pool initializer.  Serial execution never touches
+shared state, so any number of campaigns/streams can be in flight in
+one process.
 
 Jobs carry their position in the spec's canonical enumeration and
 results are reassembled by that index, so the parallel executor
 returns records in exactly the serial order — bit-identical output,
 whatever the scheduling interleaving (asserted by the test suite).
-If a pool cannot be created at all (restricted sandboxes without
-working process primitives), execution degrades to the serial path
-with a warning rather than failing.
+The pool is created lazily, on first iteration; if it cannot be
+created at all (restricted sandboxes without working process
+primitives), execution degrades to the serial path with a warning
+rather than failing.
+
+Two engine features ride on the same job indexing:
+
+* **result caching** — each job is content-addressed as
+  ``(trace digest, scenario digest, backend)`` in the store; hits skip
+  evaluation entirely (a fully-cached campaign does not even load its
+  traces) and fresh outcomes are persisted for the next run (disable
+  with ``use_cache=False``);
+* **streaming** — ``run_campaign(..., stream=True)`` returns a
+  :class:`CampaignStream` that yields backend-tagged records as
+  workers complete them (cache hits first), for progress reporting on
+  long sweeps; ``stream.result()`` drains it into the same
+  canonically-ordered :class:`CampaignResult` a non-streaming run
+  produces.
 """
 
 from __future__ import annotations
@@ -24,23 +42,31 @@ import multiprocessing as mp
 import os
 import time
 import warnings
-from typing import Sequence
+from itertools import count
+from typing import Iterator, Sequence
 
-from ..core.simulator import MachineConfig, SimResult, simulate
+from ..backends import EvalOutcome, Scenario, evaluate_scenario
+from ..core.simulator import MachineConfig
 from ..ir.trace import Trace
-from .campaign import CampaignSpec
-from .results import CampaignResult
-from .store import TraceStore, kernel_trace_cached
+from .campaign import CampaignSpec, KernelSpec
+from .results import CampaignResult, EvalRecord
+from .store import ResultKey, TraceStore, default_store, kernel_trace_key
 
-__all__ = ["default_workers", "run_campaign", "run_grid"]
+__all__ = ["CampaignStream", "default_workers", "run_campaign", "run_grid"]
 
-#: Traces published to pool workers.  Populated in the parent right
-#: before the pool is created: fork children inherit it copy-on-write;
-#: spawn children receive the same table through ``_init_worker``.
+#: Traces published to pool workers, keyed by "<launch>:<label>" so
+#: concurrent parallel campaigns never collide.  A launch's entries
+#: live exactly as long as its pool (fork children — including
+#: replacements for workers that die mid-run — inherit the table
+#: copy-on-write at fork time; spawn children receive it through
+#: ``_init_worker``) and are removed when the pool closes.
 _SHARED_TRACES: dict[str, Trace] = {}
 
-#: A job is (canonical index, trace label, machine configuration).
-_Job = tuple[int, str, MachineConfig]
+#: Distinguishes concurrent launches in ``_SHARED_TRACES``.
+_launch_ids = count()
+
+#: A job is (canonical index, trace label, scenario).
+_Job = tuple[int, str, Scenario]
 
 
 def default_workers() -> int:
@@ -54,78 +80,242 @@ def _init_worker(traces: dict[str, Trace] | None) -> None:
         _SHARED_TRACES.update(traces)
 
 
-def _eval_job(job: _Job) -> tuple[int, SimResult]:
-    index, label, config = job
-    return index, simulate(_SHARED_TRACES[label], config)
+def _eval_job(job: _Job) -> tuple[int, EvalOutcome]:
+    """Pool-worker entry point: evaluate against the inherited table."""
+    index, label, scenario = job
+    return index, evaluate_scenario(_SHARED_TRACES[label], scenario)
 
 
-def _run_serial(jobs: Sequence[_Job]) -> dict[int, SimResult]:
-    return dict(_eval_job(job) for job in jobs)
-
-
-def _run_parallel(
+def _iter_parallel(
     jobs: Sequence[_Job], traces: dict[str, Trace], workers: int
-) -> dict[int, SimResult]:
+) -> Iterator[tuple[int, EvalOutcome]]:
     methods = mp.get_all_start_methods()
     ctx = mp.get_context("fork" if "fork" in methods else None)
     fork = ctx.get_start_method() == "fork"
-    # fork children inherit the already-populated _SHARED_TRACES
-    # copy-on-write; other start methods get the table pickled once
-    # per worker through the initializer.
-    initargs = (None,) if fork else (traces,)
     chunksize = max(1, len(jobs) // (workers * 4))
-    with ctx.Pool(
-        processes=workers, initializer=_init_worker, initargs=initargs
-    ) as pool:
-        return dict(pool.map(_eval_job, jobs, chunksize=chunksize))
-
-
-def _execute(
-    jobs: Sequence[_Job],
-    traces: dict[str, Trace],
-    parallel: bool,
-    workers: int | None,
-) -> tuple[dict[int, SimResult], str]:
-    """Run all jobs; returns (index→result, executor description)."""
-    _SHARED_TRACES.clear()
-    _SHARED_TRACES.update(traces)
+    # Namespace this launch's table entries and keep them published for
+    # the pool's whole lifetime, so replacement workers forked after a
+    # worker death still inherit a complete table while concurrent
+    # launches cannot collide.
+    launch = next(_launch_ids)
+    namespaced = {f"{launch}:{label}": t for label, t in traces.items()}
+    jobs = [
+        (index, f"{launch}:{label}", scenario)
+        for index, label, scenario in jobs
+    ]
+    initargs = (None,) if fork else (namespaced,)
+    _SHARED_TRACES.update(namespaced)
     try:
-        if not parallel or len(jobs) < 2:
-            return _run_serial(jobs), "serial"
-        n_workers = min(workers or default_workers(), len(jobs))
+        pool = ctx.Pool(
+            processes=workers, initializer=_init_worker, initargs=initargs
+        )
+    except BaseException:
+        for key in namespaced:
+            _SHARED_TRACES.pop(key, None)
+        raise
+
+    def results() -> Iterator[tuple[int, EvalOutcome]]:
         try:
-            return (
-                _run_parallel(jobs, traces, n_workers),
-                f"parallel[{n_workers}]",
-            )
+            with pool:
+                yield from pool.imap_unordered(_eval_job, jobs, chunksize)
+        finally:
+            for key in namespaced:
+                _SHARED_TRACES.pop(key, None)
+
+    return results()
+
+
+class _JobRunner:
+    """Lazily executes a job list; the pool is created on first use.
+
+    Nothing happens at construction beyond deciding the plan, so a
+    runner that is never iterated starts no processes and leaks
+    nothing.  ``description`` reports how the jobs actually ran
+    ("serial", "parallel[N]", or "serial-fallback" if the pool could
+    not be created) and is final once iteration has begun.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[_Job],
+        traces: dict[str, Trace],
+        parallel: bool,
+        workers: int | None,
+    ) -> None:
+        self._jobs = jobs
+        self._traces = traces
+        self._parallel = parallel and len(jobs) >= 2
+        self._workers = (
+            min(workers or default_workers(), len(jobs))
+            if self._parallel
+            else 0
+        )
+        self.description = (
+            f"parallel[{self._workers}]" if self._parallel else "serial"
+        )
+
+    def _serial(self) -> Iterator[tuple[int, EvalOutcome]]:
+        for index, label, scenario in self._jobs:
+            yield index, evaluate_scenario(self._traces[label], scenario)
+
+    def __iter__(self) -> Iterator[tuple[int, EvalOutcome]]:
+        if not self._parallel:
+            yield from self._serial()
+            return
+        try:
+            pairs = _iter_parallel(self._jobs, self._traces, self._workers)
         except OSError as exc:
             warnings.warn(
                 f"worker pool unavailable ({exc}); falling back to serial",
                 RuntimeWarning,
-                stacklevel=3,
+                stacklevel=2,
             )
-            return _run_serial(jobs), "serial-fallback"
-    finally:
-        _SHARED_TRACES.clear()
+            self.description = "serial-fallback"
+            yield from self._serial()
+            return
+        yield from pairs
 
 
 def run_grid(
     trace: Trace,
-    configs: Sequence[MachineConfig],
+    scenarios: Sequence[Scenario | MachineConfig],
     *,
     parallel: bool = False,
     workers: int | None = None,
-) -> list[SimResult]:
-    """Evaluate one trace under many configurations, in input order.
+) -> list[EvalOutcome]:
+    """Evaluate one trace under many scenarios, in input order.
 
     The engine primitive beneath :class:`repro.bench.Sweep`: serial by
     default (cheap grids are dominated by pool startup), parallel on
-    request, identical results either way.
+    request, identical results either way.  Bare
+    :class:`MachineConfig` items are coerced to untimed scenarios.
     """
-    configs = list(configs)
-    jobs: list[_Job] = [(i, "", config) for i, config in enumerate(configs)]
-    results, _ = _execute(jobs, {"": trace}, parallel, workers)
-    return [results[i] for i in range(len(configs))]
+    coerced = [
+        s if isinstance(s, Scenario) else Scenario(config=s)
+        for s in scenarios
+    ]
+    jobs: list[_Job] = [(i, "", s) for i, s in enumerate(coerced)]
+    results = dict(_JobRunner(jobs, {"": trace}, parallel, workers))
+    return [results[i] for i in range(len(coerced))]
+
+
+class CampaignStream:
+    """A campaign in flight: iterate records as they complete.
+
+    Construction resolves cache hits and plans the remaining jobs
+    (traces are loaded only for kernels that actually need evaluating;
+    worker processes start on first iteration).  Iterating yields
+    :class:`EvalRecord` objects in *completion* order — cache hits
+    first (canonical order), then live evaluations as workers finish
+    them — each tagged with its canonical ``index``.
+    :meth:`result` drains whatever has not been consumed and assembles
+    the canonical-order :class:`CampaignResult`.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        *,
+        store: TraceStore | None = None,
+        parallel: bool = True,
+        workers: int | None = None,
+        use_cache: bool = True,
+    ) -> None:
+        from .store import kernel_trace_cached
+
+        self.spec = spec
+        self._store = store if store is not None else default_store()
+        self._use_cache = use_cache
+        self._started = time.perf_counter()
+        #: shape of every trace *acquired for this run* (a fully-cached
+        #: campaign loads no traces and records no shapes)
+        self.trace_meta: dict[str, dict[str, int]] = {}
+        self._records: list[EvalRecord] = []
+
+        trace_digests = {
+            kernel.label: kernel_trace_key(
+                kernel.name, n=kernel.n, seed=kernel.seed
+            ).digest
+            for kernel in spec.kernels
+        }
+        self._points: list[tuple[KernelSpec, Scenario]] = list(spec.points())
+        self._cached: list[tuple[int, EvalOutcome]] = []
+        self._result_keys: dict[int, ResultKey] = {}
+        pending: list[tuple[int, KernelSpec, Scenario]] = []
+        for index, (kernel, scenario) in enumerate(self._points):
+            if self._use_cache:
+                key = ResultKey(
+                    trace_digest=trace_digests[kernel.label],
+                    scenario_digest=scenario.digest,
+                    backend=scenario.backend,
+                )
+                self._result_keys[index] = key
+                outcome = self._store.lookup_result(key)
+                if outcome is not None:
+                    self._cached.append((index, outcome))
+                    continue
+            pending.append((index, kernel, scenario))
+
+        # Acquire traces only for kernels with work left to do.
+        traces: dict[str, Trace] = {}
+        for kernel in spec.kernels:
+            if not any(k.label == kernel.label for _i, k, _s in pending):
+                continue
+            trace = kernel_trace_cached(
+                kernel.name, n=kernel.n, seed=kernel.seed, store=self._store
+            )
+            traces[kernel.label] = trace
+            self.trace_meta[kernel.label] = {
+                "n_instances": trace.n_instances,
+                "n_reads": trace.n_reads,
+            }
+
+        jobs: list[_Job] = [(i, k.label, s) for i, k, s in pending]
+        self._runner = _JobRunner(jobs, traces, parallel, workers)
+        self._iterator = self._generate()
+
+    @property
+    def executor(self) -> str:
+        """How the campaign ran (final once iteration has begun)."""
+        description = self._runner.description
+        if self._cached:
+            description += f"+cache[{len(self._cached)}/{self.spec.n_points}]"
+        return description
+
+    def __len__(self) -> int:
+        return self.spec.n_points
+
+    def _record(self, index: int, outcome: EvalOutcome) -> EvalRecord:
+        kernel, _scenario = self._points[index]
+        return EvalRecord(kernel=kernel, outcome=outcome, index=index)
+
+    def _generate(self) -> Iterator[EvalRecord]:
+        for index, outcome in self._cached:
+            record = self._record(index, outcome)
+            self._records.append(record)
+            yield record
+        for index, outcome in self._runner:
+            if self._use_cache:
+                self._store.put_result(self._result_keys[index], outcome)
+            record = self._record(index, outcome)
+            self._records.append(record)
+            yield record
+
+    def __iter__(self) -> Iterator[EvalRecord]:
+        """Single-pass: every record is yielded exactly once."""
+        return self._iterator
+
+    def result(self) -> CampaignResult:
+        """Drain any unconsumed records and assemble the final result."""
+        for _record in self._iterator:
+            pass
+        return CampaignResult.from_records(
+            self.spec,
+            self._records,
+            trace_meta=self.trace_meta,
+            executor=self.executor,
+            elapsed_s=time.perf_counter() - self._started,
+        )
 
 
 def run_campaign(
@@ -134,35 +324,26 @@ def run_campaign(
     store: TraceStore | None = None,
     parallel: bool = True,
     workers: int | None = None,
-) -> CampaignResult:
-    """Execute a campaign: acquire traces once, fan configurations out.
+    stream: bool = False,
+    use_cache: bool = True,
+) -> CampaignResult | CampaignStream:
+    """Execute a campaign: acquire traces once, fan scenarios out.
 
     Traces come from ``store`` (the default store when ``None``) —
     interpreted at most once per machine, then replayed from ``.npz``.
-    Results arrive in the spec's canonical order regardless of how the
-    pool interleaved the work.
+    Evaluations dispatch through the backend registry, so the same
+    call runs untimed and timed campaigns alike.  With ``use_cache``
+    (the default) previously-evaluated points replay from the store's
+    result cache without simulating.  ``stream=True`` returns a
+    :class:`CampaignStream` yielding records as they complete;
+    otherwise records arrive assembled in the spec's canonical order
+    regardless of how the pool interleaved the work.
     """
-    started = time.perf_counter()
-    traces: dict[str, Trace] = {}
-    trace_meta: dict[str, dict[str, int]] = {}
-    for kernel in spec.kernels:
-        trace = kernel_trace_cached(
-            kernel.name, n=kernel.n, seed=kernel.seed, store=store
-        )
-        traces[kernel.label] = trace
-        trace_meta[kernel.label] = {
-            "n_instances": trace.n_instances,
-            "n_reads": trace.n_reads,
-        }
-    jobs: list[_Job] = [
-        (i, kernel.label, config)
-        for i, (kernel, config) in enumerate(spec.points())
-    ]
-    results, executor = _execute(jobs, traces, parallel, workers)
-    return CampaignResult.from_mapping(
+    s = CampaignStream(
         spec,
-        results,
-        trace_meta=trace_meta,
-        executor=executor,
-        elapsed_s=time.perf_counter() - started,
+        store=store,
+        parallel=parallel,
+        workers=workers,
+        use_cache=use_cache,
     )
+    return s if stream else s.result()

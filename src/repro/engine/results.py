@@ -1,12 +1,14 @@
-"""Typed campaign results with JSON export.
+"""Typed, backend-tagged campaign results with JSON export.
 
-One :class:`EvalRecord` per (kernel, configuration) point, in the
-spec's canonical order, each carrying the full :class:`SimResult` so
-nothing is lost between execution and reporting; ``to_dict`` flattens
-a record to the JSON-friendly summary the CLI and the figure/table
-generators consume.  :meth:`CampaignResult.identical` compares two
-runs counter for counter — the bit-exactness contract between the
-serial and parallel executors.
+One :class:`EvalRecord` per (kernel, scenario) point, in the spec's
+canonical order, each carrying the full
+:class:`~repro.backends.base.EvalOutcome` so nothing is lost between
+execution and reporting; ``to_dict`` flattens a record to the
+JSON-friendly summary the CLI and the figure/table generators consume,
+with the backend name and the backend's metric columns riding along.
+:meth:`CampaignResult.identical` compares two runs counter for counter
+— the bit-exactness contract between the serial and parallel
+executors, whatever the backend.
 """
 
 from __future__ import annotations
@@ -15,45 +17,65 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, Mapping
+from typing import Iterable, Iterator, Mapping
 
-import numpy as np
-
-from ..core.simulator import SimResult
+from ..backends import EvalOutcome, Scenario, get_backend
 from .campaign import CampaignSpec, KernelSpec
 
 __all__ = ["CampaignResult", "EvalRecord"]
 
+#: Spec axis name → scenario field it populates.
+_AXIS_TO_FIELD = {
+    "topologies": "topology",
+    "modes": "mode",
+    "cost_models": "cost_model",
+}
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, eq=False)
 class EvalRecord:
-    """One evaluated sweep point."""
+    """One evaluated sweep point, tagged with its canonical index."""
 
     kernel: KernelSpec
-    result: SimResult
+    outcome: EvalOutcome
+    index: int = -1
 
     # -- convenient views ------------------------------------------------------
     @property
+    def scenario(self) -> Scenario:
+        return self.outcome.scenario
+
+    @property
+    def backend(self) -> str:
+        return self.outcome.backend
+
+    @property
     def config(self):
-        return self.result.config
+        return self.outcome.scenario.config
+
+    @property
+    def metrics(self) -> dict[str, float]:
+        return self.outcome.metrics
 
     @property
     def remote_read_pct(self) -> float:
-        return self.result.remote_read_pct
+        return self.outcome.remote_read_pct
 
     @property
     def cached_read_pct(self) -> float:
-        return self.result.cached_read_pct
+        return self.outcome.cached_read_pct
 
     def matches(self, **criteria: object) -> bool:
         """True when every criterion equals the record's field.
 
-        Criteria may name ``kernel`` (registry name or label) or any
-        configuration axis (``n_pes``, ``page_size``, ``cache_elems``,
-        ``cache_policy``, ``partition`` — by scheme label — or
-        ``reduction_strategy``).
+        Criteria may name ``kernel`` (registry name or label),
+        ``backend``, any configuration axis (``n_pes``, ``page_size``,
+        ``cache_elems``, ``cache_policy``, ``partition`` — by scheme
+        label — or ``reduction_strategy``) or any scenario knob
+        (``topology``, ``mode``, ``cost_model``).
         """
         config = self.config
+        scenario = self.scenario
         for key, wanted in criteria.items():
             if key == "kernel":
                 if wanted not in (self.kernel.name, self.kernel.label):
@@ -64,10 +86,39 @@ class EvalRecord:
             elif key in ("n", "seed"):
                 if getattr(self.kernel, key) != wanted:
                     return False
+            elif key in (
+                "backend",
+                "topology",
+                "mode",
+                "cost_model",
+                "max_outstanding",
+            ):
+                if getattr(scenario, key) != wanted:
+                    return False
             else:
                 if getattr(config, key) != wanted:
                     return False
         return True
+
+    def _scenario_columns(self) -> dict[str, object]:
+        """The scenario knobs the record's backend actually consumes.
+
+        Axes outside the built-in map (a custom backend's own axis
+        names) have no :class:`Scenario` field to report and are
+        skipped.
+        """
+        try:
+            axes = get_backend(self.backend).scenario_axes
+        except KeyError:  # result outlived its backend registration
+            axes = tuple(_AXIS_TO_FIELD)
+        out: dict[str, object] = {}
+        for axis in axes:
+            name = _AXIS_TO_FIELD.get(axis)
+            if name is not None:
+                out[name] = getattr(self.scenario, name)
+        if axes:
+            out["max_outstanding"] = self.scenario.max_outstanding
+        return out
 
     def to_dict(self) -> dict[str, object]:
         config = self.config
@@ -75,6 +126,7 @@ class EvalRecord:
             "kernel": self.kernel.name,
             "n": self.kernel.n,
             "seed": self.kernel.seed,
+            "backend": self.backend,
             "n_pes": config.n_pes,
             "page_size": config.page_size,
             "cache_elems": config.cache_elems,
@@ -82,21 +134,16 @@ class EvalRecord:
             "partition": config.partition.label,
             "reduction_strategy": config.reduction_strategy,
         }
-        out.update(self.result.summary())
+        out.update(self._scenario_columns())
+        out.update(self.outcome.summary())
         return out
 
     def identical(self, other: "EvalRecord") -> bool:
-        """Bit-exact comparison of every simulation counter."""
-        mine, theirs = self.result, other.result
+        """Bit-exact comparison of every counter, metric and array."""
         return (
             self.kernel == other.kernel
-            and self.config.label() == other.config.label()
-            and np.array_equal(mine.stats.counts, theirs.stats.counts)
-            and np.array_equal(mine.stats.by_array, theirs.stats.by_array)
-            and np.array_equal(mine.page_fetches, theirs.page_fetches)
-            and np.array_equal(
-                mine.distinct_pages_fetched, theirs.distinct_pages_fetched
-            )
+            and self.index == other.index
+            and self.outcome.identical(other.outcome)
         )
 
 
@@ -108,7 +155,7 @@ class CampaignResult:
     records: list[EvalRecord]
     #: per-kernel-label trace shape, recorded at acquisition time
     trace_meta: dict[str, dict[str, int]] = field(default_factory=dict)
-    #: how the campaign ran ("serial" or "parallel[N]")
+    #: how the campaign ran ("serial", "parallel[N]", "+cache[H/N]", ...)
     executor: str = "serial"
     elapsed_s: float | None = None
 
@@ -150,6 +197,7 @@ class CampaignResult:
     def to_dict(self) -> dict[str, object]:
         return {
             "campaign": self.spec.to_dict(),
+            "backend": self.spec.backend,
             "executor": self.executor,
             "elapsed_s": self.elapsed_s,
             "traces": self.trace_meta,
@@ -167,17 +215,36 @@ class CampaignResult:
     def rows(
         self, kernel: str | None = None
     ) -> tuple[list[str], list[list[object]]]:
-        """(headers, rows) for ASCII rendering, optionally one kernel."""
+        """(headers, rows) for ASCII rendering, optionally one kernel.
+
+        Backend-specific columns follow the common ones: the scenario
+        knobs the backend consumes plus its ``table_metrics``.
+        """
         records = self.select(kernel=kernel) if kernel else self.records
+        try:
+            backend = get_backend(self.spec.backend)
+            scenario_axes = backend.scenario_axes
+            table_metrics = backend.table_metrics
+        except KeyError:  # result outlived its backend registration
+            scenario_axes = tuple(_AXIS_TO_FIELD)
+            table_metrics = ()
+        scenario_fields = [
+            _AXIS_TO_FIELD[axis]
+            for axis in scenario_axes
+            if axis in _AXIS_TO_FIELD
+        ]
         headers = [
             "kernel",
+            "backend",
             "pes",
             "ps",
             "cache",
             "policy",
             "partition",
+            *scenario_fields,
             "remote%",
             "cached%",
+            *table_metrics,
         ]
         rows: list[list[object]] = []
         for record in records:
@@ -185,13 +252,22 @@ class CampaignResult:
             rows.append(
                 [
                     record.kernel.label,
+                    record.backend,
                     config.n_pes,
                     config.page_size,
                     config.cache_elems,
                     config.cache_policy,
                     config.partition.label,
+                    *(
+                        getattr(record.scenario, name)
+                        for name in scenario_fields
+                    ),
                     record.remote_read_pct,
                     record.cached_read_pct,
+                    *(
+                        record.metrics.get(metric)
+                        for metric in table_metrics
+                    ),
                 ]
             )
         return headers, rows
@@ -199,12 +275,28 @@ class CampaignResult:
     @staticmethod
     def from_mapping(
         spec: CampaignSpec,
-        results: Mapping[int, SimResult],
+        results: Mapping[int, EvalOutcome],
         **kwargs: object,
     ) -> "CampaignResult":
-        """Assemble records from index→result, restoring spec order."""
+        """Assemble records from index→outcome, restoring spec order."""
         records = [
-            EvalRecord(kernel=kernel, result=results[i])
-            for i, (kernel, _config) in enumerate(spec.points())
+            EvalRecord(kernel=kernel, outcome=results[i], index=i)
+            for i, (kernel, _scenario) in enumerate(spec.points())
         ]
         return CampaignResult(spec=spec, records=records, **kwargs)  # type: ignore[arg-type]
+
+    @staticmethod
+    def from_records(
+        spec: CampaignSpec,
+        records: Iterable[EvalRecord],
+        **kwargs: object,
+    ) -> "CampaignResult":
+        """Assemble a result from index-tagged records (any arrival
+        order — the streaming consumer's constructor)."""
+        ordered = sorted(records, key=lambda r: r.index)
+        if [r.index for r in ordered] != list(range(spec.n_points)):
+            raise ValueError(
+                f"records do not cover the campaign: got "
+                f"{len(ordered)} of {spec.n_points} points"
+            )
+        return CampaignResult(spec=spec, records=ordered, **kwargs)  # type: ignore[arg-type]

@@ -15,6 +15,14 @@ This module is also the single code path for trace *acquisition*:
 vectorised fast path) is invoked on behalf of the engine, the bench
 harness and the CLI, which is what lets the test suite assert that a
 warm store performs **zero** interpreter executions.
+
+The store also caches *results*: an evaluation is pure in
+``(trace, scenario, backend)``, so a :class:`ResultKey` content-address
+maps to a persisted :class:`~repro.backends.base.EvalOutcome` and a
+re-run of an identical campaign skips simulation entirely.  Result
+hits and misses are counted (``result_counters``) exactly like trace
+acquisitions, and the backends' ``evaluation_count`` mirrors the
+interpretation counter on the evaluation side.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ import hashlib
 import json
 import os
 import re
+import tempfile
 import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -30,11 +39,15 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from ..backends.base import EvalOutcome, Scenario
+from ..core.stats import AccessStats
 from ..ir.loops import Program
 from ..ir.trace import TRACE_FORMAT_VERSION, Trace
 
 __all__ = [
+    "RESULT_FORMAT_VERSION",
     "TRACE_STORE_ENV",
+    "ResultKey",
     "StoreCounters",
     "TraceKey",
     "TraceStore",
@@ -42,6 +55,7 @@ __all__ = [
     "default_store",
     "interpretation_count",
     "kernel_trace_cached",
+    "kernel_trace_key",
     "set_default_store",
 ]
 
@@ -130,6 +144,122 @@ class TraceKey:
         return f"{self.kernel}({args})"
 
 
+#: Version of the persisted result layout; a bump invalidates every
+#: cached outcome instead of misreading it.
+RESULT_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ResultKey:
+    """Identity of a cached evaluation: trace x scenario x backend.
+
+    The trace digest already covers kernel identity, build parameters,
+    trace format and package version; the scenario digest covers the
+    machine configuration and every backend knob.  Everything that can
+    change an outcome is in the address, so stale hits are impossible
+    within a package version.
+    """
+
+    trace_digest: str
+    scenario_digest: str
+    backend: str
+
+    @staticmethod
+    def make(trace_key: "TraceKey", scenario: Scenario) -> "ResultKey":
+        return ResultKey(
+            trace_digest=trace_key.digest,
+            scenario_digest=scenario.digest,
+            backend=scenario.backend,
+        )
+
+    @property
+    def digest(self) -> str:
+        document = json.dumps(
+            {
+                "trace": self.trace_digest,
+                "scenario": self.scenario_digest,
+                "backend": self.backend,
+                "result_format": RESULT_FORMAT_VERSION,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(document.encode()).hexdigest()
+
+    @property
+    def filename(self) -> str:
+        safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", self.backend) or "backend"
+        return f"{safe}-{self.digest[:20]}.npz"
+
+
+def _save_outcome(path: Path, outcome: EvalOutcome) -> Path:
+    """Persist an outcome to ``.npz`` (atomic replace, exact dtypes)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = json.dumps(
+        {
+            "result_format": RESULT_FORMAT_VERSION,
+            "backend": outcome.backend,
+            "scenario": outcome.scenario.to_dict(),
+            "metrics": outcome.metrics,
+            "array_names": list(outcome.stats.array_names),
+            "per_pe_keys": sorted(outcome.per_pe),
+        },
+        sort_keys=True,
+    )
+    payload = {
+        "counts": outcome.stats.counts,
+        "by_array": outcome.stats.by_array,
+    }
+    for name in outcome.per_pe:
+        payload[f"per_pe__{name}"] = outcome.per_pe[name]
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, meta=np.array(meta), **payload)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+def _load_outcome(path: Path) -> EvalOutcome:
+    """Load an outcome saved by :func:`_save_outcome` (validated)."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        try:
+            meta = json.loads(str(data["meta"][()]))
+            counts = data["counts"]
+            by_array = data["by_array"]
+            per_pe = {
+                name: data[f"per_pe__{name}"]
+                for name in meta.get("per_pe_keys", [])
+            }
+        except KeyError as exc:
+            raise ValueError(f"not a result file: missing {exc}") from None
+    version = meta.get("result_format")
+    if version != RESULT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format version {version!r} "
+            f"(expected {RESULT_FORMAT_VERSION})"
+        )
+    stats = AccessStats(
+        n_pes=int(counts.shape[0]),
+        array_names=tuple(meta["array_names"]),
+    )
+    stats.counts = counts
+    stats.by_array = by_array
+    return EvalOutcome(
+        backend=str(meta["backend"]),
+        scenario=Scenario.from_dict(meta["scenario"]),
+        stats=stats,
+        metrics=dict(meta["metrics"]),
+        per_pe=per_pe,
+    )
+
+
 @dataclass
 class StoreCounters:
     """Observability: where each ``get`` was satisfied."""
@@ -163,11 +293,17 @@ class TraceStore:
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = Path(root)
         self.counters = StoreCounters()
+        #: where each result lookup was satisfied (mirrors ``counters``)
+        self.result_counters = StoreCounters()
         self._memory: dict[TraceKey, Trace] = {}
+        self._result_memory: dict[ResultKey, EvalOutcome] = {}
 
     # -- paths -----------------------------------------------------------------
     def path_for(self, key: TraceKey) -> Path:
         return self.root / key.filename
+
+    def result_path_for(self, key: ResultKey) -> Path:
+        return self.root / "results" / key.filename
 
     def __contains__(self, key: TraceKey) -> bool:
         return key in self._memory or self.path_for(key).is_file()
@@ -208,19 +344,67 @@ class TraceStore:
         self.put(key, trace)
         return trace
 
+    # -- result cache ----------------------------------------------------------
+    def n_results(self) -> int:
+        results = self.root / "results"
+        if not results.is_dir():
+            return 0
+        return sum(1 for _ in results.glob("*.npz"))
+
+    def lookup_result(self, key: ResultKey) -> EvalOutcome | None:
+        """Memory → disk result lookup; counts the hit/miss either way."""
+        outcome = self._result_memory.get(key)
+        if outcome is not None:
+            self.result_counters.memory_hits += 1
+            return outcome
+        path = self.result_path_for(key)
+        if path.is_file():
+            try:
+                outcome = _load_outcome(path)
+            except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+                outcome = None
+        if outcome is not None:
+            self.result_counters.disk_hits += 1
+            self._result_memory[key] = outcome
+            return outcome
+        self.result_counters.misses += 1
+        return None
+
+    def put_result(self, key: ResultKey, outcome: EvalOutcome) -> Path:
+        self._result_memory[key] = outcome
+        return _save_outcome(self.result_path_for(key), outcome)
+
+    def get_result(
+        self, key: ResultKey, compute: Callable[[], EvalOutcome]
+    ) -> EvalOutcome:
+        """Memory → disk → ``compute()`` (which is then persisted)."""
+        outcome = self.lookup_result(key)
+        if outcome is None:
+            outcome = compute()
+            self.put_result(key, outcome)
+        return outcome
+
     # -- maintenance -----------------------------------------------------------
     def clear_memory(self) -> None:
         self._memory.clear()
+        self._result_memory.clear()
 
     def clear(self) -> None:
-        """Drop the memory map and delete every on-disk entry."""
+        """Drop the memory maps and delete every on-disk entry."""
         self.clear_memory()
         if self.root.is_dir():
             for path in self.root.glob("*.npz"):
                 path.unlink(missing_ok=True)
+        results = self.root / "results"
+        if results.is_dir():
+            for path in results.glob("*.npz"):
+                path.unlink(missing_ok=True)
 
     def __repr__(self) -> str:
-        return f"TraceStore({str(self.root)!r}, entries={len(self)})"
+        return (
+            f"TraceStore({str(self.root)!r}, entries={len(self)}, "
+            f"results={self.n_results()})"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -259,6 +443,23 @@ def default_store() -> TraceStore:
     if store is None:
         store = _instances.setdefault(root, TraceStore(root))
     return store
+
+
+def kernel_trace_key(
+    name: str, n: int | None = None, seed: int | None = None
+) -> TraceKey:
+    """Store identity of a registry kernel's trace.
+
+    ``n`` is resolved to the kernel's default so equivalent requests
+    share one store entry — the same resolution
+    :func:`kernel_trace_cached` applies, exposed so result caching can
+    address ``(trace, scenario, backend)`` without re-acquiring.
+    """
+    from ..kernels import get_kernel
+
+    kernel = get_kernel(name)
+    eff_n = kernel.default_n if n is None else n
+    return TraceKey.make(name, n=eff_n, seed=seed)
 
 
 def kernel_trace_cached(

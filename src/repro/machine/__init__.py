@@ -10,7 +10,10 @@ from .network import (
     Mesh2D,
     Ring,
     Topology,
+    Torus2D,
+    canonical_topology,
     make_topology,
+    topology_names,
 )
 from .pe import CostModel, PEState
 
@@ -29,6 +32,9 @@ __all__ = [
     "TimedMachine",
     "TimedResult",
     "Topology",
+    "Torus2D",
+    "canonical_topology",
     "make_topology",
     "serial_time",
+    "topology_names",
 ]

@@ -16,6 +16,7 @@ against a shortest-path computation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import isqrt
 
 import numpy as np
 
@@ -26,7 +27,10 @@ __all__ = [
     "Mesh2D",
     "Ring",
     "Topology",
+    "Torus2D",
+    "canonical_topology",
     "make_topology",
+    "topology_names",
 ]
 
 Link = tuple[int, int]
@@ -214,6 +218,84 @@ class Mesh2D(Topology):
         return links
 
 
+class Torus2D(Mesh2D):
+    """A rows x cols mesh with wraparound links in both dimensions.
+
+    Dimension-order routing as in :class:`Mesh2D`, but each dimension
+    takes the shorter way around its ring (ties go the positive
+    direction).  The wraparound keeps the worst-case distance at half a
+    mesh's, at the price of one extra link per row and column — the
+    classic mesh/torus trade-off.  Requires a full rectangular grid.
+    """
+
+    name = "torus2d"
+
+    def __init__(self, n_pes: int, cols: int | None = None) -> None:
+        if cols is None:
+            # Most-square full grid: largest divisor of n_pes that does
+            # not exceed its square root (primes degenerate to a ring).
+            cols = next(
+                c
+                for c in range(isqrt(n_pes), 0, -1)
+                if n_pes % c == 0
+            )
+        super().__init__(n_pes, cols)
+        if self.rows * self.cols != n_pes:
+            raise ValueError(
+                f"torus requires a full grid: {n_pes} PEs do not fill "
+                f"{self.rows}x{self.cols}"
+            )
+
+    @staticmethod
+    def _ring_hops(a: int, b: int, length: int) -> int:
+        d = abs(a - b)
+        return min(d, length - d)
+
+    def hops(self, src: int, dst: int) -> int:
+        (r1, c1), (r2, c2) = self._coords(src), self._coords(dst)
+        return self._ring_hops(r1, r2, self.rows) + self._ring_hops(
+            c1, c2, self.cols
+        )
+
+    @staticmethod
+    def _ring_step(a: int, b: int, length: int) -> int:
+        """Direction (+1/-1) of the shorter way around a ring."""
+        forward = (b - a) % length
+        return 1 if forward <= length - forward else -1
+
+    def route(self, src: int, dst: int) -> list[Link]:
+        (r1, c1), (r2, c2) = self._coords(src), self._coords(dst)
+        links = []
+        col = c1
+        if col != c2:  # X first, the shorter way around
+            step = self._ring_step(c1, c2, self.cols)
+            while col != c2:
+                nxt = (col + step) % self.cols
+                links.append((self._pe(r1, col), self._pe(r1, nxt)))
+                col = nxt
+        row = r1
+        if row != r2:  # then Y
+            step = self._ring_step(r1, r2, self.rows)
+            while row != r2:
+                nxt = (row + step) % self.rows
+                links.append((self._pe(row, col), self._pe(nxt, col)))
+                row = nxt
+        return links
+
+    def edges(self) -> list[Link]:
+        links: set[Link] = set()
+        for row in range(self.rows):
+            for col in range(self.cols):
+                pe = self._pe(row, col)
+                if self.cols > 1:
+                    other = self._pe(row, (col + 1) % self.cols)
+                    links.add((min(pe, other), max(pe, other)))
+                if self.rows > 1:
+                    other = self._pe((row + 1) % self.rows, col)
+                    links.add((min(pe, other), max(pe, other)))
+        return sorted(links)
+
+
 class Hypercube(Topology):
     """A d-cube (requires a power-of-two PE count); e-cube routing."""
 
@@ -257,16 +339,35 @@ _TOPOLOGIES = {
     "crossbar": Crossbar,
     "ring": Ring,
     "mesh2d": Mesh2D,
+    "torus2d": Torus2D,
     "hypercube": Hypercube,
 }
 
+#: Accepted shorthands (the CLI advertises these).
+_ALIASES = {
+    "mesh": "mesh2d",
+    "torus": "torus2d",
+    "cube": "hypercube",
+    "xbar": "crossbar",
+}
 
-def make_topology(name: str, n_pes: int) -> Topology:
-    """Instantiate a topology by name."""
-    try:
-        cls = _TOPOLOGIES[name]
-    except KeyError:
+
+def topology_names() -> tuple[str, ...]:
+    """Canonical topology names (aliases excluded)."""
+    return tuple(sorted(_TOPOLOGIES))
+
+
+def canonical_topology(name: str) -> str:
+    """Resolve a topology name or alias to its canonical name."""
+    resolved = _ALIASES.get(name, name)
+    if resolved not in _TOPOLOGIES:
         raise KeyError(
             f"unknown topology {name!r}; choose from {sorted(_TOPOLOGIES)}"
-        ) from None
-    return cls(n_pes)
+            f" (aliases: {sorted(_ALIASES)})"
+        )
+    return resolved
+
+
+def make_topology(name: str, n_pes: int) -> Topology:
+    """Instantiate a topology by (possibly aliased) name."""
+    return _TOPOLOGIES[canonical_topology(name)](n_pes)

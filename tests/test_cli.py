@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -84,6 +86,53 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "Cache" in out  # the no-cache series
+
+    def test_sweep_timed_backend_parallel_json(self, capsys, tmp_path):
+        """The acceptance command shape: a timed mesh sweep, parallel,
+        with backend-tagged JSON records."""
+        out_path = tmp_path / "out.json"
+        assert (
+            main(
+                [
+                    "sweep", "iccg", "--n", "64",
+                    "--backend", "timed", "--topology", "mesh",
+                    "--pes", "2", "4", "--page-sizes", "32",
+                    "--parallel", "--json", str(out_path),
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "topology" in captured.out  # record table, timed columns
+        assert "[4/4]" in captured.err  # streamed progress line
+        data = json.loads(out_path.read_text())
+        assert data["backend"] == "timed"
+        assert len(data["results"]) == 4
+        for row in data["results"]:
+            assert row["backend"] == "timed"
+            assert row["topology"] == "mesh2d"
+            assert "finish_time" in row and "speedup" in row
+
+    def test_sweep_multi_topology_modes(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep", "first_diff", "--n", "96",
+                    "--backend", "timed",
+                    "--topology", "mesh", "torus",
+                    "--mode", "blocking", "multithreaded",
+                    "--pes", "2", "--page-sizes", "32", "--cache", "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "torus2d" in out
+        assert "multithreaded" in out
+
+    def test_sweep_unknown_backend(self, capsys):
+        assert main(["sweep", "iccg", "--backend", "quantum"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
 
     def test_advise(self, capsys):
         assert main(["advise", "first_diff", "--n", "300"]) == 0

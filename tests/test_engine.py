@@ -105,6 +105,7 @@ class TestRunGrid:
         ]
         results = run_grid(hydro_trace, configs)
         assert [r.config for r in results] == configs
+        assert all(r.backend == "untimed" for r in results)
 
     def test_parallel_matches_serial(self, hydro_trace):
         configs = [
@@ -115,33 +116,44 @@ class TestRunGrid:
         serial = run_grid(hydro_trace, configs)
         parallel = run_grid(hydro_trace, configs, parallel=True, workers=2)
         for a, b in zip(serial, parallel):
+            assert a.identical(b)
             assert np.array_equal(a.stats.counts, b.stats.counts)
-            assert np.array_equal(a.page_fetches, b.page_fetches)
+            assert np.array_equal(
+                a.per_pe["page_fetches"], b.per_pe["page_fetches"]
+            )
 
 
 class TestRunCampaign:
     def test_parallel_bit_identical_to_serial(self, tmp_path):
         """Acceptance: ≥2 kernels × ≥24 configurations, parallel ==
-        serial counter for counter."""
+        serial counter for counter (caching disabled so both runs
+        genuinely execute)."""
         spec = acceptance_spec()
         store = TraceStore(tmp_path / "store")
-        serial = run_campaign(spec, store=store, parallel=False)
-        parallel = run_campaign(spec, store=store, parallel=True, workers=2)
+        serial = run_campaign(spec, store=store, parallel=False, use_cache=False)
+        parallel = run_campaign(
+            spec, store=store, parallel=True, workers=2, use_cache=False
+        )
         assert serial.executor == "serial"
         assert parallel.executor.startswith("parallel[")
         assert len(serial) == len(parallel) == 48
         assert serial.identical(parallel)
         for a, b in zip(serial.records, parallel.records):
             assert a.kernel == b.kernel
-            assert a.config.label() == b.config.label()
-            assert np.array_equal(a.result.stats.counts, b.result.stats.counts)
+            assert a.scenario == b.scenario
             assert np.array_equal(
-                a.result.stats.by_array, b.result.stats.by_array
+                a.outcome.stats.counts, b.outcome.stats.counts
             )
-            assert np.array_equal(a.result.page_fetches, b.result.page_fetches)
             assert np.array_equal(
-                a.result.distinct_pages_fetched,
-                b.result.distinct_pages_fetched,
+                a.outcome.stats.by_array, b.outcome.stats.by_array
+            )
+            assert np.array_equal(
+                a.outcome.per_pe["page_fetches"],
+                b.outcome.per_pe["page_fetches"],
+            )
+            assert np.array_equal(
+                a.outcome.per_pe["distinct_pages_fetched"],
+                b.outcome.per_pe["distinct_pages_fetched"],
             )
 
     def test_warm_store_runs_zero_interpretations(self, tmp_path):
@@ -151,7 +163,7 @@ class TestRunCampaign:
         run_campaign(spec, store=TraceStore(root), parallel=False)
         warm = TraceStore(root)  # cold memory, warm disk
         before = interpretation_count()
-        result = run_campaign(spec, store=warm, parallel=False)
+        result = run_campaign(spec, store=warm, parallel=False, use_cache=False)
         assert interpretation_count() == before
         assert warm.counters.disk_hits == len(spec.kernels)
         assert warm.counters.misses == 0
@@ -163,9 +175,12 @@ class TestRunCampaign:
             spec, store=TraceStore(tmp_path), parallel=False
         )
         expected = list(spec.points())
-        for record, (kernel, config) in zip(result.records, expected):
+        for index, (record, (kernel, scenario)) in enumerate(
+            zip(result.records, expected)
+        ):
             assert record.kernel == kernel
-            assert record.config.label() == config.label()
+            assert record.scenario == scenario
+            assert record.index == index
 
     def test_trace_meta_recorded(self, tmp_path):
         result = run_campaign(
@@ -224,10 +239,12 @@ class TestCampaignResult:
     def test_json_export(self, result, tmp_path):
         data = json.loads(result.to_json())
         assert data["campaign"]["name"] == "acceptance"
+        assert data["backend"] == "untimed"
         assert len(data["results"]) == 48
         row = data["results"][0]
         for column in (
             "kernel",
+            "backend",
             "n_pes",
             "page_size",
             "cache_elems",
@@ -237,6 +254,7 @@ class TestCampaignResult:
             "page_fetches",
         ):
             assert column in row
+        assert row["backend"] == "untimed"
         path = result.save_json(tmp_path / "out.json")
         assert json.loads(path.read_text()) == data
 

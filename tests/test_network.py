@@ -5,20 +5,39 @@ from __future__ import annotations
 import networkx as nx
 import pytest
 
-from repro.machine import Bus, Crossbar, Hypercube, Mesh2D, Ring, make_topology
+from repro.machine import (
+    Bus,
+    Crossbar,
+    Hypercube,
+    Mesh2D,
+    Ring,
+    Torus2D,
+    canonical_topology,
+    make_topology,
+    topology_names,
+)
 
 
 class TestFactory:
     def test_names(self):
-        for name in ("bus", "crossbar", "ring", "mesh2d", "hypercube"):
+        for name in ("bus", "crossbar", "ring", "mesh2d", "torus2d", "hypercube"):
             n = 8
             topo = make_topology(name, n)
             assert topo.n_pes == n
             assert topo.name == name
+            assert name in topology_names()
+
+    def test_aliases(self):
+        assert canonical_topology("mesh") == "mesh2d"
+        assert canonical_topology("torus") == "torus2d"
+        assert make_topology("mesh", 8).name == "mesh2d"
+        assert make_topology("torus", 8).name == "torus2d"
 
     def test_unknown(self):
         with pytest.raises(KeyError):
-            make_topology("torus", 8)
+            make_topology("zigzag", 8)
+        with pytest.raises(KeyError):
+            canonical_topology("zigzag")
 
     def test_hypercube_needs_power_of_two(self):
         with pytest.raises(ValueError):
@@ -28,10 +47,30 @@ class TestFactory:
         with pytest.raises(ValueError):
             Ring(0)
 
+    def test_torus_default_grid_is_full(self):
+        assert (Torus2D(8).rows, Torus2D(8).cols) == (4, 2)
+        assert (Torus2D(16).rows, Torus2D(16).cols) == (4, 4)
+        assert (Torus2D(5).rows, Torus2D(5).cols) == (5, 1)  # prime: a ring
+
+    def test_torus_rejects_partial_grid(self):
+        with pytest.raises(ValueError):
+            Torus2D(10, cols=4)
+
 
 @pytest.mark.parametrize(
     "topo",
-    [Ring(9), Ring(2), Mesh2D(12, cols=4), Mesh2D(16), Hypercube(16), Crossbar(6)],
+    [
+        Ring(9),
+        Ring(2),
+        Mesh2D(12, cols=4),
+        Mesh2D(16),
+        Hypercube(16),
+        Crossbar(6),
+        Torus2D(12, cols=4),
+        Torus2D(16),
+        Torus2D(8),
+        Torus2D(5),
+    ],
     ids=lambda t: f"{t.name}-{t.n_pes}",
 )
 class TestClosedFormsAgainstNetworkx:

@@ -1,0 +1,246 @@
+"""Store-level result caching and campaign streaming."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import Scenario, evaluate_scenario, evaluation_count
+from repro.core import MachineConfig
+from repro.engine import (
+    CampaignResult,
+    CampaignSpec,
+    KernelSpec,
+    ResultKey,
+    TraceStore,
+    kernel_trace_cached,
+    kernel_trace_key,
+    run_campaign,
+)
+
+
+def small_spec(backend: str = "untimed") -> CampaignSpec:
+    return CampaignSpec(
+        name="cache-spec",
+        backend=backend,
+        kernels=(KernelSpec("hydro_fragment", n=120),),
+        pes=(1, 2, 4),
+        page_sizes=(16, 32),
+        cache_elems=(0, 64),
+    )
+
+
+class TestResultStore:
+    def test_outcome_disk_round_trip_is_bit_exact(self, tmp_path):
+        store = TraceStore(tmp_path)
+        trace = kernel_trace_cached("hydro_fragment", n=120, store=store)
+        scenario = Scenario(
+            config=MachineConfig(n_pes=4, page_size=32), backend="timed"
+        )
+        outcome = evaluate_scenario(trace, scenario)
+        key = ResultKey.make(kernel_trace_key("hydro_fragment", n=120), scenario)
+        store.put_result(key, outcome)
+        # A fresh store on the same root must replay from disk, exactly.
+        fresh = TraceStore(tmp_path)
+        loaded = fresh.lookup_result(key)
+        assert loaded is not None
+        assert loaded.identical(outcome)
+        assert fresh.result_counters.disk_hits == 1
+
+    def test_lookup_counts_misses(self, tmp_path):
+        store = TraceStore(tmp_path)
+        scenario = Scenario(config=MachineConfig(n_pes=2, page_size=32))
+        key = ResultKey.make(kernel_trace_key("iccg", n=64), scenario)
+        assert store.lookup_result(key) is None
+        assert store.result_counters.misses == 1
+
+    def test_get_result_computes_once(self, tmp_path):
+        store = TraceStore(tmp_path)
+        trace = kernel_trace_cached("hydro_fragment", n=120, store=store)
+        scenario = Scenario(config=MachineConfig(n_pes=2, page_size=32))
+        key = ResultKey.make(
+            kernel_trace_key("hydro_fragment", n=120), scenario
+        )
+        calls = 0
+
+        def compute():
+            nonlocal calls
+            calls += 1
+            return evaluate_scenario(trace, scenario)
+
+        first = store.get_result(key, compute)
+        second = store.get_result(key, compute)
+        assert calls == 1
+        assert first.identical(second)
+
+    def test_clear_drops_results(self, tmp_path):
+        store = TraceStore(tmp_path)
+        run_campaign(small_spec(), store=store, parallel=False)
+        assert store.n_results() > 0
+        store.clear()
+        assert store.n_results() == 0
+
+
+class TestCampaignResultCache:
+    @pytest.mark.parametrize("backend", ["untimed", "timed"])
+    def test_rerun_skips_simulation_entirely(self, tmp_path, backend):
+        """The satellite contract: an identical campaign re-run is
+        served from the result cache — zero backend evaluations."""
+        spec = small_spec(backend)
+        store = TraceStore(tmp_path)
+        first = run_campaign(spec, store=store, parallel=False)
+        assert store.result_counters.misses == spec.n_points
+        before = evaluation_count()
+        again = run_campaign(spec, store=store, parallel=False)
+        assert evaluation_count() == before
+        assert again.identical(first)
+        assert f"cache[{spec.n_points}/{spec.n_points}]" in again.executor
+
+    def test_cache_survives_process_boundary_via_disk(self, tmp_path):
+        """A fresh store object on the same root (what a new process
+        sees) replays every record from disk."""
+        spec = small_spec()
+        first = run_campaign(spec, store=TraceStore(tmp_path), parallel=False)
+        fresh = TraceStore(tmp_path)
+        before = evaluation_count()
+        again = run_campaign(spec, store=fresh, parallel=False)
+        assert evaluation_count() == before
+        assert fresh.result_counters.disk_hits == spec.n_points
+        assert again.identical(first)
+
+    def test_cache_distinguishes_backends(self, tmp_path):
+        """Untimed results must never satisfy a timed campaign."""
+        store = TraceStore(tmp_path)
+        run_campaign(small_spec("untimed"), store=store, parallel=False)
+        before = evaluation_count()
+        timed = run_campaign(small_spec("timed"), store=store, parallel=False)
+        assert evaluation_count() == before + timed.spec.n_points
+        assert all(r.backend == "timed" for r in timed)
+
+    def test_use_cache_false_bypasses(self, tmp_path):
+        spec = small_spec()
+        store = TraceStore(tmp_path)
+        run_campaign(spec, store=store, parallel=False)
+        before = evaluation_count()
+        result = run_campaign(
+            spec, store=store, parallel=False, use_cache=False
+        )
+        assert evaluation_count() == before + spec.n_points
+        assert result.executor == "serial"
+
+
+class TestCampaignStreaming:
+    def test_stream_yields_every_record_once(self, tmp_path):
+        spec = small_spec()
+        stream = run_campaign(
+            spec, store=TraceStore(tmp_path), parallel=False, stream=True
+        )
+        records = list(stream)
+        assert sorted(r.index for r in records) == list(range(spec.n_points))
+        assert list(stream) == []  # single-pass
+
+    def test_stream_result_matches_plain_run(self, tmp_path):
+        spec = small_spec()
+        store = TraceStore(tmp_path)
+        plain = run_campaign(spec, store=store, parallel=False, use_cache=False)
+        stream = run_campaign(
+            spec, store=store, parallel=True, workers=2,
+            stream=True, use_cache=False,
+        )
+        consumed = 0
+        for record in stream:
+            consumed += 1
+            assert record.backend == "untimed"
+        assert consumed == spec.n_points
+        assert stream.result().identical(plain)
+
+    def test_result_drains_unconsumed_stream(self, tmp_path):
+        spec = small_spec()
+        stream = run_campaign(
+            spec, store=TraceStore(tmp_path), parallel=False, stream=True
+        )
+        iterator = iter(stream)
+        next(iterator)  # consume one record only
+        result = stream.result()
+        assert isinstance(result, CampaignResult)
+        assert len(result) == spec.n_points
+        assert [r.index for r in result.records] == list(range(spec.n_points))
+
+    def test_streamed_cache_hits_come_first(self, tmp_path):
+        spec = small_spec()
+        store = TraceStore(tmp_path)
+        run_campaign(spec, store=store, parallel=False)
+        stream = run_campaign(spec, store=store, parallel=False, stream=True)
+        indices = [r.index for r in stream]
+        assert indices == list(range(spec.n_points))  # all hits, in order
+        assert f"cache[{spec.n_points}/{spec.n_points}]" in stream.executor
+
+    def test_concurrent_streams_do_not_interfere(self, tmp_path):
+        """Two in-flight streams must not share trace state: records
+        from interleaved consumption equal isolated serial runs."""
+        spec_a = small_spec()
+        spec_b = CampaignSpec(
+            name="other",
+            kernels=(KernelSpec("first_diff", n=96),),
+            pes=(1, 2),
+            page_sizes=(16, 32),
+            cache_elems=(0, 64),
+        )
+        store = TraceStore(tmp_path)
+        baseline_a = run_campaign(spec_a, store=store, parallel=False, use_cache=False)
+        baseline_b = run_campaign(spec_b, store=store, parallel=False, use_cache=False)
+        stream_a = run_campaign(
+            spec_a, store=store, parallel=False, stream=True, use_cache=False
+        )
+        stream_b = run_campaign(
+            spec_b, store=store, parallel=False, stream=True, use_cache=False
+        )
+        iter_a, iter_b = iter(stream_a), iter(stream_b)
+        # Interleave consumption of the two live streams.
+        next(iter_a)
+        next(iter_b)
+        next(iter_a)
+        assert stream_a.result().identical(baseline_a)
+        assert stream_b.result().identical(baseline_b)
+
+    def test_unconsumed_stream_starts_no_work(self, tmp_path):
+        """Constructing a stream without iterating runs no evaluations
+        (and therefore starts no pool)."""
+        from repro.backends import evaluation_count
+
+        spec = small_spec()
+        before = evaluation_count()
+        stream = run_campaign(
+            spec, store=TraceStore(tmp_path), parallel=False,
+            stream=True, use_cache=False,
+        )
+        assert evaluation_count() == before
+        assert len(list(stream)) == spec.n_points
+
+    def test_fully_cached_campaign_loads_no_traces(self, tmp_path):
+        """A 100% cache-hit campaign needs only digests: a fresh store
+        on the same root serves it without reading a single trace."""
+        spec = small_spec()
+        run_campaign(spec, store=TraceStore(tmp_path), parallel=False)
+        fresh = TraceStore(tmp_path)
+        result = run_campaign(spec, store=fresh, parallel=False)
+        assert fresh.counters.total == 0  # no trace-store lookups at all
+        assert result.trace_meta == {}
+        assert len(result) == spec.n_points
+
+    def test_timed_stream_parallel_identical_to_serial(self, tmp_path):
+        spec = CampaignSpec(
+            name="timed-stream",
+            backend="timed",
+            kernels=(KernelSpec("hydro_fragment", n=120),),
+            pes=(2, 4),
+            page_sizes=(32,),
+            cache_elems=(64,),
+            modes=("blocking", "multithreaded"),
+        )
+        store = TraceStore(tmp_path)
+        serial = run_campaign(spec, store=store, parallel=False, use_cache=False)
+        stream = run_campaign(
+            spec, store=store, parallel=True, workers=2,
+            stream=True, use_cache=False,
+        )
+        assert stream.result().identical(serial)
