@@ -1,10 +1,12 @@
 """Engine benchmarks — serial vs parallel fan-out, cold vs warm store.
 
-Times the two axes the ``repro.engine`` subsystem adds on top of the
+Times the axes the ``repro.engine`` subsystem adds on top of the
 simulator core: (1) evaluating one campaign's configuration grid
-serially vs through the multiprocessing executor, and (2) acquiring
+serially vs through the multiprocessing executor, (2) acquiring
 campaign traces with a cold store (interpret + persist) vs a warm one
-(replay ``.npz``, zero interpreter executions — asserted).
+(replay ``.npz``, zero interpreter executions — asserted), and (3) a
+garbage-collection pass over a populated sharded store (eviction
+ordering asserted: results before traces).
 """
 
 from __future__ import annotations
@@ -114,16 +116,39 @@ def test_trace_store_cold(benchmark, tmp_path):
 
 
 def test_trace_store_warm(benchmark, tmp_path):
-    """Warm acquisition: replay ``.npz`` files, zero interpretations."""
+    """Warm acquisition: replay ``.npz`` files, zero interpretations.
+
+    Caching is disabled so every point genuinely evaluates and the
+    traces really are loaded from their shards (a cached re-run would
+    not touch the trace store at all).
+    """
     root = tmp_path / "warm"
     run_campaign(CAMPAIGN, store=TraceStore(root), parallel=False)
 
     def warm_run():
         store = TraceStore(root)  # cold memory, warm disk
         before = interpretation_count()
-        run_campaign(CAMPAIGN, store=store, parallel=False)
+        run_campaign(CAMPAIGN, store=store, parallel=False, use_cache=False)
         return interpretation_count() - before, store.counters.disk_hits
 
     interpreted, disk_hits = once(benchmark, warm_run)
     assert interpreted == 0
     assert disk_hits == len(CAMPAIGN.kernels)
+
+
+def test_store_gc_half_budget(benchmark, tmp_path):
+    """One GC pass over a campaign-populated sharded store: evict down
+    to half the store's bytes (results go first — asserted)."""
+    root = tmp_path / "gc"
+    store = TraceStore(root)
+    run_campaign(CAMPAIGN, store=store, parallel=False)
+    budget = store.total_bytes() // 2
+
+    report = once(benchmark, lambda: store.gc(max_bytes=budget))
+    assert store.total_bytes() <= budget
+    assert report.evicted_results >= 1
+    # Traces only fall once every result is gone.
+    if report.evicted_traces:
+        assert store.n_results() == 0
+    benchmark.extra_info["evicted"] = len(report.evicted)
+    benchmark.extra_info["freed_bytes"] = report.freed_bytes

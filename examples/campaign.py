@@ -12,7 +12,20 @@ The end-to-end ``repro.engine`` workflow:
    store's result cache, zero simulations;
 5. switch the backend to the timed discrete-event machine and sweep
    its own axes (topologies × execution modes), streaming records as
-   workers complete them.
+   workers complete them;
+6. inspect the store's sharded layout and garbage-collect it under a
+   disk budget.
+
+Store layout: artifacts are sharded under two-hex-char prefix
+directories derived from their digest (``traces/ab/…npz``,
+``results/cd/…npz``) with a crash-safe ``index.json`` (atomic rename)
+recording each entry's kind, shard path, byte size and last-access
+time.  ``TraceStore(max_bytes=…, policy="lru")`` bounds disk use:
+``store.gc()`` evicts least-recently-used *result* entries first,
+then traces — results are recomputable from a stored trace in
+milliseconds, a trace costs an interpreter run — and never evicts an
+entry a reader has pinned.  ``repro store stats`` / ``repro store gc``
+expose the same machinery on the command line.
 
 Run:  python examples/campaign.py
 """
@@ -117,6 +130,21 @@ def main() -> None:
         rows,
         title="Hydro Fragment at 16 PEs — the §9 questions, engine-run",
     ))
+
+    # -- 6. the sharded store: stats and GC under a disk budget ------------
+    stats = store.stats()
+    print(f"\nstore layout: {stats['traces']['entries']} traces + "
+          f"{stats['results']['entries']} results across "
+          f"{stats['shards']} shards, {stats['total_bytes']} bytes "
+          f"(index.json format v{stats['index_format']})")
+    budget = stats["total_bytes"] // 2
+    report = store.gc(max_bytes=budget)
+    print(f"gc to {budget} bytes: evicted {report.evicted_results} results "
+          f"and {report.evicted_traces} traces "
+          f"({report.freed_bytes} bytes freed) — results always go first")
+    rerun = run_campaign(spec, store=store, parallel=False)
+    print(f"post-gc re-run: executor={rerun.executor} "
+          "(survivors hit, evicted points rebuilt)")
 
 
 if __name__ == "__main__":

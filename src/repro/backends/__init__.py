@@ -51,6 +51,7 @@ from .base import (
     evaluate_scenario,
     evaluation_count,
     get_backend,
+    record_evaluations,
     register_backend,
 )
 from .timed import TimedBackend
@@ -70,5 +71,6 @@ __all__ = [
     "evaluate_scenario",
     "evaluation_count",
     "get_backend",
+    "record_evaluations",
     "register_backend",
 ]

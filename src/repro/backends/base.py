@@ -43,6 +43,7 @@ __all__ = [
     "evaluate_scenario",
     "evaluation_count",
     "get_backend",
+    "record_evaluations",
     "register_backend",
 ]
 
@@ -324,17 +325,33 @@ _evaluations = 0
 
 
 def evaluation_count() -> int:
-    """How many backend evaluations *this process* has performed.
+    """How many backend evaluations this campaign surface has performed.
 
     The evaluation-side mirror of
     :func:`repro.engine.store.interpretation_count`: every engine
     evaluation funnels through :func:`evaluate_scenario`, so a campaign
     replayed entirely from the result cache keeps this counter flat.
-    Like the interpretation counter it is per-process — evaluations a
-    parallel campaign runs inside pool workers increment the *workers'*
-    counters, not the parent's — so assert against it on serial runs.
+    The counter itself is per-process, but evaluations a parallel
+    campaign runs inside pool workers are *merged back* on campaign
+    completion — each worker logs its evaluations to a write-ahead
+    touch file and the campaign parent folds the total in through
+    :func:`record_evaluations` — so after a campaign finishes (stream
+    drained) the count covers worker-side evaluations too.
     """
     return _evaluations
+
+
+def record_evaluations(n: int) -> None:
+    """Merge evaluations performed outside this process into the count.
+
+    The campaign executor calls this when it folds pool workers'
+    write-ahead touch files back in: each worker counted its own
+    :func:`evaluate_scenario` calls in its own process, and this is
+    how those land in the parent's :func:`evaluation_count` instead of
+    being lost with the pool.
+    """
+    global _evaluations
+    _evaluations += int(n)
 
 
 def evaluate_scenario(trace: Trace, scenario: Scenario) -> EvalOutcome:

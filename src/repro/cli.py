@@ -10,6 +10,8 @@ Usage::
     python -m repro sweep iccg --backend timed --topology mesh torus
     python -m repro sweep --campaign spec.json --parallel --json out.json
     python -m repro advise hydro_2d          # §9 partitioning advisor
+    python -m repro store stats              # sharded store: sizes/counters
+    python -m repro store gc --max-bytes 50000000   # evict to a budget
 
 The ``sweep`` subcommand runs on :mod:`repro.engine`: traces come from
 the persistent store (interpreted once per machine), results replay
@@ -17,7 +19,10 @@ from the store's result cache, a JSON campaign spec can drive
 multi-kernel / multi-axis sweeps, ``--backend timed`` evaluates on the
 discrete-event machine model (topologies × modes × cost models), and
 ``--parallel`` fans the scenario grid out across cores with a
-streaming progress line.
+streaming progress line.  The ``store`` subcommand administers the
+sharded on-disk store: ``stats`` reports entry/byte counts per kind
+plus hit/miss/eviction counters, ``gc`` evicts least-recently-used
+entries (results before traces) down to a byte budget.
 """
 
 from __future__ import annotations
@@ -196,6 +201,71 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_for(args: argparse.Namespace):
+    from .engine import TraceStore, default_store
+
+    if args.root:
+        return TraceStore(args.root)
+    return default_store()
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .bench import render_table
+
+    store = _store_for(args)
+    # Fold in write-ahead touch files abandoned by dead campaigns (a
+    # file idle for minutes has no owner coming back for it); files a
+    # live campaign is still appending to are left for their owner.
+    store.merge_touches(stale_after_s=300.0)
+    stats = store.stats()
+    if args.json:
+        print(_json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    budget = stats["max_bytes"]
+    rows = [
+        ["root", stats["root"]],
+        ["policy", stats["policy"]],
+        ["max_bytes", "unbounded" if budget is None else budget],
+        ["shards", stats["shards"]],
+        ["traces", f"{stats['traces']['entries']} entries, "
+                   f"{stats['traces']['bytes']} bytes"],
+        ["results", f"{stats['results']['entries']} entries, "
+                    f"{stats['results']['bytes']} bytes"],
+        ["total_bytes", stats["total_bytes"]],
+        ["trace counters", stats["trace_counters"]],
+        ["result counters", stats["result_counters"]],
+    ]
+    print(render_table(["field", "value"], rows, title="trace store stats"))
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    store = _store_for(args)
+    store.merge_touches(stale_after_s=300.0)
+    report = store.gc(max_bytes=args.max_bytes)
+    if report.max_bytes is None:
+        print(
+            f"no disk budget set (store holds {report.total_bytes} bytes); "
+            "pass --max-bytes or set REPRO_STORE_MAX_BYTES"
+        )
+        return 0
+    print(
+        f"evicted {report.evicted_results} results and "
+        f"{report.evicted_traces} traces "
+        f"({report.freed_bytes} bytes freed); "
+        f"store now {report.total_bytes} bytes "
+        f"(budget {report.max_bytes})"
+        + (
+            f"; {report.pinned_skipped} pinned entries skipped"
+            if report.pinned_skipped
+            else ""
+        )
+    )
+    return 0
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
     from .core import advise
 
@@ -335,6 +405,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, help="worker processes"
     )
     swp.set_defaults(fn=_cmd_sweep)
+
+    store = sub.add_parser(
+        "store", help="administer the sharded trace/result store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    stats = store_sub.add_parser(
+        "stats", help="entry/byte counts per kind, shard and counter stats"
+    )
+    stats.add_argument(
+        "--root", default=None, help="store root (default: the active store)"
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    stats.set_defaults(fn=_cmd_store_stats)
+    gc = store_sub.add_parser(
+        "gc", help="evict LRU entries (results first) down to a byte budget"
+    )
+    gc.add_argument(
+        "--root", default=None, help="store root (default: the active store)"
+    )
+    gc.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="disk budget to enforce (default: the store's own budget)",
+    )
+    gc.set_defaults(fn=_cmd_store_gc)
 
     adv = sub.add_parser("advise", help="recommend scheme and page size (§9)")
     adv.add_argument("kernel")

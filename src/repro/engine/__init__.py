@@ -4,11 +4,12 @@ The production layer between the pluggable evaluation backends
 (:mod:`repro.backends`) and the bench/CLI surface, exploiting the
 paper's trace-once / sweep-many structure at scale:
 
-* :mod:`~repro.engine.store` — content-addressed ``.npz`` stores for
-  *traces* (a kernel is interpreted once per machine, ever — the
-  single trace-acquisition path) and for *results* (an evaluation is
-  pure in ``(trace, scenario, backend)``, so re-running an identical
-  campaign skips simulation entirely), both with hit/miss counters;
+* :mod:`~repro.engine.store` — sharded, content-addressed ``.npz``
+  stores for *traces* (a kernel is interpreted once per machine, ever
+  — the single trace-acquisition path) and for *results* (an
+  evaluation is pure in ``(trace, scenario, backend)``, so re-running
+  an identical campaign skips simulation entirely), both with
+  hit/miss/eviction counters;
 * :mod:`~repro.engine.campaign` — declarative sweep specs (kernels ×
   PEs × page sizes × caches × policies × partitions, plus the timed
   backend's topologies × modes × cost models), JSON in and out;
@@ -44,6 +45,33 @@ Quickstart::
     )
     for record in run_campaign(timed, stream=True):   # progress
         print(record.index, record.metrics["speedup"])
+
+Store layout (fleet scale)
+--------------------------
+
+The store fans artifacts out across 256 prefix shards and keeps a
+crash-safe index, so campaign traffic never funnels into one flat
+directory and disk use stays bounded::
+
+    <root>/index.json        {"index_format": 1, "entries":
+                              {ref: {kind, path, bytes, atime, ctime}}}
+                             written via temp file + atomic rename;
+                             rebuilt from the shards if unreadable
+    <root>/traces/<ab>/...   trace .npz, shard = digest[:2]
+    <root>/results/<cd>/...  cached EvalOutcome .npz, same scheme
+    <root>/touch/*.jsonl     write-ahead per-worker access logs,
+                             merged into the index (access times,
+                             counters, worker evaluation counts) on
+                             campaign completion
+
+``TraceStore(max_bytes=..., policy="lru")`` (or
+``$REPRO_STORE_MAX_BYTES``) turns on eviction: ``store.gc()`` — also
+run after every put — drops least-recently-used **result entries
+first, then traces**, stops the moment the budget is met, and never
+unlinks an entry a reader has pinned.  A legacy flat-layout store
+migrates losslessly into shards the first time it is opened.
+``repro store stats`` / ``repro store gc`` expose the same machinery
+on the command line.
 """
 
 from .campaign import (
@@ -56,8 +84,11 @@ from .campaign import (
 from .executor import CampaignStream, default_workers, run_campaign, run_grid
 from .results import CampaignResult, EvalRecord
 from .store import (
+    INDEX_FORMAT_VERSION,
     RESULT_FORMAT_VERSION,
+    STORE_MAX_BYTES_ENV,
     TRACE_STORE_ENV,
+    GCReport,
     ResultKey,
     StoreCounters,
     TraceKey,
@@ -68,18 +99,22 @@ from .store import (
     kernel_trace_cached,
     kernel_trace_key,
     set_default_store,
+    shard_of,
 )
 
 __all__ = [
     "DEFAULT_CACHES",
     "DEFAULT_PAGE_SIZES",
     "DEFAULT_PES",
+    "INDEX_FORMAT_VERSION",
     "RESULT_FORMAT_VERSION",
+    "STORE_MAX_BYTES_ENV",
     "TRACE_STORE_ENV",
     "CampaignResult",
     "CampaignSpec",
     "CampaignStream",
     "EvalRecord",
+    "GCReport",
     "KernelSpec",
     "ResultKey",
     "StoreCounters",
@@ -94,4 +129,5 @@ __all__ = [
     "run_campaign",
     "run_grid",
     "set_default_store",
+    "shard_of",
 ]

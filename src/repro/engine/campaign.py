@@ -14,6 +14,7 @@ comparable record for record.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass, replace
@@ -285,6 +286,19 @@ class CampaignSpec:
         if not keep:
             raise KeyError(f"no campaign kernels match {sorted(wanted)}")
         return replace(self, kernels=keep)
+
+    @property
+    def digest(self) -> str:
+        """Content address of the spec (canonical JSON, hashed).
+
+        Two specs enumerating the same points share a digest however
+        they were constructed (aliases are canonicalised in
+        ``__post_init__``).  The engine uses it to attribute a
+        campaign's write-ahead store-touch files.
+        """
+        return hashlib.sha256(
+            json.dumps(self.to_dict(), sort_keys=True).encode()
+        ).hexdigest()
 
     # -- (de)serialisation -----------------------------------------------------
     def to_dict(self) -> dict[str, object]:

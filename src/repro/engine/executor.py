@@ -21,19 +21,30 @@ created at all (restricted sandboxes without working process
 primitives), execution degrades to the serial path with a warning
 rather than failing.
 
-Two engine features ride on the same job indexing:
+Three engine features ride on the same job indexing:
 
 * **result caching** — each job is content-addressed as
   ``(trace digest, scenario digest, backend)`` in the store; hits skip
   evaluation entirely (a fully-cached campaign does not even load its
   traces) and fresh outcomes are persisted for the next run (disable
-  with ``use_cache=False``);
+  with ``use_cache=False``).  Points another in-flight campaign has
+  already *claimed* are not re-evaluated either: the stream waits for
+  the peer's result and replays it from the store, so two concurrent
+  campaigns over one store build every shared entry exactly once;
 * **streaming** — ``run_campaign(..., stream=True)`` returns a
   :class:`CampaignStream` that yields backend-tagged records as
   workers complete them (cache hits first), for progress reporting on
   long sweeps; ``stream.result()`` drains it into the same
   canonically-ordered :class:`CampaignResult` a non-streaming run
-  produces.
+  produces;
+* **write-ahead store accounting** — every evaluated job logs a touch
+  record for its trace (:func:`repro.engine.store.append_touch`):
+  workers to per-process files the parent merges into the store index
+  on campaign completion (access times for the GC's LRU order,
+  hit/miss counters, worker-side evaluation counts folded into
+  :func:`repro.backends.evaluation_count` via
+  :func:`~repro.backends.base.record_evaluations`), so the index is
+  never written from inside a pool worker.
 """
 
 from __future__ import annotations
@@ -41,16 +52,24 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import time
+import uuid
 import warnings
 from itertools import count
 from typing import Iterator, Sequence
 
 from ..backends import EvalOutcome, Scenario, evaluate_scenario
+from ..backends.base import record_evaluations
 from ..core.simulator import MachineConfig
 from ..ir.trace import Trace
 from .campaign import CampaignSpec, KernelSpec
 from .results import CampaignResult, EvalRecord
-from .store import ResultKey, TraceStore, default_store, kernel_trace_key
+from .store import (
+    ResultKey,
+    TraceStore,
+    append_touch,
+    default_store,
+    kernel_trace_key,
+)
 
 __all__ = ["CampaignStream", "default_workers", "run_campaign", "run_grid"]
 
@@ -62,11 +81,22 @@ __all__ = ["CampaignStream", "default_workers", "run_campaign", "run_grid"]
 #: ``_init_worker``) and are removed when the pool closes.
 _SHARED_TRACES: dict[str, Trace] = {}
 
+#: Worker-side (touch_dir, tag) for write-ahead access logging; set by
+#: the pool initializer (it runs in every worker, whatever the start
+#: method), never in the parent.
+_WORKER_TOUCH: tuple[str, str] | None = None
+
 #: Distinguishes concurrent launches in ``_SHARED_TRACES``.
 _launch_ids = count()
 
-#: A job is (canonical index, trace label, scenario).
-_Job = tuple[int, str, Scenario]
+#: A job is (canonical index, trace label, trace ref, scenario); the
+#: ref is the store-index key of the trace the job evaluates ("" when
+#: the trace is not store-backed, e.g. ``run_grid`` on a bare trace).
+_Job = tuple[int, str, str, Scenario]
+
+#: How long a stream waits for a peer campaign's claimed point before
+#: giving up and evaluating it locally.
+_CLAIM_TIMEOUT_S = 120.0
 
 
 def default_workers() -> int:
@@ -74,7 +104,11 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def _init_worker(traces: dict[str, Trace] | None) -> None:
+def _init_worker(
+    traces: dict[str, Trace] | None, touch: tuple[str, str] | None
+) -> None:
+    global _WORKER_TOUCH
+    _WORKER_TOUCH = touch
     if traces is not None:  # spawn/forkserver: table arrives pickled
         _SHARED_TRACES.clear()
         _SHARED_TRACES.update(traces)
@@ -82,12 +116,22 @@ def _init_worker(traces: dict[str, Trace] | None) -> None:
 
 def _eval_job(job: _Job) -> tuple[int, EvalOutcome]:
     """Pool-worker entry point: evaluate against the inherited table."""
-    index, label, scenario = job
-    return index, evaluate_scenario(_SHARED_TRACES[label], scenario)
+    index, label, ref, scenario = job
+    outcome = evaluate_scenario(_SHARED_TRACES[label], scenario)
+    if _WORKER_TOUCH is not None and ref:
+        touch_dir, tag = _WORKER_TOUCH
+        # Write-ahead: one access record per evaluation, to this
+        # worker's own file.  ``evals=1`` carries the worker-side
+        # evaluation count home (the parent's counter never saw it).
+        append_touch(touch_dir, tag, ref, evals=1)
+    return index, outcome
 
 
 def _iter_parallel(
-    jobs: Sequence[_Job], traces: dict[str, Trace], workers: int
+    jobs: Sequence[_Job],
+    traces: dict[str, Trace],
+    workers: int,
+    touch: tuple[str, str] | None,
 ) -> Iterator[tuple[int, EvalOutcome]]:
     methods = mp.get_all_start_methods()
     ctx = mp.get_context("fork" if "fork" in methods else None)
@@ -100,10 +144,10 @@ def _iter_parallel(
     launch = next(_launch_ids)
     namespaced = {f"{launch}:{label}": t for label, t in traces.items()}
     jobs = [
-        (index, f"{launch}:{label}", scenario)
-        for index, label, scenario in jobs
+        (index, f"{launch}:{label}", ref, scenario)
+        for index, label, ref, scenario in jobs
     ]
-    initargs = (None,) if fork else (namespaced,)
+    initargs = (None, touch) if fork else (namespaced, touch)
     _SHARED_TRACES.update(namespaced)
     try:
         pool = ctx.Pool(
@@ -141,9 +185,11 @@ class _JobRunner:
         traces: dict[str, Trace],
         parallel: bool,
         workers: int | None,
+        touch: tuple[str, str] | None = None,
     ) -> None:
         self._jobs = jobs
         self._traces = traces
+        self._touch = touch
         self._parallel = parallel and len(jobs) >= 2
         self._workers = (
             min(workers or default_workers(), len(jobs))
@@ -155,15 +201,24 @@ class _JobRunner:
         )
 
     def _serial(self) -> Iterator[tuple[int, EvalOutcome]]:
-        for index, label, scenario in self._jobs:
-            yield index, evaluate_scenario(self._traces[label], scenario)
+        for index, label, ref, scenario in self._jobs:
+            outcome = evaluate_scenario(self._traces[label], scenario)
+            if self._touch is not None and ref:
+                # Same write-ahead record the workers produce, with
+                # evals=0: the parent's evaluation counter already saw
+                # this one, only the access time / hit count is news.
+                touch_dir, tag = self._touch
+                append_touch(touch_dir, tag, ref, evals=0)
+            yield index, outcome
 
     def __iter__(self) -> Iterator[tuple[int, EvalOutcome]]:
         if not self._parallel:
             yield from self._serial()
             return
         try:
-            pairs = _iter_parallel(self._jobs, self._traces, self._workers)
+            pairs = _iter_parallel(
+                self._jobs, self._traces, self._workers, self._touch
+            )
         except OSError as exc:
             warnings.warn(
                 f"worker pool unavailable ({exc}); falling back to serial",
@@ -194,7 +249,7 @@ def run_grid(
         s if isinstance(s, Scenario) else Scenario(config=s)
         for s in scenarios
     ]
-    jobs: list[_Job] = [(i, "", s) for i, s in enumerate(coerced)]
+    jobs: list[_Job] = [(i, "", "", s) for i, s in enumerate(coerced)]
     results = dict(_JobRunner(jobs, {"": trace}, parallel, workers))
     return [results[i] for i in range(len(coerced))]
 
@@ -202,14 +257,19 @@ def run_grid(
 class CampaignStream:
     """A campaign in flight: iterate records as they complete.
 
-    Construction resolves cache hits and plans the remaining jobs
-    (traces are loaded only for kernels that actually need evaluating;
-    worker processes start on first iteration).  Iterating yields
-    :class:`EvalRecord` objects in *completion* order — cache hits
-    first (canonical order), then live evaluations as workers finish
-    them — each tagged with its canonical ``index``.
-    :meth:`result` drains whatever has not been consumed and assembles
-    the canonical-order :class:`CampaignResult`.
+    Construction resolves cache hits, *claims* the points it will
+    compute (so a concurrent campaign over the same store defers to
+    this one instead of re-evaluating them) and plans the remaining
+    jobs — traces are loaded only for kernels that actually need
+    evaluating; worker processes start on first iteration.  Iterating
+    yields :class:`EvalRecord` objects in *completion* order — cache
+    hits first (canonical order), then live evaluations as workers
+    finish them, then points replayed from peer campaigns — each
+    tagged with its canonical ``index``.  :meth:`result` drains
+    whatever has not been consumed and assembles the canonical-order
+    :class:`CampaignResult`.  On completion the stream folds the
+    write-ahead touch files back into the store index and releases any
+    claims it still holds.
     """
 
     def __init__(
@@ -227,25 +287,33 @@ class CampaignStream:
         self._store = store if store is not None else default_store()
         self._use_cache = use_cache
         self._started = time.perf_counter()
+        # The tag namespacing this campaign's write-ahead touch files:
+        # spec identity for attribution, a nonce for uniqueness when
+        # the same spec runs twice concurrently.
+        self._touch_tag = f"{spec.digest[:8]}-{uuid.uuid4().hex[:8]}"
         #: shape of every trace *acquired for this run* (a fully-cached
         #: campaign loads no traces and records no shapes)
         self.trace_meta: dict[str, dict[str, int]] = {}
         self._records: list[EvalRecord] = []
 
-        trace_digests = {
+        trace_keys = {
             kernel.label: kernel_trace_key(
                 kernel.name, n=kernel.n, seed=kernel.seed
-            ).digest
+            )
             for kernel in spec.kernels
         }
         self._points: list[tuple[KernelSpec, Scenario]] = list(spec.points())
         self._cached: list[tuple[int, EvalOutcome]] = []
         self._result_keys: dict[int, ResultKey] = {}
+        #: indexes whose result claim this stream currently owns
+        self._owned_claims: set[int] = set()
+        #: points a peer campaign claimed first: (index, event)
+        self._deferred: list[tuple[int, object]] = []
         pending: list[tuple[int, KernelSpec, Scenario]] = []
         for index, (kernel, scenario) in enumerate(self._points):
             if self._use_cache:
                 key = ResultKey(
-                    trace_digest=trace_digests[kernel.label],
+                    trace_digest=trace_keys[kernel.label].digest,
                     scenario_digest=scenario.digest,
                     backend=scenario.backend,
                 )
@@ -254,24 +322,59 @@ class CampaignStream:
                 if outcome is not None:
                     self._cached.append((index, outcome))
                     continue
+                event = self._store.claim_result(key)
+                if event is not None:
+                    # Another in-flight campaign is computing this
+                    # exact point: replay its result instead of
+                    # building the cache entry twice.
+                    self._deferred.append((index, event))
+                    continue
+                # Won the claim — but a peer may have delivered this
+                # point between our miss and the claim; re-check
+                # (uncounted) before planning an evaluation.
+                outcome = self._store.lookup_result(key, count=False)
+                if outcome is not None:
+                    self._store.abandon_result_claim(key)
+                    self._cached.append((index, outcome))
+                    continue
+                self._owned_claims.add(index)
             pending.append((index, kernel, scenario))
 
-        # Acquire traces only for kernels with work left to do.
-        traces: dict[str, Trace] = {}
-        for kernel in spec.kernels:
-            if not any(k.label == kernel.label for _i, k, _s in pending):
-                continue
-            trace = kernel_trace_cached(
-                kernel.name, n=kernel.n, seed=kernel.seed, store=self._store
-            )
-            traces[kernel.label] = trace
-            self.trace_meta[kernel.label] = {
-                "n_instances": trace.n_instances,
-                "n_reads": trace.n_reads,
-            }
+        try:
+            # Acquire traces only for kernels with work left to do.
+            traces: dict[str, Trace] = {}
+            for kernel in spec.kernels:
+                if not any(k.label == kernel.label for _i, k, _s in pending):
+                    continue
+                trace = kernel_trace_cached(
+                    kernel.name,
+                    n=kernel.n,
+                    seed=kernel.seed,
+                    store=self._store,
+                )
+                traces[kernel.label] = trace
+                self.trace_meta[kernel.label] = {
+                    "n_instances": trace.n_instances,
+                    "n_reads": trace.n_reads,
+                }
+        except BaseException:
+            # Claims were taken above; a failed construction must not
+            # leave peers blocked on events nobody will ever set.
+            for index in sorted(self._owned_claims):
+                self._store.abandon_result_claim(self._result_keys[index])
+            self._owned_claims.clear()
+            raise
 
-        jobs: list[_Job] = [(i, k.label, s) for i, k, s in pending]
-        self._runner = _JobRunner(jobs, traces, parallel, workers)
+        jobs: list[_Job] = [
+            (i, k.label, trace_keys[k.label].ref, s) for i, k, s in pending
+        ]
+        self._runner = _JobRunner(
+            jobs,
+            traces,
+            parallel,
+            workers,
+            touch=(str(self._store.touch_dir), self._touch_tag),
+        )
         self._iterator = self._generate()
 
     @property
@@ -280,6 +383,10 @@ class CampaignStream:
         description = self._runner.description
         if self._cached:
             description += f"+cache[{len(self._cached)}/{self.spec.n_points}]"
+        if self._deferred:
+            description += (
+                f"+shared[{len(self._deferred)}/{self.spec.n_points}]"
+            )
         return description
 
     def __len__(self) -> int:
@@ -289,17 +396,62 @@ class CampaignStream:
         kernel, _scenario = self._points[index]
         return EvalRecord(kernel=kernel, outcome=outcome, index=index)
 
+    def _resolve_deferred(self, index: int, event) -> EvalOutcome:
+        """Replay a point a peer campaign claimed (compute if it died)."""
+        from .store import kernel_trace_cached
+
+        event.wait(timeout=_CLAIM_TIMEOUT_S)
+        key = self._result_keys[index]
+        outcome = self._store.lookup_result(key)
+        if outcome is None:
+            # The peer abandoned its claim (error, or its stream was
+            # dropped un-iterated): fall back to evaluating locally.
+            kernel, scenario = self._points[index]
+            trace = kernel_trace_cached(
+                kernel.name, n=kernel.n, seed=kernel.seed, store=self._store
+            )
+            outcome = evaluate_scenario(trace, scenario)
+            self._store.put_result(key, outcome)
+        return outcome
+
     def _generate(self) -> Iterator[EvalRecord]:
-        for index, outcome in self._cached:
-            record = self._record(index, outcome)
-            self._records.append(record)
-            yield record
-        for index, outcome in self._runner:
-            if self._use_cache:
-                self._store.put_result(self._result_keys[index], outcome)
-            record = self._record(index, outcome)
-            self._records.append(record)
-            yield record
+        runner_iter = iter(self._runner)
+        try:
+            for index, outcome in self._cached:
+                record = self._record(index, outcome)
+                self._records.append(record)
+                yield record
+            for index, outcome in runner_iter:
+                if self._use_cache:
+                    self._store.put_result(self._result_keys[index], outcome)
+                    self._owned_claims.discard(index)
+                record = self._record(index, outcome)
+                self._records.append(record)
+                yield record
+            for index, event in self._deferred:
+                record = self._record(
+                    index, self._resolve_deferred(index, event)
+                )
+                self._records.append(record)
+                yield record
+        finally:
+            # Stop the runner (and its worker pool) *before* merging,
+            # so an early-abandoned stream cannot leave workers
+            # appending touch records after their files were swept.
+            close = getattr(runner_iter, "close", None)
+            if close is not None:
+                close()
+            # Wake any peer waiting on a point this stream never
+            # delivered (abandoned mid-iteration or errored).
+            for index in sorted(self._owned_claims):
+                self._store.abandon_result_claim(self._result_keys[index])
+            self._owned_claims.clear()
+            # Fold this campaign's write-ahead touch files into the
+            # index: access times feed the GC's LRU order, and the
+            # workers' evaluation counts join the process counter.
+            merged = self._store.merge_touches(self._touch_tag)
+            if merged["evaluations"]:
+                record_evaluations(merged["evaluations"])
 
     def __iter__(self) -> Iterator[EvalRecord]:
         """Single-pass: every record is yielded exactly once."""
@@ -315,6 +467,7 @@ class CampaignStream:
             trace_meta=self.trace_meta,
             executor=self.executor,
             elapsed_s=time.perf_counter() - self._started,
+            store_stats=self._store.stats(),
         )
 
 
@@ -334,10 +487,11 @@ def run_campaign(
     Evaluations dispatch through the backend registry, so the same
     call runs untimed and timed campaigns alike.  With ``use_cache``
     (the default) previously-evaluated points replay from the store's
-    result cache without simulating.  ``stream=True`` returns a
-    :class:`CampaignStream` yielding records as they complete;
-    otherwise records arrive assembled in the spec's canonical order
-    regardless of how the pool interleaved the work.
+    result cache without simulating, and points a concurrent campaign
+    has claimed are awaited rather than re-built.  ``stream=True``
+    returns a :class:`CampaignStream` yielding records as they
+    complete; otherwise records arrive assembled in the spec's
+    canonical order regardless of how the pool interleaved the work.
     """
     s = CampaignStream(
         spec,

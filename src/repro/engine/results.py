@@ -158,6 +158,11 @@ class CampaignResult:
     #: how the campaign ran ("serial", "parallel[N]", "+cache[H/N]", ...)
     executor: str = "serial"
     elapsed_s: float | None = None
+    #: snapshot of the store's layout/counter stats at completion
+    #: (:meth:`repro.engine.store.TraceStore.stats`) — sizes, shard
+    #: counts, hit/miss/eviction counters; ``None`` when the campaign
+    #: was assembled without a store
+    store_stats: dict | None = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -195,7 +200,7 @@ class CampaignResult:
 
     # -- export ----------------------------------------------------------------
     def to_dict(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "campaign": self.spec.to_dict(),
             "backend": self.spec.backend,
             "executor": self.executor,
@@ -203,6 +208,9 @@ class CampaignResult:
             "traces": self.trace_meta,
             "results": [record.to_dict() for record in self.records],
         }
+        if self.store_stats is not None:
+            out["store"] = self.store_stats
+        return out
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)

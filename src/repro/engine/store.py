@@ -1,14 +1,14 @@
-"""Persistent, content-addressed trace store.
+"""Persistent, content-addressed, *sharded* trace/result store.
 
 The paper's method is trace-once / sweep-many: a kernel's access trace
 depends only on the program and its data, never on the machine
 configuration, so one interpreter run drives an entire parameter space
 (§6).  The store pushes that to its logical end — a kernel is
 interpreted once *per machine, ever*.  Traces are serialised to
-compressed ``.npz`` files (:meth:`repro.ir.trace.Trace.save`) under a
-root directory and addressed by a digest of ``(kernel name, build
-parameters, trace format version)``, so a change to any ingredient
-yields a fresh entry instead of a stale hit.
+compressed ``.npz`` files (:meth:`repro.ir.trace.Trace.save`) and
+addressed by a digest of ``(kernel name, build parameters, trace
+format version)``, so a change to any ingredient yields a fresh entry
+instead of a stale hit.
 
 This module is also the single code path for trace *acquisition*:
 :func:`build_trace` is the only place the interpreter (or its
@@ -23,19 +23,73 @@ re-run of an identical campaign skips simulation entirely.  Result
 hits and misses are counted (``result_counters``) exactly like trace
 acquisitions, and the backends' ``evaluation_count`` mirrors the
 interpretation counter on the evaluation side.
+
+On-disk layout (fleet scale: many campaigns, bounded disk)
+----------------------------------------------------------
+
+A flat directory stops working once campaign traffic fans out — at a
+few thousand artifacts every ``readdir`` and every eviction decision
+touches one giant directory, and nothing bounds disk use.  The store
+therefore shards::
+
+    <root>/
+      index.json            versioned JSON index (atomic rename)
+      traces/<ab>/<name>-<digest16>.npz     trace shards
+      results/<cd>/<backend>-<digest20>.npz result shards
+      touch/<tag>-<pid>.jsonl               per-worker write-ahead logs
+
+* **Shards** — every artifact lives under a two-hex-character prefix
+  directory derived from its digest (:func:`shard_of`, i.e.
+  ``digest[:2]``: 256-way fan-out, stable forever).
+* **Index** — ``index.json`` maps each entry's *ref* (the digest
+  prefix embedded in its filename) to ``{kind, path, bytes, atime,
+  ctime}`` under a top-level ``{"index_format": N, "entries": ...}``
+  envelope.  Writes go through a temp file + ``os.replace`` so the
+  index is never torn; an unreadable or stale-format index is rebuilt
+  by scanning the shard directories, and addressable files missing
+  from the index (a crash between artifact write and index flush) are
+  adopted on first lookup.  Access times are updated in memory and
+  flushed on the next mutation, so pure-read workloads do not rewrite
+  the index per hit.
+* **GC** — ``TraceStore(max_bytes=..., policy="lru")`` bounds disk
+  use: :meth:`TraceStore.gc` (also run automatically after each put
+  when a budget is set) evicts least-recently-used **result-cache
+  entries first, then traces** (results are cheap to recompute from a
+  stored trace; a trace costs an interpreter run), stops as soon as
+  the budget is met, and never evicts an entry a reader currently has
+  pinned (:meth:`TraceStore.reading`).  Evictions are counted per
+  kind (``counters.evictions`` / ``result_counters.evictions``).
+* **Write-ahead touch files** — multiprocessing campaign workers never
+  write ``index.json``; each worker appends one JSON line per
+  evaluation to its own ``touch/<tag>-<pid>.jsonl`` file and the
+  parent merges them (access times, hit counters, worker-side
+  evaluation counts) when the campaign completes
+  (:meth:`TraceStore.merge_touches`), so the index cannot be corrupted
+  by concurrent writers.
+* **Migration** — a legacy flat-layout store (traces at ``<root>/
+  *.npz``, results at ``<root>/results/*.npz``) is migrated losslessly
+  into the sharded layout the first time it is opened.
+
+``repro store stats`` and ``repro store gc`` expose the same machinery
+on the command line.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import re
 import tempfile
+import threading
+import time
+import warnings
 import zipfile
+from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Mapping
+from typing import Callable, Iterator, Mapping
 
 import numpy as np
 
@@ -45,22 +99,54 @@ from ..ir.loops import Program
 from ..ir.trace import TRACE_FORMAT_VERSION, Trace
 
 __all__ = [
+    "INDEX_FORMAT_VERSION",
     "RESULT_FORMAT_VERSION",
+    "STORE_MAX_BYTES_ENV",
     "TRACE_STORE_ENV",
+    "GCReport",
     "ResultKey",
     "StoreCounters",
     "TraceKey",
     "TraceStore",
+    "append_touch",
     "build_trace",
     "default_store",
     "interpretation_count",
     "kernel_trace_cached",
     "kernel_trace_key",
     "set_default_store",
+    "shard_of",
 ]
 
 #: Environment variable overriding the default store root.
 TRACE_STORE_ENV = "REPRO_TRACE_STORE"
+
+#: Environment variable setting the default store's disk budget (bytes).
+STORE_MAX_BYTES_ENV = "REPRO_STORE_MAX_BYTES"
+
+#: Version of the on-disk index envelope; a bump (or any unreadable
+#: index) triggers a rebuild from the shard directories instead of a
+#: misread.
+INDEX_FORMAT_VERSION = 1
+
+_INDEX_NAME = "index.json"
+_TRACES_DIR = "traces"
+_RESULTS_DIR = "results"
+_TOUCH_DIR = "touch"
+
+#: How long a waiter blocks on another thread's in-flight build/claim
+#: before giving up and building the entry itself.
+_INFLIGHT_TIMEOUT_S = 120.0
+
+
+def shard_of(digest: str) -> str:
+    """The shard directory for a digest: its first two hex characters.
+
+    Stable forever by construction — test-asserted, because changing it
+    would orphan every existing store entry.
+    """
+    return digest[:2]
+
 
 # ---------------------------------------------------------------------------
 # the one interpretation path
@@ -135,9 +221,14 @@ class TraceKey:
         return hashlib.sha256(document.encode()).hexdigest()
 
     @property
+    def ref(self) -> str:
+        """The digest prefix embedded in the filename — the index key."""
+        return self.digest[:16]
+
+    @property
     def filename(self) -> str:
         safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", self.kernel) or "trace"
-        return f"{safe}-{self.digest[:16]}.npz"
+        return f"{safe}-{self.ref}.npz"
 
     def describe(self) -> str:
         args = ", ".join(f"{k}={v}" for k, v in self.params)
@@ -186,9 +277,29 @@ class ResultKey:
         return hashlib.sha256(document.encode()).hexdigest()
 
     @property
+    def ref(self) -> str:
+        """The digest prefix embedded in the filename — the index key."""
+        return self.digest[:20]
+
+    @property
     def filename(self) -> str:
         safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", self.backend) or "backend"
-        return f"{safe}-{self.digest[:20]}.npz"
+        return f"{safe}-{self.ref}.npz"
+
+
+def _ref_from_filename(name: str) -> str:
+    """Recover an entry's ref from its filename (``<safe>-<hex>.npz``).
+
+    Filenames that do not follow the convention (hand-copied files)
+    fall back to the whole stem — still indexed, GC-able and preserved
+    by migration, just never addressed by a key lookup (exactly their
+    status in the flat layout).
+    """
+    stem = Path(name).stem
+    candidate = stem.rsplit("-", 1)[-1]
+    if len(candidate) >= 2 and all(c in "0123456789abcdef" for c in candidate):
+        return candidate
+    return stem
 
 
 def _save_outcome(path: Path, outcome: EvalOutcome) -> Path:
@@ -260,13 +371,46 @@ def _load_outcome(path: Path) -> EvalOutcome:
     )
 
 
+def append_touch(
+    touch_dir: str | os.PathLike, tag: str, ref: str, *, evals: int = 0
+) -> None:
+    """Append one write-ahead access record for a trace entry.
+
+    Campaign workers (and the serial executor, for symmetry) call this
+    once per evaluated job instead of writing the index: each process
+    appends to its *own* ``<tag>-<pid>.jsonl`` file, so no two writers
+    ever share a file and the index cannot be torn by a worker crash.
+    The campaign parent folds the files back into the index — access
+    times, trace-hit counters and worker-side evaluation counts — via
+    :meth:`TraceStore.merge_touches`.  Failures are swallowed: touches
+    are advisory (LRU hints and observability), never worth failing an
+    evaluation over.
+    """
+    try:
+        directory = Path(touch_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(
+            {
+                "ref": ref,
+                "kind": "trace",
+                "at": time.time(),
+                "evals": int(evals),
+            }
+        )
+        with open(directory / f"{tag}-{os.getpid()}.jsonl", "a") as fh:
+            fh.write(line + "\n")
+    except OSError:
+        pass
+
+
 @dataclass
 class StoreCounters:
-    """Observability: where each ``get`` was satisfied."""
+    """Observability: where each ``get`` was satisfied, plus GC work."""
 
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     @property
     def total(self) -> int:
@@ -277,133 +421,754 @@ class StoreCounters:
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
             "misses": self.misses,
+            "evictions": self.evictions,
         }
 
 
+@dataclass
+class GCReport:
+    """What one :meth:`TraceStore.gc` pass did."""
+
+    #: ``(kind, ref, bytes)`` per evicted entry, in eviction order.
+    evicted: list[tuple[str, str, int]] = field(default_factory=list)
+    freed_bytes: int = 0
+    #: store size after the pass
+    total_bytes: int = 0
+    #: the budget the pass enforced (``None``: nothing to enforce)
+    max_bytes: int | None = None
+    #: entries spared because a reader had them pinned
+    pinned_skipped: int = 0
+
+    @property
+    def evicted_results(self) -> int:
+        return sum(1 for kind, _r, _b in self.evicted if kind == "result")
+
+    @property
+    def evicted_traces(self) -> int:
+        return sum(1 for kind, _r, _b in self.evicted if kind == "trace")
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "evicted_results": self.evicted_results,
+            "evicted_traces": self.evicted_traces,
+            "freed_bytes": self.freed_bytes,
+            "total_bytes": self.total_bytes,
+            "max_bytes": self.max_bytes,
+            "pinned_skipped": self.pinned_skipped,
+        }
+
+
+#: Eviction policies: an index entry -> sort key (evict smallest first).
+_POLICIES: dict[str, Callable[[dict], object]] = {
+    "lru": lambda entry: entry.get("atime", 0.0),
+    "fifo": lambda entry: entry.get("ctime", 0.0),
+}
+
+
 class TraceStore:
-    """Two-level (memory, disk) cache of frozen traces.
+    """Sharded two-level (memory, disk) cache of traces and results.
 
     ``get`` resolves a :class:`TraceKey` against the in-process map
-    first, then the ``.npz`` file under ``root``, and only then invokes
-    the builder — persisting its result for every later process.
-    Unreadable or stale-format files are treated as misses and
-    rebuilt in place, never propagated.
+    first, then the ``.npz`` file in its shard directory, and only then
+    invokes the builder — persisting its result for every later
+    process.  Unreadable or stale-format files are treated as misses
+    and rebuilt in place, never propagated.  See the module docstring
+    for the on-disk layout, the index format and the GC policy.
+
+    ``max_bytes`` bounds the store's disk use: when set, every put
+    triggers an LRU (or FIFO, per ``policy``) garbage-collection pass
+    that evicts result-cache entries first, then traces, skipping
+    entries currently pinned by a reader.  All index mutations are
+    serialised behind one re-entrant lock, builds and result
+    computations are single-flighted per key, and reads pin their
+    entry so GC can never unlink a file mid-read — the store is safe
+    for any number of threads/streams in one process, while
+    multiprocessing workers go through write-ahead touch files instead
+    of the index.
     """
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        max_bytes: int | None = None,
+        policy: str = "lru",
+    ) -> None:
+        if policy not in _POLICIES:
+            raise ValueError(
+                f"unknown eviction policy {policy!r}; "
+                f"choose from {tuple(sorted(_POLICIES))}"
+            )
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
         self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.policy = policy
         self.counters = StoreCounters()
         #: where each result lookup was satisfied (mirrors ``counters``)
         self.result_counters = StoreCounters()
         self._memory: dict[TraceKey, Trace] = {}
         self._result_memory: dict[ResultKey, EvalOutcome] = {}
+        self._lock = threading.RLock()
+        #: ref -> index entry; ``None`` until first loaded/migrated
+        self._entries: dict[str, dict] | None = None
+        self._dirty = False
+        #: refs currently being read (GC must not evict them)
+        self._pins: Counter[str] = Counter()
+        #: single-flight builds/claims: "t:<ref>" / "r:<ref>" -> Event
+        self._inflight: dict[str, threading.Event] = {}
 
     # -- paths -----------------------------------------------------------------
+    @property
+    def index_path(self) -> Path:
+        return self.root / _INDEX_NAME
+
+    @property
+    def touch_dir(self) -> Path:
+        """Where write-ahead per-worker touch files live."""
+        return self.root / _TOUCH_DIR
+
     def path_for(self, key: TraceKey) -> Path:
-        return self.root / key.filename
+        """Canonical shard path of a trace entry."""
+        return self.root / _TRACES_DIR / shard_of(key.digest) / key.filename
 
     def result_path_for(self, key: ResultKey) -> Path:
-        return self.root / "results" / key.filename
+        """Canonical shard path of a result entry."""
+        return self.root / _RESULTS_DIR / shard_of(key.digest) / key.filename
 
     def __contains__(self, key: TraceKey) -> bool:
-        return key in self._memory or self.path_for(key).is_file()
+        with self._lock:
+            if key in self._memory:
+                return True
+            entry = self._index().get(key.ref)
+            if entry is not None and entry.get("kind") == "trace":
+                return True
+        return self.path_for(key).is_file()
 
     def __len__(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*.npz"))
+        with self._lock:
+            return sum(
+                1 for e in self._index().values() if e.get("kind") == "trace"
+            )
 
-    # -- access ----------------------------------------------------------------
+    # -- the index -------------------------------------------------------------
+    def _index(self) -> dict[str, dict]:
+        """Entries, loading/rebuilding/migrating on first use (locked)."""
+        if self._entries is not None:
+            return self._entries
+        entries: dict[str, dict] | None = None
+        had_index = self.index_path.is_file()
+        if had_index:
+            try:
+                data = json.loads(self.index_path.read_text())
+                if (
+                    isinstance(data, dict)
+                    and data.get("index_format") == INDEX_FORMAT_VERSION
+                    and isinstance(data.get("entries"), dict)
+                ):
+                    entries = {
+                        str(ref): dict(entry)
+                        for ref, entry in data["entries"].items()
+                        if isinstance(entry, dict)
+                    }
+            except (OSError, ValueError):
+                entries = None
+        if entries is None:
+            # Missing, torn or stale-format index: rebuild the ground
+            # truth from the shard directories (crash-safe recovery).
+            # A pristine root (no index, no shards) stays untouched on
+            # disk until the first put.
+            entries = self._scan_shards()
+            self._dirty = had_index or bool(entries)
+        # Drop entries whose artifact vanished behind our back.
+        for ref in [
+            ref
+            for ref, entry in entries.items()
+            if not (self.root / entry.get("path", "")).is_file()
+        ]:
+            del entries[ref]
+            self._dirty = True
+        if self._migrate_flat(entries):
+            self._dirty = True
+        self._entries = entries
+        if self._dirty:
+            self._flush_index()
+        return entries
+
+    def _scan_shards(self) -> dict[str, dict]:
+        """Rebuild index entries from the shard directories."""
+        entries: dict[str, dict] = {}
+        for kind, base in (
+            ("trace", self.root / _TRACES_DIR),
+            ("result", self.root / _RESULTS_DIR),
+        ):
+            if not base.is_dir():
+                continue
+            for path in base.glob("[0-9a-f][0-9a-f]/*.npz"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries[_ref_from_filename(path.name)] = {
+                    "kind": kind,
+                    "path": str(path.relative_to(self.root)),
+                    "bytes": stat.st_size,
+                    "atime": stat.st_mtime,
+                    "ctime": stat.st_mtime,
+                }
+        return entries
+
+    def _migrate_flat(self, entries: dict[str, dict]) -> bool:
+        """Move a legacy flat-layout store into shards (lossless).
+
+        Legacy traces live directly under the root, legacy results
+        directly under ``results/`` — both globs deliberately skip the
+        sharded subdirectories, so migration is a no-op on a store that
+        is already (or partially) sharded.
+        """
+        moved = False
+        if not self.root.is_dir():
+            return moved
+        batches = [(self.root.glob("*.npz"), "trace", _TRACES_DIR)]
+        legacy_results = self.root / _RESULTS_DIR
+        if legacy_results.is_dir():
+            batches.append(
+                (
+                    (p for p in legacy_results.iterdir() if p.suffix == ".npz" and p.is_file()),
+                    "result",
+                    _RESULTS_DIR,
+                )
+            )
+        for paths, kind, base in batches:
+            for path in paths:
+                ref = _ref_from_filename(path.name)
+                dest = self.root / base / shard_of(ref) / path.name
+                try:
+                    stat = path.stat()
+                    dest.parent.mkdir(parents=True, exist_ok=True)
+                    os.replace(path, dest)
+                except OSError:
+                    continue
+                entries[ref] = {
+                    "kind": kind,
+                    "path": str(dest.relative_to(self.root)),
+                    "bytes": stat.st_size,
+                    "atime": stat.st_mtime,
+                    "ctime": stat.st_mtime,
+                }
+                moved = True
+        return moved
+
+    def _flush_index(self) -> None:
+        """Atomically persist the index (temp file + rename; locked)."""
+        if self._entries is None:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        document = json.dumps(
+            {
+                "index_format": INDEX_FORMAT_VERSION,
+                "policy": self.policy,
+                "entries": self._entries,
+            },
+            sort_keys=True,
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=_INDEX_NAME, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(document + "\n")
+            os.replace(tmp, self.index_path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self._dirty = False
+
+    def _record_entry(self, ref: str, kind: str, path: Path) -> None:
+        """Index a just-written artifact and flush (locked by caller).
+
+        Puts flush eagerly — a concurrent reader in another process
+        should see the entry without relying on the canonical-path
+        adoption fallback — while access-time updates only mark the
+        index dirty and ride along with the next flush.  At the store
+        sizes one machine hosts the serialize-on-put cost is dwarfed
+        by the compressed ``.npz`` write itself; if profiles ever say
+        otherwise, batching puts behind the existing ``_dirty``
+        mechanism is the lever.
+        """
+        try:
+            size = path.stat().st_size
+        except OSError:
+            return
+        now = time.time()
+        entry = self._index().get(ref)
+        self._index()[ref] = {
+            "kind": kind,
+            "path": str(path.relative_to(self.root)),
+            "bytes": size,
+            "atime": now,
+            "ctime": entry["ctime"] if entry else now,
+        }
+        self._flush_index()
+
+    def _touch_entry(self, ref: str, at: float | None = None) -> None:
+        """Refresh an entry's access time in memory (flushed lazily)."""
+        entry = self._index().get(ref)
+        if entry is not None:
+            entry["atime"] = max(entry.get("atime", 0.0), at or time.time())
+            self._dirty = True
+
+    # -- read pinning ----------------------------------------------------------
+    @contextlib.contextmanager
+    def reading(self, ref: str) -> Iterator[None]:
+        """Pin an entry while a reader uses its file.
+
+        GC skips pinned entries — even if that leaves the store over
+        budget — so an eviction can never unlink an ``.npz`` under a
+        reader mid-load.  Used internally by every disk read; exposed
+        so tests (and long-lived readers) can hold a pin explicitly.
+        """
+        with self._lock:
+            self._pins[ref] += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._pins[ref] -= 1
+                if self._pins[ref] <= 0:
+                    del self._pins[ref]
+
+    # -- single-flight builds --------------------------------------------------
+    def _begin_flight(self, token: str) -> threading.Event | None:
+        """Claim an in-flight build slot; ``None`` means we own it."""
+        with self._lock:
+            event = self._inflight.get(token)
+            if event is not None:
+                return event
+            self._inflight[token] = threading.Event()
+            return None
+
+    def _steal_flight(self, token: str, event: threading.Event) -> bool:
+        """Take over a flight whose owner looks stuck (wait timed out).
+
+        If the slot still holds the same unset event, replace it with
+        our own claim and wake the stragglers waiting on the old one;
+        the caller becomes the builder.  Should the original owner
+        eventually finish anyway, its put simply overwrites ours with
+        identical content (evaluations are pure).
+        """
+        with self._lock:
+            if self._inflight.get(token) is event:
+                self._inflight[token] = threading.Event()
+                stolen = True
+            else:
+                stolen = False
+        if stolen:
+            event.set()
+        return stolen
+
+    def _end_flight(self, token: str) -> None:
+        with self._lock:
+            event = self._inflight.pop(token, None)
+        if event is not None:
+            event.set()
+
+    # -- trace access ----------------------------------------------------------
+    def _resolve(self, key: TraceKey) -> Path:
+        """The entry's actual path: index first, canonical otherwise."""
+        with self._lock:
+            entry = self._index().get(key.ref)
+            if entry is not None and entry.get("kind") == "trace":
+                return self.root / entry["path"]
+        return self.path_for(key)
+
     def load(self, key: TraceKey) -> Trace | None:
         """Disk lookup only; ``None`` on absent or unreadable entries."""
-        path = self.path_for(key)
-        if not path.is_file():
-            return None
-        try:
-            return Trace.load(path)
-        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
-            return None
+        path = self._resolve(key)
+        with self.reading(key.ref):
+            if not path.is_file():
+                return None
+            try:
+                trace = Trace.load(path)
+            except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+                return None
+        with self._lock:
+            if key.ref in self._index():
+                self._touch_entry(key.ref)
+            else:
+                # Crash between artifact write and index flush (or a
+                # hand-copied file at its canonical path): adopt it.
+                self._record_entry(key.ref, "trace", path)
+        return trace
 
     def put(self, key: TraceKey, trace: Trace) -> Path:
-        self._memory[key] = trace
-        return trace.save(self.path_for(key))
+        with self._lock:
+            self._memory[key] = trace
+        path = trace.save(self.path_for(key))
+        with self._lock:
+            self._record_entry(key.ref, "trace", path)
+            self._auto_gc()
+        return path
 
     def get(self, key: TraceKey, builder: Callable[[], Trace]) -> Trace:
-        """Memory → disk → ``builder()`` (which is then persisted)."""
-        trace = self._memory.get(key)
+        """Memory → disk → ``builder()`` (which is then persisted).
+
+        Builds are single-flighted per key: when several threads miss
+        on the same entry simultaneously, exactly one invokes the
+        builder and the rest wait for its ``put`` — never two
+        interpreter runs for one trace.
+        """
+        token = f"t:{key.ref}"
+        while True:
+            with self._lock:
+                trace = self._memory.get(key)
+                if trace is not None:
+                    self.counters.memory_hits += 1
+                    self._touch_entry(key.ref)
+                    return trace
+            trace = self.load(key)
+            if trace is not None:
+                with self._lock:
+                    self.counters.disk_hits += 1
+                    self._memory[key] = trace
+                return trace
+            event = self._begin_flight(token)
+            if event is None:
+                break  # won the build slot
+            if not event.wait(timeout=_INFLIGHT_TIMEOUT_S):
+                # The owner looks wedged: take the slot over rather
+                # than waiting forever.
+                if self._steal_flight(token, event):
+                    break
+        # We own the flight — but a rival may have finished (built,
+        # put, released) between our miss and the claim.  Re-check
+        # memory before interpreting twice.
+        with self._lock:
+            trace = self._memory.get(key)
+            if trace is not None:
+                self.counters.memory_hits += 1
+                self._touch_entry(key.ref)
         if trace is not None:
-            self.counters.memory_hits += 1
+            self._end_flight(token)
             return trace
-        trace = self.load(key)
-        if trace is not None:
-            self.counters.disk_hits += 1
-            self._memory[key] = trace
+        try:
+            with self._lock:
+                self.counters.misses += 1
+            trace = builder()
+            self.put(key, trace)
             return trace
-        self.counters.misses += 1
-        trace = builder()
-        self.put(key, trace)
-        return trace
+        finally:
+            self._end_flight(token)
 
     # -- result cache ----------------------------------------------------------
     def n_results(self) -> int:
-        results = self.root / "results"
-        if not results.is_dir():
-            return 0
-        return sum(1 for _ in results.glob("*.npz"))
+        with self._lock:
+            return sum(
+                1 for e in self._index().values() if e.get("kind") == "result"
+            )
 
-    def lookup_result(self, key: ResultKey) -> EvalOutcome | None:
-        """Memory → disk result lookup; counts the hit/miss either way."""
-        outcome = self._result_memory.get(key)
-        if outcome is not None:
-            self.result_counters.memory_hits += 1
-            return outcome
-        path = self.result_path_for(key)
-        if path.is_file():
-            try:
-                outcome = _load_outcome(path)
-            except (OSError, ValueError, KeyError, zipfile.BadZipFile):
-                outcome = None
-        if outcome is not None:
-            self.result_counters.disk_hits += 1
-            self._result_memory[key] = outcome
-            return outcome
-        self.result_counters.misses += 1
-        return None
+    def _resolve_result(self, key: ResultKey) -> Path:
+        with self._lock:
+            entry = self._index().get(key.ref)
+            if entry is not None and entry.get("kind") == "result":
+                return self.root / entry["path"]
+        return self.result_path_for(key)
+
+    def lookup_result(
+        self, key: ResultKey, *, count: bool = True
+    ) -> EvalOutcome | None:
+        """Memory → disk result lookup; counts the hit/miss either way.
+
+        ``count=False`` is the uncounted *peek* the claim protocol uses
+        to close the lookup→claim race — a re-check, not a new lookup,
+        so it must not distort the hit/miss telemetry.
+        """
+        with self._lock:
+            outcome = self._result_memory.get(key)
+            if outcome is not None:
+                if count:
+                    self.result_counters.memory_hits += 1
+                self._touch_entry(key.ref)
+                return outcome
+        path = self._resolve_result(key)
+        outcome = None
+        with self.reading(key.ref):
+            if path.is_file():
+                try:
+                    outcome = _load_outcome(path)
+                except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+                    outcome = None
+        with self._lock:
+            if outcome is not None:
+                if count:
+                    self.result_counters.disk_hits += 1
+                self._result_memory[key] = outcome
+                if key.ref in self._index():
+                    self._touch_entry(key.ref)
+                else:
+                    self._record_entry(key.ref, "result", path)
+                return outcome
+            if count:
+                self.result_counters.misses += 1
+            return None
+
+    def claim_result(self, key: ResultKey) -> threading.Event | None:
+        """Announce an intent to compute a missing result.
+
+        Returns ``None`` when the caller now owns the claim (it must
+        eventually :meth:`put_result` or :meth:`abandon_result_claim`),
+        or the owning computation's :class:`~threading.Event` to wait
+        on.  This is what lets two concurrent campaigns over one store
+        evaluate every shared point exactly once.
+        """
+        return self._begin_flight(f"r:{key.ref}")
+
+    def abandon_result_claim(self, key: ResultKey) -> None:
+        """Release a claim without a result (waiters wake and recompute)."""
+        self._end_flight(f"r:{key.ref}")
 
     def put_result(self, key: ResultKey, outcome: EvalOutcome) -> Path:
-        self._result_memory[key] = outcome
-        return _save_outcome(self.result_path_for(key), outcome)
+        with self._lock:
+            self._result_memory[key] = outcome
+        path = _save_outcome(self.result_path_for(key), outcome)
+        with self._lock:
+            self._record_entry(key.ref, "result", path)
+            self._auto_gc()
+        self._end_flight(f"r:{key.ref}")  # wake any claim waiters
+        return path
 
     def get_result(
         self, key: ResultKey, compute: Callable[[], EvalOutcome]
     ) -> EvalOutcome:
-        """Memory → disk → ``compute()`` (which is then persisted)."""
-        outcome = self.lookup_result(key)
-        if outcome is None:
+        """Memory → disk → ``compute()`` (which is then persisted).
+
+        Single-flighted like :meth:`get`: concurrent callers for one
+        key produce exactly one computation.
+        """
+        while True:
+            outcome = self.lookup_result(key)
+            if outcome is not None:
+                return outcome
+            event = self.claim_result(key)
+            if event is None:
+                # Close the lookup→claim race: a rival may have put
+                # and released this exact key in between.
+                outcome = self.lookup_result(key, count=False)
+                if outcome is not None:
+                    self.abandon_result_claim(key)
+                    return outcome
+                break
+            if not event.wait(timeout=_INFLIGHT_TIMEOUT_S):
+                # The owner looks wedged: take the claim over (the
+                # loop's lookup still prefers a late-but-landed
+                # result over recomputing).
+                if self._steal_flight(f"r:{key.ref}", event):
+                    outcome = self.lookup_result(key, count=False)
+                    if outcome is not None:
+                        self.abandon_result_claim(key)
+                        return outcome
+                    break
+        try:
             outcome = compute()
             self.put_result(key, outcome)
-        return outcome
+            return outcome
+        finally:
+            self.abandon_result_claim(key)
+
+    # -- write-ahead touch merging ---------------------------------------------
+    def merge_touches(
+        self, tag: str | None = None, *, stale_after_s: float = 0.0
+    ) -> dict[str, int]:
+        """Fold per-worker touch files back into the index.
+
+        Applies every record — entry access times become the max of
+        index and touch times, each trace touch counts as a trace-store
+        memory hit (the job evaluated against the already-acquired
+        table), and worker-side evaluation counts are summed for the
+        caller to merge into the process counter — then deletes the
+        files.  With ``tag`` only that campaign's files are merged, so
+        a completing campaign never swallows (and half-reads) the
+        write-ahead files of one still in flight.  Untagged callers
+        (the ``repro store`` admin commands, which cannot know which
+        campaigns are live in other processes) pass ``stale_after_s``
+        to merge only files idle at least that long — a file still
+        being appended to belongs to a running campaign and is left
+        for its owner.  Malformed trailing lines (a worker killed
+        mid-write) are skipped, not propagated.
+        """
+        pattern = f"{tag}-*.jsonl" if tag else "*.jsonl"
+        merged = {"files": 0, "touches": 0, "evaluations": 0}
+        if not self.touch_dir.is_dir():
+            return merged
+        for path in sorted(self.touch_dir.glob(pattern)):
+            try:
+                if (
+                    stale_after_s
+                    and time.time() - path.stat().st_mtime < stale_after_s
+                ):
+                    continue  # a live campaign's write-ahead file
+                lines = path.read_text().splitlines()
+            except OSError:
+                continue
+            with self._lock:
+                for line in lines:
+                    try:
+                        record = json.loads(line)
+                        ref = str(record["ref"])
+                        at = float(record.get("at", 0.0))
+                        evals = int(record.get("evals", 0))
+                    except (ValueError, TypeError, KeyError):
+                        continue  # torn write-ahead line
+                    self._touch_entry(ref, at=at)
+                    self.counters.memory_hits += 1
+                    merged["touches"] += 1
+                    merged["evaluations"] += evals
+            path.unlink(missing_ok=True)
+            merged["files"] += 1
+        if merged["files"]:
+            with self._lock:
+                if self._dirty and self._entries is not None:
+                    self._flush_index()
+        return merged
+
+    # -- garbage collection ----------------------------------------------------
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(e.get("bytes", 0) for e in self._index().values())
+
+    def _auto_gc(self) -> None:
+        """Enforce the construction-time budget after a put (locked)."""
+        if self.max_bytes is None:
+            return
+        if sum(e.get("bytes", 0) for e in self._index().values()) > self.max_bytes:
+            self.gc()
+
+    def gc(self, max_bytes: int | None = None) -> GCReport:
+        """Evict entries until the store fits its disk budget.
+
+        Eviction order is **results first, then traces** (results are
+        recomputable from a stored trace in milliseconds; a trace costs
+        an interpreter run), least-recently-used first within each kind
+        (or oldest-created, under ``policy="fifo"``).  The pass stops
+        the moment the budget is met — it never over-evicts below
+        ``max_bytes`` — and entries pinned by an in-flight reader are
+        skipped even if that leaves the store over budget.  With no
+        budget (neither argument nor construction-time) it is a no-op
+        that reports the current size.
+        """
+        with self._lock:
+            entries = self._index()
+            budget = self.max_bytes if max_bytes is None else max_bytes
+            total = sum(e.get("bytes", 0) for e in entries.values())
+            report = GCReport(total_bytes=total, max_bytes=budget)
+            if budget is None or total <= budget:
+                return report
+            order_key = _POLICIES[self.policy]
+            victims = [
+                (ref, entry)
+                for kind in ("result", "trace")
+                for ref, entry in sorted(
+                    (
+                        (ref, entry)
+                        for ref, entry in entries.items()
+                        if entry.get("kind") == kind
+                    ),
+                    key=lambda item: order_key(item[1]),
+                )
+            ]
+            for ref, entry in victims:
+                if total <= budget:
+                    break
+                if self._pins.get(ref):
+                    report.pinned_skipped += 1
+                    continue
+                (self.root / entry["path"]).unlink(missing_ok=True)
+                del entries[ref]
+                self._evict_memory(ref, entry["kind"])
+                size = entry.get("bytes", 0)
+                total -= size
+                report.freed_bytes += size
+                report.evicted.append((entry["kind"], ref, size))
+                if entry["kind"] == "result":
+                    self.result_counters.evictions += 1
+                else:
+                    self.counters.evictions += 1
+            report.total_bytes = total
+            self._flush_index()
+            return report
+
+    def _evict_memory(self, ref: str, kind: str) -> None:
+        """Drop the in-memory copies of an evicted entry (locked)."""
+        if kind == "trace":
+            for key in [k for k in self._memory if k.ref == ref]:
+                del self._memory[key]
+        else:
+            for key in [k for k in self._result_memory if k.ref == ref]:
+                del self._result_memory[key]
+
+    # -- observability ---------------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        """One JSON-friendly snapshot of layout, sizes and counters."""
+        with self._lock:
+            entries = self._index()
+            by_kind: dict[str, dict[str, int]] = {
+                "trace": {"entries": 0, "bytes": 0},
+                "result": {"entries": 0, "bytes": 0},
+            }
+            shards: set[str] = set()
+            for entry in entries.values():
+                bucket = by_kind.setdefault(
+                    entry.get("kind", "trace"), {"entries": 0, "bytes": 0}
+                )
+                bucket["entries"] += 1
+                bucket["bytes"] += entry.get("bytes", 0)
+                shards.add(str(Path(entry.get("path", "")).parent))
+            pending = (
+                sum(1 for _ in self.touch_dir.glob("*.jsonl"))
+                if self.touch_dir.is_dir()
+                else 0
+            )
+            return {
+                "root": str(self.root),
+                "policy": self.policy,
+                "max_bytes": self.max_bytes,
+                "index_format": INDEX_FORMAT_VERSION,
+                "traces": by_kind["trace"],
+                "results": by_kind["result"],
+                "total_bytes": sum(
+                    b["bytes"] for b in by_kind.values()
+                ),
+                "shards": len(shards),
+                "pending_touch_files": pending,
+                "trace_counters": self.counters.as_dict(),
+                "result_counters": self.result_counters.as_dict(),
+            }
 
     # -- maintenance -----------------------------------------------------------
     def clear_memory(self) -> None:
-        self._memory.clear()
-        self._result_memory.clear()
+        with self._lock:
+            self._memory.clear()
+            self._result_memory.clear()
 
     def clear(self) -> None:
         """Drop the memory maps and delete every on-disk entry."""
-        self.clear_memory()
-        if self.root.is_dir():
-            for path in self.root.glob("*.npz"):
-                path.unlink(missing_ok=True)
-        results = self.root / "results"
-        if results.is_dir():
-            for path in results.glob("*.npz"):
-                path.unlink(missing_ok=True)
+        with self._lock:
+            self.clear_memory()
+            entries = self._index()
+            for entry in entries.values():
+                (self.root / entry["path"]).unlink(missing_ok=True)
+            entries.clear()
+            if self.touch_dir.is_dir():
+                for path in self.touch_dir.glob("*.jsonl"):
+                    path.unlink(missing_ok=True)
+            self._flush_index()
 
     def __repr__(self) -> str:
         return (
             f"TraceStore({str(self.root)!r}, entries={len(self)}, "
-            f"results={self.n_results()})"
+            f"results={self.n_results()}, "
+            f"max_bytes={self.max_bytes}, policy={self.policy!r})"
         )
 
 
@@ -430,6 +1195,8 @@ def default_store() -> TraceStore:
 
     Instances are memoised per resolved root so the in-memory layer
     survives repeated calls while env-var changes take effect.
+    ``$REPRO_STORE_MAX_BYTES`` (bytes) sets the disk budget the
+    store's GC enforces.
     """
     if _override is not None:
         return _override
@@ -439,9 +1206,29 @@ def default_store() -> TraceStore:
         if env
         else Path.home() / ".cache" / "repro" / "traces"
     )
+    budget_env = os.environ.get(STORE_MAX_BYTES_ENV)
+    max_bytes: int | None = None
+    if budget_env:
+        try:
+            max_bytes = int(budget_env)
+            if max_bytes < 0:
+                raise ValueError(budget_env)
+        except ValueError:
+            warnings.warn(
+                f"ignoring invalid {STORE_MAX_BYTES_ENV}={budget_env!r} "
+                "(expected a non-negative integer byte count)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            max_bytes = None
     store = _instances.get(root)
     if store is None:
-        store = _instances.setdefault(root, TraceStore(root))
+        store = _instances.setdefault(
+            root, TraceStore(root, max_bytes=max_bytes)
+        )
+    elif store.max_bytes != max_bytes:
+        # Budget changes take effect on memoised instances too.
+        store.max_bytes = max_bytes
     return store
 
 

@@ -1,6 +1,8 @@
-"""Trace serialization and the persistent trace store."""
+"""Trace serialization and the persistent (sharded) trace store."""
 
 from __future__ import annotations
+
+import json
 
 import numpy as np
 import pytest
@@ -12,7 +14,9 @@ from repro.engine import (
     default_store,
     interpretation_count,
     kernel_trace_cached,
+    kernel_trace_key,
     set_default_store,
+    shard_of,
 )
 from repro.ir import TraceBuilder
 from repro.ir.trace import TRACE_FORMAT_VERSION, Trace
@@ -218,9 +222,195 @@ class TestAcquisitionPath:
         finally:
             set_default_store(previous)
 
-    def test_store_files_live_under_root_only(self, tmp_path):
-        store = TraceStore(tmp_path / "root")
+    def test_default_store_budget_env(self, tmp_path, monkeypatch):
+        previous = default_store()  # session isolation store
+        set_default_store(None)
+        try:
+            monkeypatch.setenv("REPRO_TRACE_STORE", str(tmp_path / "env"))
+            monkeypatch.setenv("REPRO_STORE_MAX_BYTES", "12345")
+            assert default_store().max_bytes == 12345
+            # Budget changes reach the memoised instance too.
+            monkeypatch.setenv("REPRO_STORE_MAX_BYTES", "54321")
+            assert default_store().max_bytes == 54321
+            # Garbage budgets are ignored with a warning, never fatal.
+            monkeypatch.setenv("REPRO_STORE_MAX_BYTES", "lots")
+            with pytest.warns(RuntimeWarning, match="ignoring invalid"):
+                assert default_store().max_bytes is None
+        finally:
+            set_default_store(previous)
+
+    def test_store_files_live_under_sharded_root(self, tmp_path):
+        root = tmp_path / "root"
+        store = TraceStore(root)
         kernel_trace_cached("first_diff", n=32, store=store)
-        files = [p for p in (tmp_path / "root").iterdir()]
-        assert len(files) == 1
-        assert files[0].suffix == ".npz"
+        key = kernel_trace_key("first_diff", n=32)
+        # Sharded layout: the artifact sits in its two-hex-char prefix
+        # directory under traces/, next to the index — nothing else.
+        path = store.path_for(key)
+        assert path.is_file()
+        assert path.parent.name == shard_of(key.digest)
+        assert path.parent.parent == root / "traces"
+        assert (root / "index.json").is_file()
+        assert not list(root.glob("*.npz"))  # no flat-layout artifacts
+
+
+class TestShardedIndex:
+    def test_index_is_versioned_json_with_entry_metadata(self, tmp_path):
+        store = TraceStore(tmp_path)
+        kernel_trace_cached("first_diff", n=32, store=store)
+        data = json.loads((tmp_path / "index.json").read_text())
+        assert data["index_format"] == 1
+        key = kernel_trace_key("first_diff", n=32)
+        entry = data["entries"][key.ref]
+        assert entry["kind"] == "trace"
+        assert entry["path"].startswith(f"traces/{shard_of(key.digest)}/")
+        assert entry["bytes"] == store.path_for(key).stat().st_size
+        assert entry["atime"] > 0
+        assert entry["ctime"] > 0
+
+    def test_corrupted_index_is_rebuilt_from_shards(self, tmp_path):
+        store = TraceStore(tmp_path)
+        trace = kernel_trace_cached("first_diff", n=32, store=store)
+        (tmp_path / "index.json").write_text("{ not json at all")
+        fresh = TraceStore(tmp_path)
+        assert len(fresh) == 1  # recovered by scanning the shards
+
+        def explode():
+            raise AssertionError("recovered store must not rebuild")
+
+        key = kernel_trace_key("first_diff", n=32)
+        assert fresh.get(key, explode).identical(trace)
+        # And the rebuilt index is valid JSON again.
+        data = json.loads((tmp_path / "index.json").read_text())
+        assert key.ref in data["entries"]
+
+    def test_unindexed_file_at_canonical_path_is_adopted(self, tmp_path):
+        """Crash between artifact write and index flush: the file is
+        addressable and gets re-indexed on first lookup."""
+        store = TraceStore(tmp_path)
+        trace = kernel_trace_cached("first_diff", n=32, store=store)
+        key = kernel_trace_key("first_diff", n=32)
+        data = json.loads((tmp_path / "index.json").read_text())
+        del data["entries"][key.ref]
+        (tmp_path / "index.json").write_text(json.dumps(data))
+        fresh = TraceStore(tmp_path)
+        assert fresh.load(key) is not None
+        assert len(fresh) == 1  # adopted back into the index
+
+    def test_stale_entry_for_vanished_file_is_dropped(self, tmp_path):
+        store = TraceStore(tmp_path)
+        kernel_trace_cached("first_diff", n=32, store=store)
+        key = kernel_trace_key("first_diff", n=32)
+        store.path_for(key).unlink()
+        fresh = TraceStore(tmp_path)
+        assert len(fresh) == 0
+        assert fresh.load(key) is None
+
+
+class TestMigration:
+    def test_flat_store_migrates_losslessly_on_first_open(self, tmp_path):
+        trace = multi_array_trace()
+        key = TraceKey.make("legacy_kernel", n=3)
+        trace.save(tmp_path / key.filename)  # pre-sharding layout
+        store = TraceStore(tmp_path)
+
+        def explode():
+            raise AssertionError("migrated store must not rebuild")
+
+        assert store.get(key, explode).identical(trace)
+        assert not list(tmp_path.glob("*.npz"))  # moved into its shard
+        assert store.path_for(key).is_file()
+        assert store.counters.disk_hits == 1
+
+
+class TestEvictionGC:
+    def test_gc_without_budget_is_a_noop_report(self, tmp_path):
+        store = TraceStore(tmp_path)
+        kernel_trace_cached("first_diff", n=32, store=store)
+        report = store.gc()
+        assert report.evicted == []
+        assert report.total_bytes == store.total_bytes() > 0
+
+    def test_auto_gc_enforces_construction_budget(self, tmp_path):
+        store = TraceStore(tmp_path, max_bytes=1)
+        kernel_trace_cached("first_diff", n=32, store=store)
+        kernel_trace_cached("first_diff", n=64, store=store)
+        # Each put ran GC: at most one entry (the newest, which alone
+        # exceeds 1 byte but was written after the pass freed the rest)
+        # can remain on disk.
+        assert len(store) <= 1
+        assert store.counters.evictions >= 1
+
+    def test_gc_stops_at_the_budget_never_below(self, tmp_path):
+        store = TraceStore(tmp_path)
+        for n in (32, 48, 64, 96):
+            kernel_trace_cached("first_diff", n=n, store=store)
+        total = store.total_bytes()
+        budget = total - 1  # forces exactly one eviction
+        report = store.gc(max_bytes=budget)
+        assert len(report.evicted) == 1
+        assert report.total_bytes <= budget
+        # Un-evicting the victim would break the budget: GC did not
+        # over-evict below max_bytes.
+        _kind, _ref, nbytes = report.evicted[0]
+        assert report.total_bytes + nbytes > budget
+
+    def test_lru_order_and_policy_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="eviction policy"):
+            TraceStore(tmp_path, policy="belady")
+        store = TraceStore(tmp_path)
+        old = kernel_trace_key("first_diff", n=32)
+        new = kernel_trace_key("first_diff", n=64)
+        kernel_trace_cached("first_diff", n=32, store=store)
+        kernel_trace_cached("first_diff", n=64, store=store)
+        # Touch the older entry so the *other* one becomes LRU.
+        store.get(old, lambda: (_ for _ in ()).throw(AssertionError()))
+        report = store.gc(max_bytes=store.total_bytes() - 1)
+        assert [ref for _k, ref, _b in report.evicted] == [new.ref]
+        assert old in store
+
+
+class TestStoreStatsCLI:
+    def test_store_stats_reports_shards_and_counters(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = TraceStore(tmp_path)
+        kernel_trace_cached("first_diff", n=32, store=store)
+        assert main(["store", "stats", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace store stats" in out
+        assert "1 entries" in out
+        assert "memory_hits" in out
+        assert "evictions" in out
+
+    def test_store_stats_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = TraceStore(tmp_path)
+        kernel_trace_cached("first_diff", n=32, store=store)
+        assert main(["store", "stats", "--root", str(tmp_path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["traces"]["entries"] == 1
+        assert data["results"]["entries"] == 0
+        assert data["index_format"] == 1
+        assert data["total_bytes"] > 0
+
+    def test_store_gc_cli_enforces_budget(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = TraceStore(tmp_path)
+        kernel_trace_cached("first_diff", n=32, store=store)
+        kernel_trace_cached("first_diff", n=64, store=store)
+        assert main(
+            ["store", "gc", "--root", str(tmp_path), "--max-bytes", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "evicted" in out
+        assert TraceStore(tmp_path).total_bytes() == 0
+
+    def test_store_gc_cli_without_budget_explains(self, tmp_path, capsys):
+        from repro.cli import main
+
+        TraceStore(tmp_path)
+        assert main(["store", "gc", "--root", str(tmp_path)]) == 0
+        assert "no disk budget" in capsys.readouterr().out
