@@ -4,14 +4,18 @@ Times the axes the ``repro.engine`` subsystem adds on top of the
 simulator core: (1) evaluating one campaign's configuration grid
 serially vs through the multiprocessing executor, (2) acquiring
 campaign traces with a cold store (interpret + persist) vs a warm one
-(replay ``.npz``, zero interpreter executions — asserted), and (3) a
+(replay ``.npz``, zero interpreter executions — asserted), (3) a
 garbage-collection pass over a populated sharded store (eviction
-ordering asserted: results before traces).
+ordering asserted: results before traces), and (4) N *concurrent*
+campaigns over one shared evaluation service vs N independently
+forked worker pools — the PR-4 scaling case.
 """
 
 from __future__ import annotations
 
 import shutil
+import threading
+import time
 
 from repro.engine import (
     CampaignSpec,
@@ -134,6 +138,95 @@ def test_trace_store_warm(benchmark, tmp_path):
     interpreted, disk_hits = once(benchmark, warm_run)
     assert interpreted == 0
     assert disk_hits == len(CAMPAIGN.kernels)
+
+
+#: The concurrent-campaign case: three campaigns over one kernel's
+#: trace, distinct grids so nothing dedups away, 28 points each.
+def _concurrent_specs(backend: str) -> list[CampaignSpec]:
+    return [
+        CampaignSpec(
+            name=f"bench-concurrent-{slot}",
+            backend=backend,
+            kernels=(KernelSpec("hydro_fragment", n=1000),),
+            pes=(1, 2, 4, 8, 16, 32, 64),
+            page_sizes=(32, 64),
+            cache_elems=(256 + slot, 0),  # distinct grids per campaign
+        )
+        for slot in range(3)
+    ]
+
+
+def _drive_concurrently(specs, store, **kwargs) -> float:
+    """Run every campaign on its own thread; wall time of the batch."""
+    errors: list[BaseException] = []
+
+    def drive(spec: CampaignSpec) -> None:
+        try:
+            result = run_campaign(spec, store=store, use_cache=False, **kwargs)
+            assert len(result) == spec.n_points
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=drive, args=(spec,)) for spec in specs
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    return time.perf_counter() - started
+
+
+def test_engine_concurrent_campaigns_service_vs_pools(benchmark, tmp_path):
+    """The PR-4 scaling claim: N concurrent campaigns through ONE
+    resident service pool vs N independently forked pools.
+
+    The benchmark times the service path; the forked-pool wall time
+    for the identical workload rides along in ``extra_info`` so the
+    saved artefact shows the comparison.  Sharing wins on pool
+    startup (one launch instead of N) and on trace distribution (one
+    resident copy per worker instead of one per pool).
+    """
+    from repro.backends import configure_service, get_service, shutdown_service
+
+    store = TraceStore(tmp_path / "store")
+    run_campaign(  # warm the trace so neither side pays interpretation
+        _concurrent_specs("untimed")[0], store=store, parallel=False
+    )
+
+    forked_wall = _drive_concurrently(
+        _concurrent_specs("untimed"), store, parallel=True
+    )
+
+    shutdown_service()
+    configure_service()  # default: one worker per core, one pool
+    try:
+        service_wall = once(
+            benchmark,
+            lambda: _drive_concurrently(
+                _concurrent_specs("service"), store, parallel=True
+            ),
+        )
+        stats = get_service().stats()
+        assert stats["pool_launches"] <= 1
+        assert stats["failed"] == 0
+    finally:
+        shutdown_service()
+        configure_service()
+    benchmark.extra_info["forked_pools_wall_s"] = round(forked_wall, 3)
+    benchmark.extra_info["service_wall_s"] = round(service_wall, 3)
+    benchmark.extra_info["speedup_vs_forked"] = round(
+        forked_wall / service_wall, 2
+    )
+    save(
+        "engine_concurrent_service",
+        "3 concurrent campaigns (28 points each), one store:\n"
+        f"  N forked pools: {forked_wall:.3f}s wall\n"
+        f"  one shared service pool: {service_wall:.3f}s wall\n"
+        f"  speedup: {forked_wall / service_wall:.2f}x",
+    )
 
 
 def test_store_gc_half_budget(benchmark, tmp_path):

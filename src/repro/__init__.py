@@ -15,10 +15,11 @@ The package provides:
 * :mod:`repro.machine` — a timed discrete-event machine model with
   network topologies (the paper's §9 future-work simulation);
 * :mod:`repro.backends` — the evaluation API: a frozen ``Scenario``
-  type, the ``EvalBackend`` protocol and registry, and the two
+  type, the ``EvalBackend`` protocol and registry, and the three
   built-in backends ("untimed" wraps the §6 simulator, "timed" wraps
-  the discrete-event machine) so every evaluator is sweepable through
-  one contract;
+  the discrete-event machine, "service" dispatches either through a
+  shared long-lived worker pool) so every evaluator is sweepable
+  through one contract;
 * :mod:`repro.hostproto` — the §5 host-processor re-initialisation
   protocol;
 * :mod:`repro.kernels` — Livermore Loops workloads (IR + NumPy

@@ -2,8 +2,10 @@
 
 The system has two ways to evaluate a trace under a machine scenario:
 the paper's untimed trace-driven simulator (§6-§7) and the timed
-discrete-event machine it sketches as future work (§9).  This package
-puts both — and any backend a user registers — behind one contract:
+discrete-event machine it sketches as future work (§9) — plus a third,
+*scheduling* backend that dispatches either of them through a shared
+long-lived worker pool.  This package puts all of them — and any
+backend a user registers — behind one contract:
 
 * :class:`~repro.backends.base.Scenario` — the frozen identity of an
   evaluation point (machine configuration + topology, cost-model
@@ -18,9 +20,17 @@ puts both — and any backend a user registers — behind one contract:
 * :func:`~repro.backends.base.evaluate_scenario` — the single counted
   evaluation path (mirrors the trace store's interpretation counter).
 
-Importing this package registers the two built-ins, ``"untimed"``
-(:class:`~repro.backends.untimed.UntimedBackend`) and ``"timed"``
-(:class:`~repro.backends.timed.TimedBackend`).
+Importing this package registers the three built-ins: ``"untimed"``
+(:class:`~repro.backends.untimed.UntimedBackend`), ``"timed"``
+(:class:`~repro.backends.timed.TimedBackend`) and ``"service"``
+(:class:`~repro.backends.service.ServiceBackend` — evaluations via the
+process-wide :class:`~repro.backends.service.EvalService`, a resident
+worker pool with a bounded queue that N concurrent campaigns share
+instead of forking a pool each; configure with
+:func:`~repro.backends.service.configure_service`).  The support
+matrix — which backend consumes which scenario knob — is documented
+in ``docs/backends.md``; unsupported combinations raise
+:class:`~repro.backends.base.UnsupportedScenarioError`.
 
 Quickstart::
 
@@ -45,6 +55,7 @@ from .base import (
     EvalBackend,
     EvalOutcome,
     Scenario,
+    UnsupportedScenarioError,
     backend_names,
     cost_model,
     cost_model_names,
@@ -54,6 +65,13 @@ from .base import (
     record_evaluations,
     register_backend,
 )
+from .service import (
+    EvalService,
+    ServiceBackend,
+    configure_service,
+    get_service,
+    shutdown_service,
+)
 from .timed import TimedBackend
 from .untimed import UntimedBackend
 
@@ -62,15 +80,21 @@ __all__ = [
     "MODES",
     "EvalBackend",
     "EvalOutcome",
+    "EvalService",
     "Scenario",
+    "ServiceBackend",
     "TimedBackend",
+    "UnsupportedScenarioError",
     "UntimedBackend",
     "backend_names",
+    "configure_service",
     "cost_model",
     "cost_model_names",
     "evaluate_scenario",
     "evaluation_count",
     "get_backend",
+    "get_service",
     "record_evaluations",
     "register_backend",
+    "shutdown_service",
 ]

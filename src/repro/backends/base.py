@@ -37,6 +37,7 @@ __all__ = [
     "EvalOutcome",
     "MODES",
     "Scenario",
+    "UnsupportedScenarioError",
     "backend_names",
     "cost_model",
     "cost_model_names",
@@ -46,6 +47,55 @@ __all__ = [
     "record_evaluations",
     "register_backend",
 ]
+
+
+class UnsupportedScenarioError(ValueError):
+    """A backend cannot model a scenario knob it was handed.
+
+    Raised by a backend's ``evaluate`` when the scenario requests
+    something outside the backend's modelling envelope — e.g. the
+    timed machine replaying ``reduction_strategy="subrange"`` (see the
+    support matrix in ``docs/backends.md``).  The message names the
+    backend, the knob and its value, plus the supported values when
+    the backend knows them, so a failure deep inside a worker still
+    says exactly which combination to change.  Subclasses
+    :class:`ValueError` for backward compatibility with callers that
+    catch broadly.
+
+    Campaign specs reject unsupported combinations at *construction*
+    (:class:`repro.engine.campaign.CampaignSpec` checks a backend's
+    ``supported_reductions``); this error is the backstop for
+    hand-built scenarios that bypass the spec validator.
+    """
+
+    def __init__(
+        self,
+        backend: str,
+        knob: str,
+        value: object,
+        supported: tuple | None = None,
+    ) -> None:
+        self.backend = backend
+        self.knob = knob
+        self.value = value
+        self.supported = tuple(supported) if supported is not None else None
+        message = (
+            f"backend {backend!r} does not support {knob}={value!r}"
+        )
+        if self.supported is not None:
+            message += f" (supported: {self.supported})"
+        super().__init__(message)
+
+    def __reduce__(self):
+        # Exceptions pickle by re-calling ``cls(*args)``; ours takes
+        # structured arguments, so spell them out — a worker-process
+        # failure must survive the trip back through the pool.
+        # ``type(self)``, not the base class, so subclasses raised in
+        # a worker are caught as themselves by the submitter.
+        return (
+            type(self),
+            (self.backend, self.knob, self.value, self.supported),
+        )
 
 # ---------------------------------------------------------------------------
 # cost-model presets
@@ -103,11 +153,14 @@ class Scenario:
     """One evaluation point: a machine configuration + backend knobs.
 
     The untimed backend reads only ``config``; the timed backend reads
-    all fields.  Fields the chosen backend does not consume should sit
-    at their defaults so a scenario's canonical form (and therefore
-    its cache key) is identical however it was built —
+    all fields; the service backend reads whatever its delegate reads.
+    Fields the chosen backend does not consume should sit at their
+    defaults so a scenario's canonical form (and therefore its cache
+    key) is identical however it was built —
     :class:`~repro.engine.campaign.CampaignSpec` enforces this for
-    every engine-built scenario.
+    every engine-built scenario.  ``backend`` is part of the canonical
+    form, so the same machine point evaluated under two backends has
+    two digests and two result-cache entries, by design.
     """
 
     config: MachineConfig
@@ -278,10 +331,22 @@ class EvalBackend(Protocol):
     rejects sweeps along axes a backend would silently ignore.
     ``result_schema`` names the scalar metric columns every outcome's
     ``metrics`` dict carries; ``table_metrics`` is the subset worth a
-    column in the CLI's record tables.  A backend may additionally
-    declare ``supported_reductions`` (a tuple of reduction-strategy
-    names) when it cannot model every strategy — campaign specs are
-    then rejected at construction instead of mid-run.
+    column in the CLI's record tables.
+
+    Two optional extensions refine the engine's behaviour:
+
+    * ``supported_reductions`` — a tuple of reduction-strategy names,
+      declared when the backend cannot model every strategy (the
+      timed machine models only ``"host"``); campaign specs are then
+      rejected at construction instead of mid-run, and ``evaluate``
+      raises :class:`UnsupportedScenarioError` for hand-built
+      scenarios that bypass the validator (full matrix in
+      ``docs/backends.md``);
+    * ``dispatch_jobs(jobs, traces, touch, trace_paths)`` — declared
+      by *dispatching* backends (the shared evaluation service): the
+      campaign executor hands such a backend its whole job list to
+      keep in flight at once, instead of forking a worker pool around
+      per-point ``evaluate`` calls.
     """
 
     name: str
@@ -315,6 +380,25 @@ def get_backend(name: str) -> EvalBackend:
 
 def backend_names() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
+
+
+def cache_identity_of(name: str) -> str:
+    """The namespace a backend's results are cached/claimed under.
+
+    Usually the backend name itself; a dispatching backend refines it
+    (the service reports ``"service:<delegate>"`` so cached physics
+    never survives a delegate switch).  Unregistered names fall back
+    to themselves, keeping keys computable for results that outlive
+    their backend registration.  The single definition both
+    :meth:`repro.engine.store.ResultKey.make` and the campaign
+    stream's identity-drift guard resolve through — they must always
+    agree.
+    """
+    try:
+        backend = get_backend(name)
+    except KeyError:
+        return name
+    return getattr(backend, "cache_identity", name)
 
 
 # ---------------------------------------------------------------------------

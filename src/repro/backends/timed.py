@@ -14,7 +14,12 @@ from __future__ import annotations
 
 from ..ir.trace import Trace
 from ..machine.msim import TimedMachine, serial_time
-from .base import EvalOutcome, Scenario, register_backend
+from .base import (
+    EvalOutcome,
+    Scenario,
+    UnsupportedScenarioError,
+    register_backend,
+)
 
 __all__ = ["TimedBackend"]
 
@@ -42,10 +47,12 @@ class TimedBackend:
     table_metrics: tuple[str, ...] = ("finish_time", "speedup")
 
     def evaluate(self, trace: Trace, scenario: Scenario) -> EvalOutcome:
-        if scenario.config.reduction_strategy != "host":
-            raise ValueError(
-                "the timed backend models only the 'host' reduction "
-                f"strategy, not {scenario.config.reduction_strategy!r}"
+        if scenario.config.reduction_strategy not in self.supported_reductions:
+            raise UnsupportedScenarioError(
+                self.name,
+                "reduction_strategy",
+                scenario.config.reduction_strategy,
+                supported=self.supported_reductions,
             )
         costs = scenario.costs
         machine = TimedMachine(

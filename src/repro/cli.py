@@ -12,6 +12,7 @@ Usage::
     python -m repro advise hydro_2d          # §9 partitioning advisor
     python -m repro store stats              # sharded store: sizes/counters
     python -m repro store gc --max-bytes 50000000   # evict to a budget
+    python -m repro serve --campaign a.json --campaign b.json  # shared pool
 
 The ``sweep`` subcommand runs on :mod:`repro.engine`: traces come from
 the persistent store (interpreted once per machine), results replay
@@ -22,7 +23,12 @@ discrete-event machine model (topologies × modes × cost models), and
 streaming progress line.  The ``store`` subcommand administers the
 sharded on-disk store: ``stats`` reports entry/byte counts per kind
 plus hit/miss/eviction counters, ``gc`` evicts least-recently-used
-entries (results before traces) down to a byte budget.
+entries (results before traces) down to a byte budget.  The ``serve``
+subcommand runs several campaigns *concurrently* against one
+long-lived evaluation service (``backend="service"``): a single
+resident worker pool with a bounded job queue serves every campaign —
+instead of one forked pool each — and a stats table shows what the
+sharing did (jobs, dedup hits, queue high-water).
 """
 
 from __future__ import annotations
@@ -266,6 +272,105 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run N campaigns concurrently over one shared evaluation service."""
+    import json as _json
+    import threading
+    from dataclasses import replace
+    from pathlib import Path
+
+    from .backends import configure_service, get_service
+    from .bench import render_table
+    from .engine import CampaignSpec, run_campaign
+
+    configure_service(
+        workers=args.workers,
+        queue_size=args.queue_size,
+        delegate=args.delegate,
+    )
+    specs = []
+    for path in args.campaign:
+        spec = CampaignSpec.load(path)
+        if spec.backend not in ("service", args.delegate):
+            # Never switch a campaign's physics silently: a spec that
+            # names a concrete backend is only routed through the
+            # service when the service delegates to that very backend.
+            raise ValueError(
+                f"campaign {spec.name!r} declares backend "
+                f"{spec.backend!r} but the service evaluates with "
+                f"--delegate {args.delegate!r}; pass --delegate "
+                f"{spec.backend!r} (or set the spec's backend to "
+                f"'service')"
+            )
+        if spec.backend != "service":
+            # The point of `serve` is the shared pool: route the
+            # campaign through the service backend (validation rejects
+            # specs whose axes the configured delegate cannot model).
+            spec = replace(spec, backend="service")
+        specs.append(spec)
+    results: dict[int, object] = {}
+    errors: list[tuple[str, BaseException]] = []
+
+    def drive(slot: int, spec: CampaignSpec) -> None:
+        try:
+            results[slot] = run_campaign(
+                spec, parallel=True, use_cache=not args.no_cache
+            )
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            errors.append((spec.name, exc))
+
+    threads = [
+        threading.Thread(target=drive, args=(slot, spec))
+        for slot, spec in enumerate(specs)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for name, exc in errors:
+        print(f"error in campaign {name!r}: {exc}", file=sys.stderr)
+    if errors:
+        return 1
+    rows = [
+        [
+            spec.name,
+            len(results[slot]),  # type: ignore[arg-type]
+            results[slot].executor,  # type: ignore[union-attr]
+            f"{results[slot].elapsed_s:.2f}s",  # type: ignore[union-attr]
+        ]
+        for slot, spec in enumerate(specs)
+    ]
+    print(
+        render_table(
+            ["campaign", "points", "executor", "wall"],
+            rows,
+            title=f"{len(specs)} campaigns over one evaluation service",
+        )
+    )
+    stats = get_service().stats()
+    print()
+    print(
+        render_table(
+            ["field", "value"],
+            [[key, stats[key]] for key in sorted(stats)],
+            title="service stats",
+        )
+    )
+    if args.json:
+        document = {
+            "service": stats,
+            "campaigns": [
+                results[slot].to_dict()  # type: ignore[union-attr]
+                for slot in range(len(specs))
+            ],
+        }
+        Path(args.json).write_text(
+            _json.dumps(document, indent=2) + "\n"
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
     from .core import advise
 
@@ -339,7 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument(
         "--backend",
         default="untimed",
-        help="evaluation backend (untimed, timed)",
+        help="evaluation backend (untimed, timed, service)",
     )
     swp.add_argument(
         "--pes", nargs="+", type=int, default=[1, 4, 8, 16, 32, 64]
@@ -433,6 +538,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="disk budget to enforce (default: the store's own budget)",
     )
     gc.set_defaults(fn=_cmd_store_gc)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run campaigns concurrently over one shared evaluation service",
+    )
+    serve.add_argument(
+        "--campaign",
+        metavar="FILE",
+        action="append",
+        required=True,
+        help="JSON campaign spec (repeat for concurrent campaigns)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="resident pool size (default: one per core; 0 = inline)",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=128,
+        help="bound on the service's admission queue",
+    )
+    serve.add_argument(
+        "--delegate",
+        default="untimed",
+        help="backend the service evaluates with (untimed, timed)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the store's result cache (force re-evaluation)",
+    )
+    serve.add_argument(
+        "--json",
+        metavar="OUT",
+        default=None,
+        help="write campaign results + service stats as JSON",
+    )
+    serve.set_defaults(fn=_cmd_serve)
 
     adv = sub.add_parser("advise", help="recommend scheme and page size (§9)")
     adv.add_argument("kernel")

@@ -17,7 +17,9 @@ paper's trace-once / sweep-many structure at scale:
   dispatches through the backend registry, with copy-on-write trace
   sharing, deterministic result ordering, a serial fallback, and
   streaming (:class:`~repro.engine.executor.CampaignStream`) for
-  progress on long sweeps;
+  progress on long sweeps; campaigns with ``backend="service"``
+  submit their whole grid to the process-wide resident worker pool
+  (:mod:`repro.backends.service`) instead of forking one;
 * :mod:`~repro.engine.results` — backend-tagged typed records with
   bit-exact comparison and JSON export.
 
@@ -63,6 +65,11 @@ directory and disk use stays bounded::
                              merged into the index (access times,
                              counters, worker evaluation counts) on
                              campaign completion
+    <root>/leases/*.json     cross-process claim leases (holder pid +
+                             expiry, heartbeat-renewed): independent
+                             processes sharing the root build every
+                             trace and result exactly once, and steal
+                             a crashed holder's lease after its TTL
 
 ``TraceStore(max_bytes=..., policy="lru")`` (or
 ``$REPRO_STORE_MAX_BYTES``) turns on eviction: ``store.gc()`` — also
@@ -85,6 +92,7 @@ from .executor import CampaignStream, default_workers, run_campaign, run_grid
 from .results import CampaignResult, EvalRecord
 from .store import (
     INDEX_FORMAT_VERSION,
+    LEASE_TTL_S,
     RESULT_FORMAT_VERSION,
     STORE_MAX_BYTES_ENV,
     TRACE_STORE_ENV,
@@ -107,6 +115,7 @@ __all__ = [
     "DEFAULT_PAGE_SIZES",
     "DEFAULT_PES",
     "INDEX_FORMAT_VERSION",
+    "LEASE_TTL_S",
     "RESULT_FORMAT_VERSION",
     "STORE_MAX_BYTES_ENV",
     "TRACE_STORE_ENV",

@@ -57,7 +57,7 @@ import warnings
 from itertools import count
 from typing import Iterator, Sequence
 
-from ..backends import EvalOutcome, Scenario, evaluate_scenario
+from ..backends import EvalOutcome, Scenario, evaluate_scenario, get_backend
 from ..backends.base import record_evaluations
 from ..core.simulator import MachineConfig
 from ..ir.trace import Trace
@@ -186,19 +186,65 @@ class _JobRunner:
         parallel: bool,
         workers: int | None,
         touch: tuple[str, str] | None = None,
+        trace_paths: dict[str, str] | None = None,
     ) -> None:
         self._jobs = jobs
         self._traces = traces
         self._touch = touch
-        self._parallel = parallel and len(jobs) >= 2
+        self._trace_paths = trace_paths or {}
+        # A dispatching backend (the shared evaluation service) takes
+        # whole job lists instead of having a pool forked around it:
+        # submitting through it is what lets N concurrent campaigns
+        # share one resident worker pool.  Dispatch applies only to a
+        # *homogeneous* job list — a dispatcher evaluates with one
+        # delegate, so handing it a mixed grid would silently swap
+        # physics, and sending service jobs into forked pool workers
+        # would spawn a nested service per worker.  Campaigns are
+        # homogeneous by construction; a mixed parallel run_grid must
+        # split (serially, mixed grids dispatch per scenario).
+        self._dispatcher = None
+        if jobs:
+            backends = {scenario.backend for _i, _l, _r, scenario in jobs}
+            dispatching = {
+                name
+                for name in backends
+                if hasattr(get_backend(name), "dispatch_jobs")
+            }
+            if dispatching and len(backends) > 1:
+                if parallel:
+                    raise ValueError(
+                        f"cannot mix dispatching backend(s) "
+                        f"{sorted(dispatching)} with other backends "
+                        f"{sorted(backends - dispatching)} in one "
+                        "parallel grid; run them as separate grids "
+                        "(or serially)"
+                    )
+            elif dispatching:
+                self._dispatcher = get_backend(next(iter(backends)))
+        #: dispatch the whole list at once (parallel) vs one job at a
+        #: time (serial pacing, but still through the resident pool so
+        #: traces ship by path instead of being pickled per job)
+        self._bulk_dispatch = parallel and self._dispatcher is not None
+        self._parallel = (
+            parallel and len(jobs) >= 2 and self._dispatcher is None
+        )
         self._workers = (
             min(workers or default_workers(), len(jobs))
             if self._parallel
             else 0
         )
-        self.description = (
-            f"parallel[{self._workers}]" if self._parallel else "serial"
-        )
+        if self._bulk_dispatch:
+            # dispatch_label is optional on the dispatching-backend
+            # extension; fall back to a generic tag for custom
+            # backends that only implement dispatch_jobs.
+            label = getattr(self._dispatcher, "dispatch_label", None)
+            self.description = (
+                label() if label else f"dispatch[{self._dispatcher.name}]"
+            )
+        else:
+            self.description = (
+                f"parallel[{self._workers}]" if self._parallel else "serial"
+            )
 
     def _serial(self) -> Iterator[tuple[int, EvalOutcome]]:
         for index, label, ref, scenario in self._jobs:
@@ -212,6 +258,27 @@ class _JobRunner:
             yield index, outcome
 
     def __iter__(self) -> Iterator[tuple[int, EvalOutcome]]:
+        if self._dispatcher is not None:
+            if self._bulk_dispatch:
+                yield from self._dispatcher.dispatch_jobs(
+                    self._jobs,
+                    self._traces,
+                    self._touch,
+                    trace_paths=self._trace_paths,
+                )
+            else:
+                # Serial pacing, same machinery: one job in flight at
+                # a time, but still through the dispatcher, so traces
+                # travel by artifact path and resident workers memoise
+                # them instead of unpickling the trace per point.
+                for job in self._jobs:
+                    yield from self._dispatcher.dispatch_jobs(
+                        [job],
+                        self._traces,
+                        self._touch,
+                        trace_paths=self._trace_paths,
+                    )
+            return
         if not self._parallel:
             yield from self._serial()
             return
@@ -312,11 +379,11 @@ class CampaignStream:
         pending: list[tuple[int, KernelSpec, Scenario]] = []
         for index, (kernel, scenario) in enumerate(self._points):
             if self._use_cache:
-                key = ResultKey(
-                    trace_digest=trace_keys[kernel.label].digest,
-                    scenario_digest=scenario.digest,
-                    backend=scenario.backend,
-                )
+                # ResultKey.make resolves the backend's *cache
+                # identity* (the service includes its delegate:
+                # "service:untimed"), so cached physics never
+                # survives a delegate switch.
+                key = ResultKey.make(trace_keys[kernel.label], scenario)
                 self._result_keys[index] = key
                 outcome = self._store.lookup_result(key)
                 if outcome is not None:
@@ -343,6 +410,7 @@ class CampaignStream:
         try:
             # Acquire traces only for kernels with work left to do.
             traces: dict[str, Trace] = {}
+            trace_paths: dict[str, str] = {}
             for kernel in spec.kernels:
                 if not any(k.label == kernel.label for _i, k, _s in pending):
                     continue
@@ -353,6 +421,12 @@ class CampaignStream:
                     store=self._store,
                 )
                 traces[kernel.label] = trace
+                # The artifact's on-disk path lets a dispatching
+                # backend (the shared service) hand jobs to resident
+                # workers without pickling the trace per job.
+                path = self._store._resolve(trace_keys[kernel.label])
+                if path.is_file():
+                    trace_paths[kernel.label] = str(path)
                 self.trace_meta[kernel.label] = {
                     "n_instances": trace.n_instances,
                     "n_reads": trace.n_reads,
@@ -374,6 +448,7 @@ class CampaignStream:
             parallel,
             workers,
             touch=(str(self._store.touch_dir), self._touch_tag),
+            trace_paths=trace_paths,
         )
         self._iterator = self._generate()
 
@@ -397,25 +472,66 @@ class CampaignStream:
         return EvalRecord(kernel=kernel, outcome=outcome, index=index)
 
     def _resolve_deferred(self, index: int, event) -> EvalOutcome:
-        """Replay a point a peer campaign claimed (compute if it died)."""
+        """Replay a point a peer campaign claimed (compute if it died).
+
+        The peer may be a thread of this process (``event`` is its
+        claim's :class:`threading.Event`) or another process entirely
+        (``event`` is a lease waiter polling the shared store root).
+        If the peer abandons the point — error, dropped stream, or a
+        crash that lets its lease lapse — this stream *re-claims* it
+        before evaluating locally, so several deferred campaigns
+        recovering from one dead peer still build the entry once.  A
+        peer that stays alive but wedged is only waited on for
+        ``_CLAIM_TIMEOUT_S`` in total: past that, this stream builds
+        the point without a claim (a redundant but benign evaluation —
+        identical content, atomically replaced) rather than blocking
+        the campaign forever.
+        """
         from .store import kernel_trace_cached
 
-        event.wait(timeout=_CLAIM_TIMEOUT_S)
         key = self._result_keys[index]
-        outcome = self._store.lookup_result(key)
-        if outcome is None:
-            # The peer abandoned its claim (error, or its stream was
-            # dropped un-iterated): fall back to evaluating locally.
-            kernel, scenario = self._points[index]
+        waiter = event
+        claimed = False
+        deadline = time.monotonic() + _CLAIM_TIMEOUT_S
+        while True:
+            waiter.wait(timeout=max(0.0, deadline - time.monotonic()))
+            outcome = self._store.lookup_result(key)
+            if outcome is not None:
+                return outcome
+            if time.monotonic() >= deadline:
+                break  # wedged-but-alive peer: stop deferring
+            claim = self._store.claim_result(key)
+            if claim is None:
+                # Our turn to build — unless the result landed between
+                # the miss and the claim.
+                outcome = self._store.lookup_result(key, count=False)
+                if outcome is not None:
+                    self._store.abandon_result_claim(key)
+                    return outcome
+                claimed = True
+                break
+            waiter = claim  # another peer took over; defer again
+        kernel, scenario = self._points[index]
+        try:
             trace = kernel_trace_cached(
                 kernel.name, n=kernel.n, seed=kernel.seed, store=self._store
             )
             outcome = evaluate_scenario(trace, scenario)
-            self._store.put_result(key, outcome)
+        except BaseException:
+            if claimed:
+                self._store.abandon_result_claim(key)
+            raise
+        self._store.put_result(key, outcome)
         return outcome
+
+    def _current_cache_identity(self) -> str:
+        from ..backends.base import cache_identity_of
+
+        return cache_identity_of(self.spec.backend)
 
     def _generate(self) -> Iterator[EvalRecord]:
         runner_iter = iter(self._runner)
+        identity_warned = False
         try:
             for index, outcome in self._cached:
                 record = self._record(index, outcome)
@@ -423,7 +539,27 @@ class CampaignStream:
                 yield record
             for index, outcome in runner_iter:
                 if self._use_cache:
-                    self._store.put_result(self._result_keys[index], outcome)
+                    key = self._result_keys[index]
+                    if key.backend == self._current_cache_identity():
+                        self._store.put_result(key, outcome)
+                    else:
+                        # The backend's cache identity drifted between
+                        # planning and execution (e.g. the service's
+                        # delegate was reconfigured mid-campaign):
+                        # caching under the planned key would file
+                        # this outcome's physics in the wrong
+                        # namespace, so drop the claim uncached.
+                        if not identity_warned:
+                            identity_warned = True
+                            warnings.warn(
+                                f"backend {self.spec.backend!r} changed "
+                                f"cache identity mid-campaign (planned "
+                                f"{key.backend!r}); results will not be "
+                                "cached",
+                                RuntimeWarning,
+                                stacklevel=2,
+                            )
+                        self._store.abandon_result_claim(key)
                     self._owned_claims.discard(index)
                 record = self._record(index, outcome)
                 self._records.append(record)
@@ -485,12 +621,17 @@ def run_campaign(
     Traces come from ``store`` (the default store when ``None``) —
     interpreted at most once per machine, then replayed from ``.npz``.
     Evaluations dispatch through the backend registry, so the same
-    call runs untimed and timed campaigns alike.  With ``use_cache``
-    (the default) previously-evaluated points replay from the store's
-    result cache without simulating, and points a concurrent campaign
-    has claimed are awaited rather than re-built.  ``stream=True``
-    returns a :class:`CampaignStream` yielding records as they
-    complete; otherwise records arrive assembled in the spec's
+    call runs untimed, timed and service campaigns alike; with
+    ``backend="service"`` the parallel path submits the grid to the
+    process-wide resident worker pool (shared by every concurrent
+    campaign) instead of forking a pool of its own.  With
+    ``use_cache`` (the default) previously-evaluated points replay
+    from the store's result cache without simulating, and points a
+    concurrent campaign has claimed — a thread of this process, or an
+    independent process holding a lock-file lease on the shared store
+    root — are awaited and replayed rather than re-built.
+    ``stream=True`` returns a :class:`CampaignStream` yielding records
+    as they complete; otherwise records arrive assembled in the spec's
     canonical order regardless of how the pool interleaved the work.
     """
     s = CampaignStream(

@@ -66,6 +66,18 @@ therefore shards::
   evaluation counts) when the campaign completes
   (:meth:`TraceStore.merge_touches`), so the index cannot be corrupted
   by concurrent writers.
+* **Claim leases** — in-process claims (threads, streams) coordinate
+  through :class:`threading.Event`; *cross-process* claims coordinate
+  through lock-file leases under ``leases/``: one small JSON file per
+  in-flight build recording the holder's pid, host and an expiry
+  timestamp.  A lease is published atomically (written to a temp file,
+  then hard-linked into place, so a reader can never observe a
+  half-written lease), renewed by a per-process heartbeat thread while
+  the claim is held, and *stolen* by a rival once it expires — or
+  immediately, when the holder's pid is provably dead on the same
+  host.  Two independent processes sharing one store root therefore
+  never build the same entry twice while the first builder is alive;
+  a crash mid-build delays rivals by at most ``lease_ttl_s``.
 * **Migration** — a legacy flat-layout store (traces at ``<root>/
   *.npz``, results at ``<root>/results/*.npz``) is migrated losslessly
   into the sharded layout the first time it is opened.
@@ -81,6 +93,7 @@ import hashlib
 import json
 import os
 import re
+import socket
 import tempfile
 import threading
 import time
@@ -100,6 +113,7 @@ from ..ir.trace import TRACE_FORMAT_VERSION, Trace
 
 __all__ = [
     "INDEX_FORMAT_VERSION",
+    "LEASE_TTL_S",
     "RESULT_FORMAT_VERSION",
     "STORE_MAX_BYTES_ENV",
     "TRACE_STORE_ENV",
@@ -133,10 +147,33 @@ _INDEX_NAME = "index.json"
 _TRACES_DIR = "traces"
 _RESULTS_DIR = "results"
 _TOUCH_DIR = "touch"
+_LEASES_DIR = "leases"
 
 #: How long a waiter blocks on another thread's in-flight build/claim
 #: before giving up and building the entry itself.
 _INFLIGHT_TIMEOUT_S = 120.0
+
+#: Default validity of a cross-process claim lease.  Held leases are
+#: renewed by a heartbeat thread every ``lease_ttl_s / 3``, so only a
+#: crashed (or wedged) holder ever lets one expire.
+LEASE_TTL_S = 30.0
+
+#: How often a cross-process lease waiter re-checks for the peer's
+#: result (or the lease's disappearance).
+_LEASE_POLL_S = 0.05
+
+_HOSTNAME = socket.gethostname() or "localhost"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness of a pid on *this* host."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True  # exists, owned by someone else (or unknowable)
+    return True
 
 
 def shard_of(digest: str) -> str:
@@ -246,9 +283,12 @@ class ResultKey:
 
     The trace digest already covers kernel identity, build parameters,
     trace format and package version; the scenario digest covers the
-    machine configuration and every backend knob.  Everything that can
-    change an outcome is in the address, so stale hits are impossible
-    within a package version.
+    machine configuration and every backend knob; ``backend`` is the
+    *cache identity* — usually the backend name, but a dispatching
+    backend refines it (the service caches under
+    ``"service:<delegate>"``, so cached physics never survives a
+    delegate switch).  Everything that can change an outcome is in the
+    address, so stale hits are impossible within a package version.
     """
 
     trace_digest: str
@@ -257,10 +297,17 @@ class ResultKey:
 
     @staticmethod
     def make(trace_key: "TraceKey", scenario: Scenario) -> "ResultKey":
+        """The canonical key of one evaluation point.
+
+        Resolves the scenario's backend to its cache identity through
+        :func:`repro.backends.base.cache_identity_of`.
+        """
+        from ..backends.base import cache_identity_of
+
         return ResultKey(
             trace_digest=trace_key.digest,
             scenario_digest=scenario.digest,
-            backend=scenario.backend,
+            backend=cache_identity_of(scenario.backend),
         )
 
     @property
@@ -465,6 +512,46 @@ _POLICIES: dict[str, Callable[[dict], object]] = {
 }
 
 
+class _LeaseWaiter:
+    """Cross-process analogue of an in-process claim's ``Event``.
+
+    Returned by :meth:`TraceStore.claim_result` (and the trace path)
+    when a *different process* holds the build lease for an entry.
+    ``wait`` polls until the satisfaction predicate fires (the peer's
+    artifact landed), the lease disappears or goes stale (the peer
+    released it, crashed, or let it expire — the caller should then
+    re-check and re-claim), or the timeout elapses.  Duck-types the
+    ``wait(timeout) -> bool`` half of :class:`threading.Event`, which
+    is all the claim protocol's waiters use.
+    """
+
+    def __init__(
+        self, store: "TraceStore", kind: str, ref: str,
+        satisfied: Callable[[], bool],
+    ) -> None:
+        self._store = store
+        self._kind = kind
+        self._ref = ref
+        self._satisfied = satisfied
+
+    def wait(self, timeout: float | None = None) -> bool:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._satisfied():
+                return True
+            if self._store.lease_holder(self._ref, kind=self._kind) is None:
+                # Released, stolen, expired or crashed: the caller's
+                # re-check decides whether to replay or rebuild.
+                return True
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                time.sleep(min(_LEASE_POLL_S, remaining))
+            else:
+                time.sleep(_LEASE_POLL_S)
+
+
 class TraceStore:
     """Sharded two-level (memory, disk) cache of traces and results.
 
@@ -485,6 +572,15 @@ class TraceStore:
     for any number of threads/streams in one process, while
     multiprocessing workers go through write-ahead touch files instead
     of the index.
+
+    Builds are additionally guarded *across processes* by lock-file
+    leases (see the module docstring): a process that wins the
+    in-process flight also takes a lease under ``leases/``, renewed by
+    a heartbeat thread until released; a process that finds a foreign
+    lease waits on a :class:`_LeaseWaiter` instead of building.
+    ``lease_ttl_s`` is the crash-recovery bound — how long a rival
+    waits before stealing a dead holder's lease (a holder whose pid is
+    provably dead on the same host is stolen from immediately).
     """
 
     def __init__(
@@ -493,6 +589,7 @@ class TraceStore:
         *,
         max_bytes: int | None = None,
         policy: str = "lru",
+        lease_ttl_s: float = LEASE_TTL_S,
     ) -> None:
         if policy not in _POLICIES:
             raise ValueError(
@@ -501,9 +598,12 @@ class TraceStore:
             )
         if max_bytes is not None and max_bytes < 0:
             raise ValueError("max_bytes must be non-negative")
+        if lease_ttl_s <= 0:
+            raise ValueError("lease_ttl_s must be positive")
         self.root = Path(root)
         self.max_bytes = max_bytes
         self.policy = policy
+        self.lease_ttl_s = lease_ttl_s
         self.counters = StoreCounters()
         #: where each result lookup was satisfied (mirrors ``counters``)
         self.result_counters = StoreCounters()
@@ -517,6 +617,15 @@ class TraceStore:
         self._pins: Counter[str] = Counter()
         #: single-flight builds/claims: "t:<ref>" / "r:<ref>" -> Event
         self._inflight: dict[str, threading.Event] = {}
+        #: cross-process leases this store currently holds: (kind, ref)
+        self._held_leases: set[tuple[str, str]] = set()
+        self._lease_thread: threading.Thread | None = None
+        #: whether unindexed shard artifacts have been adopted (once)
+        self._adopted = False
+        #: (inode, mtime, size) of the index as this process last
+        #: wrote it — flushes skip the cross-process merge parse when
+        #: the on-disk file is still our own snapshot
+        self._last_flush_stat: tuple[int, int, int] | None = None
 
     # -- paths -----------------------------------------------------------------
     @property
@@ -547,6 +656,7 @@ class TraceStore:
 
     def __len__(self) -> int:
         with self._lock:
+            self._adopt_unindexed()
             return sum(
                 1 for e in self._index().values() if e.get("kind") == "trace"
             )
@@ -580,6 +690,7 @@ class TraceStore:
             # disk until the first put.
             entries = self._scan_shards()
             self._dirty = had_index or bool(entries)
+            self._adopted = True  # the rebuild IS a full scan
         # Drop entries whose artifact vanished behind our back.
         for ref in [
             ref
@@ -594,6 +705,28 @@ class TraceStore:
         if self._dirty:
             self._flush_index()
         return entries
+
+    def _adopt_unindexed(self) -> None:
+        """Fold shard artifacts missing from the index back in (once).
+
+        A valid index can still under-report: an entry another process
+        indexed can lose a concurrent flush's rename race, and a crash
+        between artifact write and index flush leaves the file
+        unindexed.  Lookups recover per key (canonical-path adoption);
+        the paths that need *ground-truth totals* — ``len``, result
+        counts, ``stats``, GC budgets — call this instead.  One shard
+        walk per store instance, and only on those paths, so plain
+        lookup traffic never pays an O(artifacts) directory scan.
+        Locked by the caller.
+        """
+        if self._adopted:
+            return
+        self._adopted = True
+        entries = self._index()
+        for ref, entry in self._scan_shards().items():
+            if ref not in entries:
+                entries[ref] = entry
+                self._dirty = True
 
     def _scan_shards(self) -> dict[str, dict]:
         """Rebuild index entries from the shard directories."""
@@ -660,10 +793,46 @@ class TraceStore:
         return moved
 
     def _flush_index(self) -> None:
-        """Atomically persist the index (temp file + rename; locked)."""
+        """Atomically persist the index (temp file + rename; locked).
+
+        Flushes *merge* with the on-disk index first: another process
+        sharing this root may have indexed entries this process has
+        never seen, and publishing a raw snapshot of our in-memory map
+        would erase them (last-writer-wins).  Disk-only entries whose
+        artifact still exists are folded in before the rename; entries
+        evicted by GC or ``clear`` do not resurrect, because their
+        artifacts are gone.  A flush racing another process's flush
+        can still lose one entry in the rename window — the
+        ground-truth shard scan (:meth:`_adopt_unindexed`, run by
+        ``len``/``stats``/GC) and the per-lookup adoption path
+        re-index such survivors from their artifacts.
+        """
         if self._entries is None:
             return
         self.root.mkdir(parents=True, exist_ok=True)
+        # Skip the merge parse when the on-disk index is still this
+        # process's own last snapshot (inode/mtime/size unchanged):
+        # single-writer stores then never pay an extra O(entries)
+        # read per put; only an actual foreign write triggers it.
+        disk_stat = self._index_stat()
+        if disk_stat is not None and disk_stat != self._last_flush_stat:
+            try:
+                data = json.loads(self.index_path.read_text())
+                if (
+                    isinstance(data, dict)
+                    and data.get("index_format") == INDEX_FORMAT_VERSION
+                    and isinstance(data.get("entries"), dict)
+                ):
+                    for ref, entry in data["entries"].items():
+                        if (
+                            str(ref) in self._entries
+                            or not isinstance(entry, dict)
+                        ):
+                            continue
+                        if (self.root / entry.get("path", "")).is_file():
+                            self._entries[str(ref)] = dict(entry)
+            except (OSError, ValueError):
+                pass  # torn disk index: nothing to merge
         document = json.dumps(
             {
                 "index_format": INDEX_FORMAT_VERSION,
@@ -683,7 +852,16 @@ class TraceStore:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+        self._last_flush_stat = self._index_stat()
         self._dirty = False
+
+    def _index_stat(self) -> tuple[int, int, int] | None:
+        """Identity of the on-disk index file (inode, mtime, size)."""
+        try:
+            st = os.stat(self.index_path)
+        except OSError:
+            return None
+        return (st.st_ino, st.st_mtime_ns, st.st_size)
 
     def _record_entry(self, ref: str, kind: str, path: Path) -> None:
         """Index a just-written artifact and flush (locked by caller).
@@ -774,6 +952,281 @@ class TraceStore:
         if event is not None:
             event.set()
 
+    # -- cross-process claim leases --------------------------------------------
+    @property
+    def lease_dir(self) -> Path:
+        """Where cross-process claim leases live."""
+        return self.root / _LEASES_DIR
+
+    def _lease_path(self, kind: str, ref: str) -> Path:
+        return self.lease_dir / f"{kind[0]}-{ref}.json"
+
+    def _read_lease(self, path: Path) -> dict | None:
+        """The lease document, or ``None`` for absent/unreadable files.
+
+        Leases are published and renewed atomically (hard link /
+        rename), so an unreadable file is crash junk, never a healthy
+        lease caught mid-write.
+        """
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict):
+            return None
+        try:
+            return {
+                "pid": int(data["pid"]),
+                "host": str(data.get("host", "")),
+                "acquired": float(data.get("acquired", 0.0)),
+                "expires": float(data["expires"]),
+            }
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _lease_stale(self, info: dict) -> bool:
+        """Expired, or held by a pid that is dead on this host."""
+        if info["expires"] <= time.time():
+            return True
+        return info["host"] == _HOSTNAME and not _pid_alive(info["pid"])
+
+    def lease_holder(self, ref: str, *, kind: str = "result") -> dict | None:
+        """The *live* lease on an entry, or ``None``.
+
+        Stale leases (expired, or a same-host holder whose pid is
+        dead) read as ``None``: they are free to steal.
+        """
+        info = self._read_lease(self._lease_path(kind, ref))
+        if info is None or self._lease_stale(info):
+            return None
+        return info
+
+    def _write_lease_tmp(self) -> Path:
+        """A fully-written lease document in a temp file (atomic source)."""
+        self.lease_dir.mkdir(parents=True, exist_ok=True)
+        now = time.time()
+        document = json.dumps(
+            {
+                "pid": os.getpid(),
+                "host": _HOSTNAME,
+                "acquired": now,
+                "expires": now + self.lease_ttl_s,
+            }
+        )
+        fd, tmp = tempfile.mkstemp(dir=self.lease_dir, suffix=".tmp")
+        with os.fdopen(fd, "w") as fh:
+            fh.write(document + "\n")
+        return Path(tmp)
+
+    def acquire_lease(self, ref: str, *, kind: str = "result") -> bool:
+        """Take the cross-process build lease for an entry.
+
+        Returns ``True`` when this process now holds the lease (it is
+        renewed by the heartbeat until :meth:`release_lease`), ``False``
+        when another *live* process does.  Publication is atomic — the
+        document is written to a temp file and hard-linked into place,
+        so no reader ever sees a torn lease — and stale leases
+        (expired, or a provably-dead same-host holder) are stolen.
+        Stealing moves the observed stale lease *aside* with an atomic
+        rename before publishing a fresh one: of several rivals racing
+        the steal, exactly one wins the rename — the losers loop,
+        observe the winner's fresh lease, and back off.  Never two
+        holders.
+        """
+        path = self._lease_path(kind, ref)
+        for _attempt in range(8):
+            tmp = self._write_lease_tmp()
+            try:
+                os.link(tmp, path)
+            except FileExistsError:
+                info = self._read_lease(path)
+                if info is not None and not self._lease_stale(info):
+                    return False  # a live peer holds it
+                self._steal_stale_lease(path)
+                continue
+            except OSError:
+                # Filesystem without hard links: fall back to an
+                # exclusive create (tiny torn-read window, same steal
+                # protocol).
+                try:
+                    flags = os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                    fd = os.open(path, flags)
+                except FileExistsError:
+                    info = self._read_lease(path)
+                    if info is not None and not self._lease_stale(info):
+                        return False
+                    self._steal_stale_lease(path)
+                    continue
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(tmp.read_text())
+            finally:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
+            with self._lock:
+                self._held_leases.add((kind, ref))
+                self._ensure_lease_heartbeat()
+            return True
+        return False
+
+    def _steal_stale_lease(self, path: Path) -> None:
+        """Retire a stale lease atomically (rename aside, then delete).
+
+        A blind unlink would race rival stealers: the slower rival's
+        queued unlink could remove the *winner's* freshly published
+        lease, yielding two holders.  Instead the lease is re-judged
+        immediately before an atomic ``os.rename`` aside — a fresh
+        lease that appeared since the caller's check is left alone,
+        and of several rivals racing the rename exactly one wins
+        while the losers loop and observe the winner's new lease.
+        The re-judge→rename gap is the residual window; a rival that
+        loses it re-publishes over nothing (the path is empty), so
+        the worst case is one redundant, atomically-replaced build —
+        never a torn artifact or a lost fresh lease outside that
+        microsecond window.
+        """
+        info = self._read_lease(path)
+        if info is not None and not self._lease_stale(info):
+            return  # a fresh lease appeared since we judged: back off
+        aside = path.parent / (
+            f"{path.name}.stale-{os.getpid()}-{time.monotonic_ns()}"
+        )
+        try:
+            os.rename(path, aside)
+        except OSError:
+            return  # another stealer won the rename; back off
+        with contextlib.suppress(OSError):
+            os.unlink(aside)
+
+    def release_lease(self, ref: str, *, kind: str = "result") -> None:
+        """Drop a lease *if this store acquired it* (no-op otherwise).
+
+        Membership in the held set is checked first — a pid match
+        alone is not ownership, because another thread (or another
+        ``TraceStore`` instance) of this same process may be the one
+        actually holding the lease, and its build must stay protected.
+        """
+        with self._lock:
+            if (kind, ref) not in self._held_leases:
+                return
+            self._held_leases.discard((kind, ref))
+        path = self._lease_path(kind, ref)
+        info = self._read_lease(path)
+        if info is None:
+            return
+        if info["pid"] == os.getpid() and info["host"] == _HOSTNAME:
+            with contextlib.suppress(OSError):
+                os.unlink(path)
+
+    def _ensure_lease_heartbeat(self) -> None:
+        """Start the renewal thread if it is not running (locked)."""
+        if self._lease_thread is None or not self._lease_thread.is_alive():
+            self._lease_thread = threading.Thread(
+                target=self._lease_heartbeat,
+                name="repro-lease-heartbeat",
+                daemon=True,
+            )
+            self._lease_thread.start()
+
+    def _lease_heartbeat(self) -> None:
+        """Renew every held lease; exits once none are held.
+
+        A crash kills this thread with the process, the renewals stop,
+        and rivals steal the leases after ``lease_ttl_s`` — the lease
+        *is* the holder's liveness signal.
+        """
+        interval = min(max(self.lease_ttl_s / 3.0, 0.02), 10.0)
+        while True:
+            time.sleep(interval)
+            with self._lock:
+                held = list(self._held_leases)
+                if not held:
+                    self._lease_thread = None
+                    return
+            for kind, ref in held:
+                self._renew_lease(kind, ref)
+
+    def _renew_lease(self, kind: str, ref: str) -> None:
+        """Push a held lease's expiry forward (atomic replace)."""
+        path = self._lease_path(kind, ref)
+        info = self._read_lease(path)
+        if info is None or info["pid"] != os.getpid() or info["host"] != _HOSTNAME:
+            # Lost it (stolen after a stall, or released concurrently):
+            # stop renewing — never clobber the new holder.
+            with self._lock:
+                self._held_leases.discard((kind, ref))
+            return
+        if info["expires"] <= time.time():
+            # Our own lease already expired (this heartbeat stalled
+            # past the TTL): a rival is entitled to steal it at any
+            # moment, so renewing now could overwrite the rival's
+            # fresh lease.  Treat the lease as lost instead — the
+            # in-flight build continues unprotected and the worst
+            # case is one redundant, atomically-replaced evaluation.
+            with self._lock:
+                self._held_leases.discard((kind, ref))
+            return
+        if info["expires"] - time.time() > self.lease_ttl_s * (2.0 / 3.0):
+            # Freshly acquired or just renewed: skip the rewrite.
+            # Renewal I/O is O(held leases) per tick — a campaign
+            # claims its whole grid up front — so every skipped
+            # rewrite matters on big grids and slow roots.
+            return
+        try:
+            tmp = self._write_lease_tmp()
+        except OSError:
+            return  # renewal is advisory; the next tick retries
+        try:
+            os.replace(tmp, path)
+        except OSError:
+            # Failed renewals must not litter leases/ with temp files.
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+
+    def active_leases(self) -> int:
+        """How many live (unexpired) leases exist under this root.
+
+        Takes no store lock — only lease files are read — so it is
+        safe to call from observability paths without stalling
+        concurrent lookups and puts.
+        """
+        if not self.lease_dir.is_dir():
+            return 0
+        count = 0
+        for path in self.lease_dir.glob("*-*.json"):
+            info = self._read_lease(path)
+            if info is not None and not self._lease_stale(info):
+                count += 1
+        return count
+
+    def sweep_stale_leases(self) -> int:
+        """Remove stale lease files (and rename-aside leftovers).
+
+        A campaign killed mid-grid leaves one lease file per claimed
+        point that nothing else revisits unless the exact ref is
+        re-claimed; this sweep — run by every :meth:`gc` pass —
+        retires them through the same judge-then-rename-aside protocol
+        stealing uses, so a live holder is never touched.  Returns how
+        many lease files were retired.
+        """
+        if not self.lease_dir.is_dir():
+            return 0
+        swept = 0
+        for path in self.lease_dir.glob("*-*.json"):
+            info = self._read_lease(path)
+            if info is not None and not self._lease_stale(info):
+                continue
+            self._steal_stale_lease(path)
+            swept += 1
+        # Rename-aside leftovers (an unlink that failed mid-steal) are
+        # plain junk once they have sat for a while.
+        for path in self.lease_dir.glob("*.stale-*"):
+            try:
+                if time.time() - path.stat().st_mtime > 60.0:
+                    path.unlink(missing_ok=True)
+            except OSError:
+                continue
+        return swept
+
     # -- trace access ----------------------------------------------------------
     def _resolve(self, key: TraceKey) -> Path:
         """The entry's actual path: index first, canonical otherwise."""
@@ -814,12 +1267,21 @@ class TraceStore:
     def get(self, key: TraceKey, builder: Callable[[], Trace]) -> Trace:
         """Memory → disk → ``builder()`` (which is then persisted).
 
-        Builds are single-flighted per key: when several threads miss
-        on the same entry simultaneously, exactly one invokes the
-        builder and the rest wait for its ``put`` — never two
-        interpreter runs for one trace.
+        Builds are single-flighted per key — *within* this process by
+        a claim event (several threads missing simultaneously produce
+        exactly one builder call), and *across* processes by a
+        lock-file lease: a process that finds a foreign lease waits
+        for the peer's artifact to land instead of interpreting the
+        same trace twice.  Never two interpreter runs for one trace,
+        however many campaigns share the root — with one bounded
+        exception: a foreign holder that stays alive (lease renewed)
+        but never delivers is only deferred to for
+        ``_INFLIGHT_TIMEOUT_S`` in total, after which this process
+        interprets the trace itself rather than hanging forever (a
+        redundant but benign build; ``put`` replaces atomically).
         """
         token = f"t:{key.ref}"
+        defer_deadline = time.monotonic() + _INFLIGHT_TIMEOUT_S
         while True:
             with self._lock:
                 trace = self._memory.get(key)
@@ -835,21 +1297,47 @@ class TraceStore:
                 return trace
             event = self._begin_flight(token)
             if event is None:
-                break  # won the build slot
+                if self.acquire_lease(key.ref, kind="trace"):
+                    break  # won the build slot, in-process and across
+                if time.monotonic() >= defer_deadline:
+                    # The foreign holder is alive (its lease keeps
+                    # renewing) but has not delivered: build without
+                    # the lease rather than deferring forever.
+                    break
+                # A peer *process* is interpreting this trace: release
+                # the local slot (threads behind us re-enter the loop)
+                # and wait for the peer's artifact before re-checking.
+                self._end_flight(token)
+                _LeaseWaiter(
+                    self, "trace", key.ref,
+                    lambda: self._resolve(key).is_file(),
+                ).wait(
+                    max(0.1, defer_deadline - time.monotonic())
+                )
+                continue
             if not event.wait(timeout=_INFLIGHT_TIMEOUT_S):
                 # The owner looks wedged: take the slot over rather
                 # than waiting forever.
                 if self._steal_flight(token, event):
                     break
         # We own the flight — but a rival may have finished (built,
-        # put, released) between our miss and the claim.  Re-check
-        # memory before interpreting twice.
+        # put, released) between our miss and the claim: a thread of
+        # this process (check memory) or another process entirely
+        # (check disk — its artifact landed before its lease was
+        # released).  Re-check both before interpreting twice.
         with self._lock:
             trace = self._memory.get(key)
             if trace is not None:
                 self.counters.memory_hits += 1
                 self._touch_entry(key.ref)
+        if trace is None:
+            trace = self.load(key)
+            if trace is not None:
+                with self._lock:
+                    self.counters.disk_hits += 1
+                    self._memory[key] = trace
         if trace is not None:
+            self.release_lease(key.ref, kind="trace")
             self._end_flight(token)
             return trace
         try:
@@ -859,11 +1347,13 @@ class TraceStore:
             self.put(key, trace)
             return trace
         finally:
+            self.release_lease(key.ref, kind="trace")
             self._end_flight(token)
 
     # -- result cache ----------------------------------------------------------
     def n_results(self) -> int:
         with self._lock:
+            self._adopt_unindexed()
             return sum(
                 1 for e in self._index().values() if e.get("kind") == "result"
             )
@@ -913,19 +1403,36 @@ class TraceStore:
                 self.result_counters.misses += 1
             return None
 
-    def claim_result(self, key: ResultKey) -> threading.Event | None:
+    def claim_result(self, key: ResultKey) -> threading.Event | _LeaseWaiter | None:
         """Announce an intent to compute a missing result.
 
         Returns ``None`` when the caller now owns the claim (it must
         eventually :meth:`put_result` or :meth:`abandon_result_claim`),
-        or the owning computation's :class:`~threading.Event` to wait
-        on.  This is what lets two concurrent campaigns over one store
-        evaluate every shared point exactly once.
+        or something to ``wait(timeout)`` on: the owning computation's
+        :class:`~threading.Event` when the owner is a thread of this
+        process, a :class:`_LeaseWaiter` when the owner is *another
+        process* holding the entry's lock-file lease.  Either way two
+        concurrent campaigns over one store root — threads or
+        independent processes — evaluate every shared point exactly
+        once while the owner is alive.
         """
-        return self._begin_flight(f"r:{key.ref}")
+        token = f"r:{key.ref}"
+        event = self._begin_flight(token)
+        if event is not None:
+            return event
+        if self.acquire_lease(key.ref):
+            return None  # full owner: in-process flight + lease
+        # A peer process claimed this point first: hand the local slot
+        # back (other threads will reach this same waiter) and defer.
+        self._end_flight(token)
+        return _LeaseWaiter(
+            self, "result", key.ref,
+            lambda: self._resolve_result(key).is_file(),
+        )
 
     def abandon_result_claim(self, key: ResultKey) -> None:
         """Release a claim without a result (waiters wake and recompute)."""
+        self.release_lease(key.ref)
         self._end_flight(f"r:{key.ref}")
 
     def put_result(self, key: ResultKey, outcome: EvalOutcome) -> Path:
@@ -935,6 +1442,7 @@ class TraceStore:
         with self._lock:
             self._record_entry(key.ref, "result", path)
             self._auto_gc()
+        self.release_lease(key.ref)
         self._end_flight(f"r:{key.ref}")  # wake any claim waiters
         return path
 
@@ -944,8 +1452,14 @@ class TraceStore:
         """Memory → disk → ``compute()`` (which is then persisted).
 
         Single-flighted like :meth:`get`: concurrent callers for one
-        key produce exactly one computation.
+        key produce exactly one computation — and, like :meth:`get`,
+        total deferral to a live-but-wedged foreign lease holder is
+        capped at ``_INFLIGHT_TIMEOUT_S``, after which the result is
+        computed without a claim (benign duplicate, atomic replace)
+        rather than waiting forever.
         """
+        claimed = False
+        defer_deadline = time.monotonic() + _INFLIGHT_TIMEOUT_S
         while True:
             outcome = self.lookup_result(key)
             if outcome is not None:
@@ -958,8 +1472,17 @@ class TraceStore:
                 if outcome is not None:
                     self.abandon_result_claim(key)
                     return outcome
+                claimed = True
                 break
-            if not event.wait(timeout=_INFLIGHT_TIMEOUT_S):
+            if time.monotonic() >= defer_deadline:
+                # A foreign holder kept its lease alive the whole time
+                # without delivering (a _LeaseWaiter can never be
+                # stolen through the in-process flight table): stop
+                # deferring and compute without the claim.
+                break
+            if not event.wait(
+                timeout=max(0.0, defer_deadline - time.monotonic())
+            ):
                 # The owner looks wedged: take the claim over (the
                 # loop's lookup still prefers a late-but-landed
                 # result over recomputing).
@@ -968,13 +1491,15 @@ class TraceStore:
                     if outcome is not None:
                         self.abandon_result_claim(key)
                         return outcome
+                    claimed = True
                     break
         try:
             outcome = compute()
             self.put_result(key, outcome)
             return outcome
         finally:
-            self.abandon_result_claim(key)
+            if claimed:
+                self.abandon_result_claim(key)
 
     # -- write-ahead touch merging ---------------------------------------------
     def merge_touches(
@@ -1035,16 +1560,25 @@ class TraceStore:
     # -- garbage collection ----------------------------------------------------
     def total_bytes(self) -> int:
         with self._lock:
+            self._adopt_unindexed()
             return sum(e.get("bytes", 0) for e in self._index().values())
 
     def _auto_gc(self) -> None:
-        """Enforce the construction-time budget after a put (locked)."""
+        """Enforce the construction-time budget after a put (locked).
+
+        Skips the stale-lease sweep: this path runs *inside* the store
+        lock, and the sweep is directory I/O that must never stall
+        concurrent lookups/puts (explicit ``gc()`` calls, which enter
+        unlocked, do sweep).
+        """
         if self.max_bytes is None:
             return
         if sum(e.get("bytes", 0) for e in self._index().values()) > self.max_bytes:
-            self.gc()
+            self.gc(sweep_leases=False)
 
-    def gc(self, max_bytes: int | None = None) -> GCReport:
+    def gc(
+        self, max_bytes: int | None = None, *, sweep_leases: bool = True
+    ) -> GCReport:
         """Evict entries until the store fits its disk budget.
 
         Eviction order is **results first, then traces** (results are
@@ -1055,9 +1589,16 @@ class TraceStore:
         ``max_bytes`` — and entries pinned by an in-flight reader are
         skipped even if that leaves the store over budget.  With no
         budget (neither argument nor construction-time) it is a no-op
-        that reports the current size.
+        that reports the current size.  Explicit passes also sweep
+        stale lease files (crashed campaigns leave one per claimed
+        point) — before taking the store lock, because the sweep is
+        pure directory I/O; the auto-GC path, which enters with the
+        lock already held, skips it.
         """
+        if sweep_leases:
+            self.sweep_stale_leases()
         with self._lock:
+            self._adopt_unindexed()
             entries = self._index()
             budget = self.max_bytes if max_bytes is None else max_bytes
             total = sum(e.get("bytes", 0) for e in entries.values())
@@ -1110,7 +1651,12 @@ class TraceStore:
     # -- observability ---------------------------------------------------------
     def stats(self) -> dict[str, object]:
         """One JSON-friendly snapshot of layout, sizes and counters."""
+        # Lease files are read without the store lock: the scan is
+        # pure file I/O, and holding the lock through it would stall
+        # every concurrent lookup/put for the duration.
+        active = self.active_leases()
         with self._lock:
+            self._adopt_unindexed()
             entries = self._index()
             by_kind: dict[str, dict[str, int]] = {
                 "trace": {"entries": 0, "bytes": 0},
@@ -1141,6 +1687,7 @@ class TraceStore:
                 ),
                 "shards": len(shards),
                 "pending_touch_files": pending,
+                "active_leases": active,
                 "trace_counters": self.counters.as_dict(),
                 "result_counters": self.result_counters.as_dict(),
             }
@@ -1161,6 +1708,10 @@ class TraceStore:
             entries.clear()
             if self.touch_dir.is_dir():
                 for path in self.touch_dir.glob("*.jsonl"):
+                    path.unlink(missing_ok=True)
+            if self.lease_dir.is_dir():
+                self._held_leases.clear()
+                for path in self.lease_dir.glob("*-*.json"):
                     path.unlink(missing_ok=True)
             self._flush_index()
 

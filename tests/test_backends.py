@@ -10,6 +10,7 @@ import pytest
 from repro.backends import (
     EvalOutcome,
     Scenario,
+    UnsupportedScenarioError,
     backend_names,
     cost_model,
     cost_model_names,
@@ -28,10 +29,15 @@ def config(**kwargs) -> MachineConfig:
     return MachineConfig(**base)
 
 
+class _KnobError(UnsupportedScenarioError):
+    """Module-level subclass: pickled by reference in the test below."""
+
+
 class TestRegistry:
     def test_builtins_registered(self):
-        assert backend_names() == ("timed", "untimed")
+        assert backend_names() == ("service", "timed", "untimed")
         assert get_backend("untimed").name == "untimed"
+        assert get_backend("service").name == "service"
         assert get_backend("timed").scenario_axes == (
             "topologies",
             "modes",
@@ -226,6 +232,36 @@ class TestTimedBackend:
         )
         with pytest.raises(ValueError, match="host"):
             evaluate_scenario(hydro_trace, scenario)
+
+    def test_unsupported_scenario_error_names_backend_and_knob(
+        self, hydro_trace
+    ):
+        """The satellite fix: not a bare ValueError but a structured,
+        picklable error naming the backend, the knob and its value."""
+        import pickle
+
+        from repro.backends import UnsupportedScenarioError
+
+        scenario = Scenario(
+            config=config(reduction_strategy="subrange"), backend="timed"
+        )
+        with pytest.raises(UnsupportedScenarioError) as excinfo:
+            evaluate_scenario(hydro_trace, scenario)
+        error = excinfo.value
+        assert error.backend == "timed"
+        assert error.knob == "reduction_strategy"
+        assert error.value == "subrange"
+        assert error.supported == ("host",)
+        assert "timed" in str(error) and "subrange" in str(error)
+        # Must survive the pool-worker pickle round trip intact.
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, UnsupportedScenarioError)
+        assert (clone.backend, clone.knob, clone.value, clone.supported) == (
+            "timed", "reduction_strategy", "subrange", ("host",)
+        )
+        # Subclasses keep their identity across the round trip too.
+        sub = pickle.loads(pickle.dumps(_KnobError("b", "k", "v")))
+        assert type(sub) is _KnobError
 
     @pytest.mark.parametrize("mode", ["blocking", "multithreaded"])
     def test_counters_bit_identical_to_untimed_without_cache(

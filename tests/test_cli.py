@@ -23,8 +23,14 @@ class TestParser:
             ["classify", "hydro_fragment"],
             ["sweep", "iccg", "--pes", "4", "8"],
             ["advise", "hydro_2d"],
+            ["serve", "--campaign", "spec.json"],
+            ["store", "stats"],
         ):
             assert parser.parse_args(argv).fn is not None
+
+    def test_serve_requires_a_campaign(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
 
 
 class TestCommands:
@@ -133,6 +139,127 @@ class TestCommands:
     def test_sweep_unknown_backend(self, capsys):
         assert main(["sweep", "iccg", "--backend", "quantum"]) == 2
         assert "unknown backend" in capsys.readouterr().err
+
+    def test_sweep_service_backend(self, capsys):
+        from repro.backends import configure_service, shutdown_service
+
+        shutdown_service()
+        configure_service(workers=0)  # inline: no pool in the CLI test
+        try:
+            assert (
+                main(
+                    [
+                        "sweep", "first_diff", "--n", "200",
+                        "--backend", "service",
+                        "--pes", "1", "2", "--page-sizes", "32",
+                        "--parallel",
+                    ]
+                )
+                == 0
+            )
+            assert "first_diff" in capsys.readouterr().out
+        finally:
+            shutdown_service()
+            configure_service()
+
+    def _write_spec(self, path, name, pes):
+        path.write_text(
+            json.dumps(
+                {
+                    "name": name,
+                    "kernels": [{"name": "first_diff", "n": 96}],
+                    "pes": pes,
+                    "page_sizes": [16],
+                    "cache_elems": [0, 64],
+                }
+            )
+        )
+
+    def test_serve_runs_campaigns_over_one_service(self, capsys, tmp_path):
+        from repro.backends import configure_service, shutdown_service
+
+        shutdown_service()
+        try:
+            spec_a, spec_b = tmp_path / "a.json", tmp_path / "b.json"
+            self._write_spec(spec_a, "serve-a", [1, 2])
+            self._write_spec(spec_b, "serve-b", [2, 4])
+            out_path = tmp_path / "serve.json"
+            assert (
+                main(
+                    [
+                        "serve",
+                        "--campaign", str(spec_a),
+                        "--campaign", str(spec_b),
+                        "--workers", "0",
+                        "--json", str(out_path),
+                    ]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            assert "campaigns over one evaluation service" in out
+            assert "service stats" in out
+            document = json.loads(out_path.read_text())
+            assert len(document["campaigns"]) == 2
+            assert document["service"]["completed"] >= 1
+            for campaign in document["campaigns"]:
+                assert campaign["backend"] == "service"
+        finally:
+            shutdown_service()
+            configure_service()
+
+    def test_serve_refuses_to_switch_a_specs_physics(self, capsys, tmp_path):
+        """A spec that names a concrete backend is only served when
+        the delegate matches — never silently re-evaluated elsewhere."""
+        from repro.backends import configure_service, shutdown_service
+
+        spec = tmp_path / "timed.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "name": "serve-timed",
+                    "backend": "timed",
+                    "kernels": [{"name": "first_diff", "n": 96}],
+                    "pes": [2],
+                    "page_sizes": [32],
+                    "cache_elems": [64],
+                }
+            )
+        )
+        try:
+            # Default delegate is 'untimed': refusing beats silently
+            # evaluating a timed spec on the untimed simulator.
+            assert main(["serve", "--campaign", str(spec)]) == 2
+            err = capsys.readouterr().err
+            assert "timed" in err and "--delegate" in err
+            # With the matching delegate the same spec is served.
+            assert (
+                main(
+                    [
+                        "serve", "--campaign", str(spec),
+                        "--delegate", "timed", "--workers", "0",
+                    ]
+                )
+                == 0
+            )
+        finally:
+            shutdown_service()
+            configure_service()
+
+    def test_serve_rejects_a_bad_delegate(self, capsys, tmp_path):
+        from repro.backends import configure_service, shutdown_service
+
+        spec = tmp_path / "a.json"
+        self._write_spec(spec, "serve-x", [1])
+        assert (
+            main(
+                ["serve", "--campaign", str(spec), "--delegate", "quantum"]
+            )
+            == 2
+        )
+        assert "unknown backend" in capsys.readouterr().err
+        shutdown_service()
+        configure_service()
 
     def test_advise(self, capsys):
         assert main(["advise", "first_diff", "--n", "300"]) == 0

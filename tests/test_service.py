@@ -1,0 +1,394 @@
+"""The shared evaluation service: one resident pool, many campaigns.
+
+The tentpole contracts of ``backend="service"``:
+
+* the service is a *facade* — scenario axes, result schema and
+  reduction support are the delegate's, and outcomes are bit-identical
+  to evaluating on the delegate directly;
+* N concurrent campaigns share **one** worker pool (``pool_launches``
+  stays at 1) with exactly-once evaluation, asserted through the
+  process evaluation counter and the store's entry counts;
+* the admission queue is bounded — a grid larger than the queue still
+  completes, it just trickles in;
+* errors raised inside resident workers (including
+  :class:`UnsupportedScenarioError`) survive the trip back with their
+  structured fields intact.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    Scenario,
+    UnsupportedScenarioError,
+    backend_names,
+    configure_service,
+    evaluate_scenario,
+    evaluation_count,
+    get_backend,
+    get_service,
+    shutdown_service,
+)
+from repro.core import MachineConfig
+from repro.engine import (
+    CampaignSpec,
+    KernelSpec,
+    ResultKey,
+    TraceStore,
+    kernel_trace_key,
+    run_campaign,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_service():
+    """Each test starts (and leaves) the service unconfigured."""
+    shutdown_service()
+    yield
+    shutdown_service()
+    configure_service()  # restore the defaults for later test modules
+
+
+def small_spec(name: str = "svc", pes=(1, 2)) -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        backend="service",
+        kernels=(KernelSpec("first_diff", n=96),),
+        pes=pes,
+        page_sizes=(16,),
+        cache_elems=(0, 64),
+    )
+
+
+def unique_points(*specs: CampaignSpec) -> set[ResultKey]:
+    keys = set()
+    for spec in specs:
+        for kernel, scenario in spec.points():
+            keys.add(
+                ResultKey(
+                    trace_digest=kernel_trace_key(
+                        kernel.name, n=kernel.n, seed=kernel.seed
+                    ).digest,
+                    scenario_digest=scenario.digest,
+                    backend=scenario.backend,
+                )
+            )
+    return keys
+
+
+class TestFacade:
+    def test_registered(self):
+        assert "service" in backend_names()
+        assert get_backend("service").name == "service"
+
+    def test_axes_and_schema_follow_the_delegate(self):
+        service = get_backend("service")
+        untimed = get_backend("untimed")
+        assert service.scenario_axes == untimed.scenario_axes
+        assert service.result_schema == untimed.result_schema
+        assert service.supported_reductions is None
+
+        configure_service(delegate="timed")
+        timed = get_backend("timed")
+        assert service.scenario_axes == timed.scenario_axes
+        assert service.result_schema == timed.result_schema
+        assert service.supported_reductions == timed.supported_reductions
+
+    def test_spec_validation_uses_the_delegates_axes(self):
+        # The untimed delegate consumes no topology axis: sweeping it
+        # through the service is rejected exactly as on untimed.
+        with pytest.raises(ValueError, match="not used by backend"):
+            CampaignSpec(
+                name="x", kernels=("iccg",), backend="service",
+                topologies=("mesh", "torus"),
+            )
+        configure_service(delegate="timed", workers=0)
+        CampaignSpec(
+            name="x", kernels=("iccg",), backend="service",
+            topologies=("mesh", "torus"),
+        )
+
+    def test_delegate_validation(self):
+        with pytest.raises(ValueError, match="delegate to itself"):
+            configure_service(delegate="service")
+        with pytest.raises(KeyError, match="unknown backend"):
+            configure_service(delegate="wormhole")
+        with pytest.raises(ValueError, match="workers"):
+            configure_service(workers=-1)
+        with pytest.raises(ValueError, match="queue_size"):
+            configure_service(queue_size=0)
+
+    def test_outcomes_identical_to_the_delegate(self, hydro_trace):
+        configure_service(workers=0)  # inline: physics, not scheduling
+        config = MachineConfig(n_pes=4, page_size=32, cache_elems=64)
+        via_service = evaluate_scenario(
+            hydro_trace, Scenario(config=config, backend="service")
+        )
+        direct = evaluate_scenario(
+            hydro_trace, Scenario(config=config, backend="untimed")
+        )
+        assert via_service.backend == "service"
+        assert np.array_equal(via_service.stats.counts, direct.stats.counts)
+        assert via_service.metrics == direct.metrics
+        for name in direct.per_pe:
+            assert np.array_equal(
+                via_service.per_pe[name], direct.per_pe[name]
+            )
+
+    def test_unsupported_scenario_error_crosses_the_service(
+        self, hydro_trace
+    ):
+        configure_service(delegate="timed", workers=1)
+        scenario = Scenario(
+            config=MachineConfig(
+                n_pes=2, page_size=32, reduction_strategy="subrange"
+            ),
+            backend="service",
+        )
+        with pytest.raises(UnsupportedScenarioError) as excinfo:
+            get_backend("service").evaluate(hydro_trace, scenario)
+        # The structured fields survived the worker → parent pickle.
+        assert excinfo.value.backend == "timed"
+        assert excinfo.value.knob == "reduction_strategy"
+        assert excinfo.value.value == "subrange"
+        assert excinfo.value.supported == ("host",)
+
+
+class TestSharedPool:
+    def test_two_concurrent_campaigns_share_one_pool_exactly_once(
+        self, tmp_path
+    ):
+        """The acceptance criterion: two campaigns, one resident pool,
+        every unique point evaluated exactly once (store counters)."""
+        configure_service(workers=1)
+        store = TraceStore(tmp_path / "store")
+        specs = {
+            "a": small_spec("svc-a", pes=(1, 2, 4)),
+            "b": small_spec("svc-b", pes=(2, 4, 8)),
+        }
+        expected = unique_points(*specs.values())
+        before = evaluation_count()
+        results: dict[str, object] = {}
+        errors: list[BaseException] = []
+
+        def drive(name: str) -> None:
+            try:
+                results[name] = run_campaign(
+                    specs[name], store=store, parallel=True
+                )
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=drive, args=(name,)) for name in specs
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        assert not errors
+        assert sorted(results) == ["a", "b"]
+
+        # Exactly-once: the evaluation counter (parent + merged worker
+        # counts) covers every unique point once, the store holds one
+        # entry per point, and the pool was launched exactly once.
+        assert evaluation_count() - before == len(expected)
+        assert store.n_results() == len(expected)
+        stats = get_service().stats()
+        assert stats["pool_launches"] <= 1  # 0 if the sandbox forced inline
+        assert stats["completed"] == stats["submitted"]
+        for result in results.values():
+            assert result.executor.startswith("service[")
+
+        # Both campaigns match isolated serial baselines bit for bit.
+        for name, spec in specs.items():
+            baseline = run_campaign(
+                spec,
+                store=TraceStore(tmp_path / f"base-{name}"),
+                parallel=False,
+            )
+            assert results[name].identical(baseline)
+
+    def test_bounded_queue_still_completes_large_grids(self, tmp_path):
+        configure_service(workers=0, queue_size=2)
+        spec = small_spec("svc-q", pes=(1, 2, 4, 8))
+        result = run_campaign(
+            spec, store=TraceStore(tmp_path / "store"), parallel=True
+        )
+        assert len(result) == spec.n_points
+        stats = get_service().stats()
+        assert stats["completed"] == spec.n_points
+        assert stats["queue_high_water"] <= 2
+
+    def test_second_run_replays_from_cache(self, tmp_path):
+        configure_service(workers=0)
+        spec = small_spec("svc-cache")
+        store = TraceStore(tmp_path / "store")
+        first = run_campaign(spec, store=store, parallel=True)
+        before = evaluation_count()
+        again = run_campaign(spec, store=store, parallel=True)
+        assert evaluation_count() == before
+        assert f"cache[{spec.n_points}/{spec.n_points}]" in again.executor
+        assert again.identical(first)
+
+    def test_cached_results_do_not_survive_a_delegate_switch(
+        self, tmp_path
+    ):
+        """Service results are cached under ``service:<delegate>``:
+        switching delegates must re-evaluate with the new physics,
+        never replay the old delegate's outcomes."""
+        configure_service(workers=0, delegate="untimed")
+        spec = CampaignSpec(
+            name="svc-delegate",
+            backend="service",
+            kernels=(KernelSpec("first_diff", n=96),),
+            pes=(1, 2),
+            page_sizes=(16,),
+            cache_elems=(64,),
+        )
+        store = TraceStore(tmp_path / "store")
+        untimed_run = run_campaign(spec, store=store, parallel=False)
+        assert "page_fetches" in untimed_run.records[0].metrics
+
+        configure_service(workers=0, delegate="timed")
+        before = evaluation_count()
+        timed_run = run_campaign(spec, store=store, parallel=False)
+        # Every point re-evaluated (no stale cache hits), and the
+        # metrics are the timed machine's, not the untimed ones.
+        assert evaluation_count() - before == spec.n_points
+        assert "finish_time" in timed_run.records[0].metrics
+        assert "page_fetches" not in timed_run.records[0].metrics
+
+        # Switching back replays the original delegate's cache.
+        configure_service(workers=0, delegate="untimed")
+        before = evaluation_count()
+        replay = run_campaign(spec, store=store, parallel=False)
+        assert evaluation_count() == before
+        assert replay.identical(untimed_run)
+
+    def test_delegate_switch_mid_campaign_skips_caching(self, tmp_path):
+        """Reconfiguring the delegate between planning and iteration
+        must not file the new delegate's physics under the planned
+        cache namespace — the stream warns and caches nothing."""
+        configure_service(workers=0, delegate="untimed")
+        spec = small_spec("svc-drift")
+        store = TraceStore(tmp_path / "store")
+        stream = run_campaign(spec, store=store, parallel=True, stream=True)
+        configure_service(workers=0, delegate="timed")
+        with pytest.warns(RuntimeWarning, match="cache identity"):
+            result = stream.result()
+        assert len(result) == spec.n_points
+        # Honest records (the timed delegate really evaluated them)...
+        assert "finish_time" in result.records[0].metrics
+        # ...but nothing cached under the stale 'service:untimed' keys.
+        assert store.n_results() == 0
+        assert store.active_leases() == 0
+
+    def test_serial_path_round_trips_through_the_service(self, tmp_path):
+        configure_service(workers=0)
+        spec = small_spec("svc-serial")
+        result = run_campaign(
+            spec, store=TraceStore(tmp_path / "store"), parallel=False
+        )
+        assert result.executor == "serial"
+        assert len(result) == spec.n_points
+        assert get_service().stats()["completed"] == spec.n_points
+
+    def test_parallel_grid_rejects_mixed_dispatching_backends(
+        self, hydro_trace
+    ):
+        """One parallel grid, one set of physics: mixing the service
+        with a direct backend is refused loudly — never evaluated
+        under the wrong delegate or inside nested pools."""
+        from repro.engine import run_grid
+
+        scenarios = [
+            Scenario(config=MachineConfig(n_pes=2, page_size=32),
+                     backend="service"),
+            Scenario(config=MachineConfig(n_pes=2, page_size=32),
+                     backend="untimed"),
+        ]
+        with pytest.raises(ValueError, match="mix dispatching"):
+            run_grid(hydro_trace, scenarios, parallel=True)
+        # Serial mixed grids dispatch per scenario and stay correct.
+        configure_service(workers=0)
+        outcomes = run_grid(hydro_trace, scenarios, parallel=False)
+        assert [o.backend for o in outcomes] == ["service", "untimed"]
+        assert outcomes[0].metrics == outcomes[1].metrics
+
+    def test_in_flight_deduplication_shares_one_future(self, hydro_trace):
+        configure_service(workers=0)
+        service = get_service()
+        scenario = Scenario(
+            config=MachineConfig(n_pes=4, page_size=32), backend="service"
+        )
+        futures = [
+            service.submit(hydro_trace, scenario) for _ in range(4)
+        ]
+        outcomes = {id(f.result()) for f in futures}
+        stats = service.stats()
+        # All four submissions resolved; later ones shared the first's
+        # future whenever it was still in flight.
+        assert stats["completed"] + stats["shared"] == 4
+        assert len(outcomes) <= stats["completed"]
+
+    def test_service_repr_and_stats_shape(self):
+        configure_service(workers=0, queue_size=7, delegate="untimed")
+        service = get_service()
+        assert "EvalService" in repr(service)
+        stats = service.stats()
+        for field in (
+            "submitted", "completed", "failed", "shared",
+            "queue_high_water", "pool_launches", "in_flight",
+            "workers", "queue_size", "delegate", "mode",
+        ):
+            assert field in stats
+        assert stats["mode"] == "inline"
+        assert stats["queue_size"] == 7
+
+    def test_close_with_inflight_backlog_terminates_promptly(
+        self, hydro_trace
+    ):
+        """Shutdown with queued work must not hang the join, leak the
+        loop thread, relaunch a pool, or leave futures unresolved."""
+        import time
+
+        configure_service(workers=1, queue_size=256)
+        service = get_service()
+        futures = [
+            service.submit(
+                hydro_trace,
+                Scenario(
+                    config=MachineConfig(n_pes=pes, page_size=page),
+                    backend="service",
+                ),
+            )
+            for pes in (1, 2, 4, 8)
+            for page in (16, 32, 64, 128)
+        ]
+        launches_before = service.stats()["pool_launches"]
+        started = time.monotonic()
+        service.close()
+        assert time.monotonic() - started < 8.0  # no join-timeout hang
+        assert not service._thread.is_alive()
+        # The backlog was failed, not evaluated by a resurrected pool.
+        assert service.stats()["pool_launches"] == launches_before
+        for future in futures:
+            assert future.done()
+
+    def test_closed_service_rejects_submissions(self, hydro_trace):
+        configure_service(workers=0)
+        service = get_service()
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(
+                hydro_trace,
+                Scenario(
+                    config=MachineConfig(n_pes=2, page_size=32),
+                    backend="service",
+                ),
+            )

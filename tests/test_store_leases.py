@@ -1,0 +1,410 @@
+"""Cross-process claim leases: lock files, stealing, crash recovery.
+
+The PR-3 claim machinery made concurrent *streams* (threads) build
+every store entry exactly once; these tests pin down its cross-process
+extension: lock-file leases under ``<root>/leases/`` with holder pid +
+expiry, heartbeat renewal, stealing on expiry (or immediately from a
+provably-dead same-host holder), and the flagship two-
+``multiprocessing.Process`` races — build-once for results *and*
+traces, plus crash-mid-lease recovery.
+
+CI runs this module in the tmpfs-backed stress step alongside the
+sharding/stress suites.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import (
+    CampaignSpec,
+    KernelSpec,
+    ResultKey,
+    TraceStore,
+    kernel_trace_key,
+    run_campaign,
+)
+
+
+def ctx() -> mp.context.BaseContext:
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else None)
+
+
+def write_lease(
+    store: TraceStore,
+    ref: str,
+    *,
+    kind: str = "result",
+    pid: int | None = None,
+    host: str | None = None,
+    expires_in: float = 60.0,
+) -> Path:
+    """Plant a lease file by hand (simulating a foreign holder)."""
+    store.lease_dir.mkdir(parents=True, exist_ok=True)
+    path = store.lease_dir / f"{kind[0]}-{ref}.json"
+    now = time.time()
+    path.write_text(
+        json.dumps(
+            {
+                "pid": os.getpid() if pid is None else pid,
+                "host": "elsewhere" if host is None else host,
+                "acquired": now,
+                "expires": now + expires_in,
+            }
+        )
+    )
+    return path
+
+
+def result_key(spec: CampaignSpec) -> ResultKey:
+    kernel, scenario = next(spec.points())
+    return ResultKey(
+        trace_digest=kernel_trace_key(
+            kernel.name, n=kernel.n, seed=kernel.seed
+        ).digest,
+        scenario_digest=scenario.digest,
+        backend=scenario.backend,
+    )
+
+
+def spec_a() -> CampaignSpec:
+    return CampaignSpec(
+        name="lease-a",
+        kernels=(KernelSpec("first_diff", n=96),),
+        pes=(1, 2, 4),
+        page_sizes=(16, 32),
+        cache_elems=(0, 64),
+    )
+
+
+def spec_b() -> CampaignSpec:
+    # Overlaps spec_a on its full grid and adds the 8-PE column.
+    return CampaignSpec(
+        name="lease-b",
+        kernels=(KernelSpec("first_diff", n=96),),
+        pes=(1, 2, 4, 8),
+        page_sizes=(16, 32),
+        cache_elems=(0, 64),
+    )
+
+
+def unique_points(*specs: CampaignSpec) -> set[ResultKey]:
+    keys = set()
+    for spec in specs:
+        for kernel, scenario in spec.points():
+            keys.add(
+                ResultKey(
+                    trace_digest=kernel_trace_key(
+                        kernel.name, n=kernel.n, seed=kernel.seed
+                    ).digest,
+                    scenario_digest=scenario.digest,
+                    backend=scenario.backend,
+                )
+            )
+    return keys
+
+
+class TestLeaseFiles:
+    def test_acquire_release_roundtrip(self, tmp_path):
+        store = TraceStore(tmp_path)
+        assert store.acquire_lease("ab" * 10)
+        info = store.lease_holder("ab" * 10)
+        assert info is not None
+        assert info["pid"] == os.getpid()
+        assert info["expires"] > time.time()
+        assert store.active_leases() == 1
+        store.release_lease("ab" * 10)
+        assert store.lease_holder("ab" * 10) is None
+        assert store.active_leases() == 0
+
+    def test_live_foreign_lease_blocks_acquisition(self, tmp_path):
+        store = TraceStore(tmp_path)
+        # A live pid on a *different host*: the dead-pid shortcut must
+        # not apply, so only expiry frees the lease.
+        write_lease(store, "cd" * 10, host="elsewhere", expires_in=60.0)
+        assert not store.acquire_lease("cd" * 10)
+
+    def test_expired_lease_is_stolen(self, tmp_path):
+        store = TraceStore(tmp_path)
+        write_lease(store, "ef" * 10, host="elsewhere", expires_in=0.15)
+        assert not store.acquire_lease("ef" * 10)
+        time.sleep(0.2)
+        assert store.acquire_lease("ef" * 10)
+        assert store.lease_holder("ef" * 10)["pid"] == os.getpid()
+
+    def test_dead_same_host_holder_is_stolen_immediately(self, tmp_path):
+        store = TraceStore(tmp_path)
+        child = ctx().Process(target=lambda: None)
+        child.start()
+        child.join(timeout=30)
+        dead_pid = child.pid
+        write_lease(
+            store, "0a" * 10, pid=dead_pid,
+            host=__import__("socket").gethostname() or "localhost",
+            expires_in=600.0,
+        )
+        # Unexpired, but the holder is provably dead on this host.
+        assert store.acquire_lease("0a" * 10)
+
+    def test_corrupt_lease_is_treated_as_stale(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.lease_dir.mkdir(parents=True, exist_ok=True)
+        (store.lease_dir / "r-junk.json").write_text("{not json")
+        assert store.lease_holder("junk") is None
+        assert store.acquire_lease("junk")
+
+    def test_release_never_drops_a_foreign_lease(self, tmp_path):
+        store = TraceStore(tmp_path)
+        path = write_lease(store, "1b" * 10, host="elsewhere")
+        store.release_lease("1b" * 10)
+        assert path.is_file()  # not ours: left in place
+
+    def test_heartbeat_renews_held_leases(self, tmp_path):
+        store = TraceStore(tmp_path, lease_ttl_s=0.3)
+        assert store.acquire_lease("2c" * 10)
+        first = store.lease_holder("2c" * 10)["expires"]
+        time.sleep(0.6)  # two renewal intervals past the original TTL
+        info = store.lease_holder("2c" * 10)
+        assert info is not None, "lease expired despite the heartbeat"
+        assert info["expires"] > first
+        store.release_lease("2c" * 10)
+
+    def test_trace_and_result_leases_do_not_collide(self, tmp_path):
+        store = TraceStore(tmp_path)
+        assert store.acquire_lease("3d" * 8, kind="trace")
+        assert store.acquire_lease("3d" * 8, kind="result")
+        store.release_lease("3d" * 8, kind="trace")
+        assert store.lease_holder("3d" * 8, kind="trace") is None
+        assert store.lease_holder("3d" * 8, kind="result") is not None
+        store.release_lease("3d" * 8)
+
+    def test_rival_stealers_yield_exactly_one_holder(self, tmp_path):
+        """Two stores racing to steal one stale lease: the rename-aside
+        protocol lets exactly one win; the loser observes the winner's
+        fresh lease and backs off."""
+        import threading
+
+        stores = [TraceStore(tmp_path), TraceStore(tmp_path)]
+        write_lease(stores[0], "6a" * 10, host="elsewhere", expires_in=-1.0)
+        barrier = threading.Barrier(2)
+        outcomes: list[bool] = [False, False]
+
+        def steal(slot: int) -> None:
+            barrier.wait()
+            outcomes[slot] = stores[slot].acquire_lease("6a" * 10)
+
+        threads = [
+            threading.Thread(target=steal, args=(slot,)) for slot in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert sum(outcomes) == 1
+        assert stores[0].lease_holder("6a" * 10)["pid"] == os.getpid()
+        # No stale-rename droppings left behind.
+        assert not list(stores[0].lease_dir.glob("*.stale-*"))
+
+    def test_release_requires_membership_not_just_pid(self, tmp_path):
+        """A store (or thread) that never acquired a lease must not be
+        able to unlink a same-process peer's live lease."""
+        holder = TraceStore(tmp_path)
+        bystander = TraceStore(tmp_path)
+        assert holder.acquire_lease("7b" * 10)
+        bystander.release_lease("7b" * 10)  # same pid, not the acquirer
+        assert holder.lease_holder("7b" * 10) is not None
+        holder.release_lease("7b" * 10)
+        assert holder.lease_holder("7b" * 10) is None
+
+    def test_trace_get_gives_up_on_a_wedged_foreign_builder(
+        self, tmp_path, monkeypatch
+    ):
+        """A live-but-stuck foreign trace builder delays `get` by at
+        most the in-flight timeout; then the trace is built locally."""
+        import repro.engine.store as store_module
+        from repro.engine import kernel_trace_cached, kernel_trace_key
+
+        monkeypatch.setattr(store_module, "_INFLIGHT_TIMEOUT_S", 1.0)
+        store = TraceStore(tmp_path)
+        key = kernel_trace_key("first_diff", n=96)
+        write_lease(
+            store, key.ref, kind="trace", host="elsewhere",
+            expires_in=600.0,  # holder stays "alive" for the whole test
+        )
+        started = time.time()
+        trace = kernel_trace_cached("first_diff", n=96, store=store)
+        assert trace.n_instances > 0
+        assert time.time() - started < 30  # gave up, built locally
+
+    def test_gc_sweeps_stale_lease_files(self, tmp_path):
+        """A crashed campaign's expired lease files are retired by the
+        next GC pass; live leases are never touched."""
+        store = TraceStore(tmp_path)
+        write_lease(store, "8c" * 10, host="elsewhere", expires_in=-1.0)
+        assert store.acquire_lease("9d" * 10)  # live: ours, renewed
+        assert store.sweep_stale_leases() == 1
+        assert not (store.lease_dir / f"r-{'8c' * 10}.json").exists()
+        assert store.lease_holder("9d" * 10) is not None
+        store.release_lease("9d" * 10)
+        # gc() runs the sweep as part of every pass.
+        write_lease(store, "8c" * 10, host="elsewhere", expires_in=-1.0)
+        store.gc()
+        assert not (store.lease_dir / f"r-{'8c' * 10}.json").exists()
+
+    def test_stats_count_active_leases(self, tmp_path):
+        store = TraceStore(tmp_path)
+        assert store.stats()["active_leases"] == 0
+        store.acquire_lease("4e" * 10)
+        write_lease(store, "5f" * 10, host="elsewhere", expires_in=-1.0)
+        assert store.stats()["active_leases"] == 1  # expired one ignored
+        store.release_lease("4e" * 10)
+
+
+class TestClaimIntegration:
+    def test_claim_defers_to_a_foreign_lease(self, tmp_path):
+        store = TraceStore(tmp_path)
+        key = result_key(spec_a())
+        write_lease(store, key.ref, host="elsewhere", expires_in=60.0)
+        waiter = store.claim_result(key)
+        assert waiter is not None
+        assert not waiter.wait(timeout=0.2)  # holder alive, no result
+        (store.lease_dir / f"r-{key.ref}.json").unlink()
+        assert waiter.wait(timeout=5.0)  # lease gone: caller re-checks
+        # Now the claim is winnable.
+        assert store.claim_result(key) is None
+        store.abandon_result_claim(key)
+
+    def test_owned_claim_creates_and_releases_a_lease(self, tmp_path):
+        store = TraceStore(tmp_path)
+        key = result_key(spec_a())
+        assert store.claim_result(key) is None
+        assert store.lease_holder(key.ref) is not None
+        store.abandon_result_claim(key)
+        assert store.lease_holder(key.ref) is None
+
+
+def _drive_campaign(root, barrier, queue, which):
+    """Child-process body: run one campaign against the shared root."""
+    from repro.backends import evaluation_count
+    from repro.engine import TraceStore as Store
+    from repro.engine import interpretation_count
+    from repro.engine import run_campaign as run
+
+    spec = spec_a() if which == "a" else spec_b()
+    store = Store(root, lease_ttl_s=10.0)
+    barrier.wait(timeout=60)
+    ev0, in0 = evaluation_count(), interpretation_count()
+    result = run(spec, store=store, parallel=False)
+    queue.put(
+        {
+            "which": which,
+            "evaluations": evaluation_count() - ev0,
+            "interpretations": interpretation_count() - in0,
+            "executor": result.executor,
+            "points": len(result),
+        }
+    )
+
+
+def _crash_holding_lease(root, key_dict, acquired_event):
+    """Child-process body: claim a point, signal, die mid-build."""
+    from repro.engine import TraceStore as Store
+
+    store = Store(root, lease_ttl_s=60.0)
+    key = ResultKey(**key_dict)
+    assert store.claim_result(key) is None
+    acquired_event.set()
+    time.sleep(60)  # parent kills us first; belt against hangs
+    os._exit(0)
+
+
+class TestTwoProcessRaces:
+    def test_two_processes_build_every_entry_exactly_once(self, tmp_path):
+        """The flagship: two independent processes, one store root —
+        every unique result built once, the trace interpreted once."""
+        root = str(tmp_path / "store")
+        context = ctx()
+        barrier = context.Barrier(2)
+        queue = context.Queue()
+        processes = [
+            context.Process(
+                target=_drive_campaign, args=(root, barrier, queue, which)
+            )
+            for which in ("a", "b")
+        ]
+        for process in processes:
+            process.start()
+        reports = [queue.get(timeout=240) for _ in processes]
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+
+        expected = unique_points(spec_a(), spec_b())
+        total_evals = sum(r["evaluations"] for r in reports)
+        total_interps = sum(r["interpretations"] for r in reports)
+        assert total_evals == len(expected)
+        assert total_interps == 1  # one kernel, interpreted once, ever
+
+        store = TraceStore(root)
+        assert store.n_results() == len(expected)
+        assert len(store) == 1
+        # The loser deferred its overlapping points to the winner.
+        assert any(
+            "shared[" in r["executor"] or "cache[" in r["executor"]
+            for r in reports
+        )
+        # No leases survive two clean completions.
+        assert store.active_leases() == 0
+        # The index is parseable and every artifact is where it says.
+        data = json.loads(store.index_path.read_text())
+        for entry in data["entries"].values():
+            assert (store.root / entry["path"]).is_file()
+
+    def test_crash_mid_lease_is_recovered(self, tmp_path):
+        """A holder that dies mid-build delays rivals, never blocks
+        them: its pid is seen dead and the lease is stolen."""
+        root = str(tmp_path / "store")
+        spec = spec_a()
+        key = result_key(spec)
+        context = ctx()
+        acquired = context.Event()
+        child = context.Process(
+            target=_crash_holding_lease,
+            args=(
+                root,
+                {
+                    "trace_digest": key.trace_digest,
+                    "scenario_digest": key.scenario_digest,
+                    "backend": key.backend,
+                },
+                acquired,
+            ),
+        )
+        child.start()
+        assert acquired.wait(timeout=60)
+        child.kill()  # crash mid-build, lease file left behind
+        child.join(timeout=60)
+
+        store = TraceStore(root, lease_ttl_s=60.0)
+        assert (store.lease_dir / f"r-{key.ref}.json").is_file()
+        # The TTL has 60s to run — but the holder is dead on this
+        # host, so the claim is stolen immediately.
+        deadline = time.time() + 30
+        claim = store.claim_result(key)
+        while claim is not None and time.time() < deadline:
+            claim.wait(timeout=1.0)
+            claim = store.claim_result(key)
+        assert claim is None, "dead holder's lease was never stolen"
+        store.abandon_result_claim(key)
+
+        # And a full campaign over the same root completes normally.
+        result = run_campaign(spec, store=store, parallel=False)
+        assert len(result) == spec.n_points
+        assert store.active_leases() == 0

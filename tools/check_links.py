@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Link-check the repository's Markdown documentation.
+
+Scans the given files/directories for Markdown links and images,
+``[text](target)``, and verifies that every *relative* target exists
+on disk (external ``http(s)``/``mailto`` targets and pure in-page
+``#anchors`` are skipped; a relative target's ``#fragment`` is checked
+against the destination file's headings).  Exits non-zero listing
+every broken link, so CI fails when docs rot.
+
+Usage::
+
+    python tools/check_links.py README.md docs
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: ``[text](target)`` / ``![alt](target)`` — target up to the first
+#: unescaped closing parenthesis (no nested parens in our docs).
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Fenced code blocks are excluded — they hold example syntax, not links.
+_FENCE = re.compile(r"^(```|~~~)")
+
+
+def _headings(path: Path) -> set[str]:
+    """GitHub-style anchor slugs of a Markdown file's headings."""
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence or not line.startswith("#"):
+            continue
+        text = line.lstrip("#").strip().lower()
+        slug = re.sub(r"[^\w\- ]", "", text).replace(" ", "-")
+        slugs.add(slug)
+    return slugs
+
+
+def _iter_links(path: Path):
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield number, match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    for number, target in _iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if target[1:].lower() not in _headings(path):
+                problems.append(
+                    f"{path}:{number}: broken anchor {target!r}"
+                )
+            continue
+        raw, _, fragment = target.partition("#")
+        destination = (path.parent / raw).resolve()
+        if not destination.exists():
+            problems.append(
+                f"{path}:{number}: missing target {target!r}"
+            )
+            continue
+        if fragment and destination.suffix == ".md":
+            if fragment.lower() not in _headings(destination):
+                problems.append(
+                    f"{path}:{number}: broken anchor {target!r}"
+                )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+    files: list[Path] = []
+    for argument in argv:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            print(f"no such file or directory: {path}", file=sys.stderr)
+            return 2
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(
+        f"checked {len(files)} file(s): "
+        + ("OK" if not problems else f"{len(problems)} broken link(s)")
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
