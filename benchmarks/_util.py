@@ -10,9 +10,22 @@ every kernel (delete ``benchmarks/results/trace-store`` to go cold).
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 RESULTS = Path(__file__).parent / "results"
+
+
+def fast() -> bool:
+    """Whether the harness runs in CI's fast smoke mode.
+
+    ``REPRO_BENCH_FAST=1`` (the benchmark-smoke CI job) shrinks the
+    heavyweight cases roughly an order of magnitude: the uploaded
+    ``BENCH_*.json`` artifact then tracks the perf *trajectory* per
+    commit without paying full-precision problem sizes on every push.
+    Bit-exactness assertions are size-independent and stay on.
+    """
+    return os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
 
 
 def trace_store():

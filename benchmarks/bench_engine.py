@@ -16,6 +16,7 @@ from __future__ import annotations
 import shutil
 import threading
 import time
+from dataclasses import replace
 
 from repro.engine import (
     CampaignSpec,
@@ -25,7 +26,7 @@ from repro.engine import (
     run_campaign,
 )
 
-from _util import once, save, trace_store
+from _util import fast, once, save, trace_store
 
 #: 3 kernels × (7 PEs × 2 page sizes × 2 cache settings) = 84 configs.
 CAMPAIGN = CampaignSpec(
@@ -39,6 +40,22 @@ CAMPAIGN = CampaignSpec(
     page_sizes=(32, 64),
     cache_elems=(256, 0),
 )
+
+#: CI's benchmark-smoke job (REPRO_BENCH_FAST=1) trades precision for
+#: wall time: smaller kernels and a thinner grid derived from the
+#: full-precision spec, so the remaining axes can never drift apart.
+if fast():
+    CAMPAIGN = replace(
+        CAMPAIGN,
+        name="bench-engine-fast",
+        kernels=(
+            KernelSpec("hydro_fragment", n=200),
+            KernelSpec("iccg", n=256),
+            KernelSpec("hydro_2d", n=40),
+        ),
+        pes=(1, 4, 16),
+        page_sizes=(32,),
+    )
 
 
 def _warm_store() -> TraceStore:
@@ -147,8 +164,10 @@ def _concurrent_specs(backend: str) -> list[CampaignSpec]:
         CampaignSpec(
             name=f"bench-concurrent-{slot}",
             backend=backend,
-            kernels=(KernelSpec("hydro_fragment", n=1000),),
-            pes=(1, 2, 4, 8, 16, 32, 64),
+            kernels=(
+                KernelSpec("hydro_fragment", n=200 if fast() else 1000),
+            ),
+            pes=(1, 4, 16) if fast() else (1, 2, 4, 8, 16, 32, 64),
             page_sizes=(32, 64),
             cache_elems=(256 + slot, 0),  # distinct grids per campaign
         )
@@ -220,9 +239,10 @@ def test_engine_concurrent_campaigns_service_vs_pools(benchmark, tmp_path):
     benchmark.extra_info["speedup_vs_forked"] = round(
         forked_wall / service_wall, 2
     )
+    points_each = _concurrent_specs("untimed")[0].n_points
     save(
         "engine_concurrent_service",
-        "3 concurrent campaigns (28 points each), one store:\n"
+        f"3 concurrent campaigns ({points_each} points each), one store:\n"
         f"  N forked pools: {forked_wall:.3f}s wall\n"
         f"  one shared service pool: {service_wall:.3f}s wall\n"
         f"  speedup: {forked_wall / service_wall:.2f}x",

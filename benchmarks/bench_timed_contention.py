@@ -1,0 +1,161 @@
+"""Ablation A5 — bandwidth-aware contention on the timed machine.
+
+Two claims ride on the ``CostModel`` bandwidth knobs, and this
+benchmark pins both on the same cases ``bench_timed_machine`` times:
+
+* **compatibility** — ``infinite-bw`` (per-link queueing on, infinite
+  bandwidth) reproduces the historical latencies *bit for bit*, so
+  every pre-bandwidth artifact stays comparable;
+* **effect** — ``contended`` (4 bytes/cycle per link) turns the
+  passive per-link message counts into real queueing delay, reported
+  as ``contention_delay_cycles`` and visible in the finish time.
+
+Run with ``REPRO_BENCH_FAST=1`` (CI's benchmark-smoke job) for the
+small-problem smoke variant; the bit-exactness assertions are
+identical in both modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends import cost_model
+from repro.bench import kernel_trace, render_table
+from repro.core import MachineConfig
+from repro.kernels import get_kernel
+from repro.machine import TimedMachine
+
+from _util import fast, once, save
+
+HYDRO_N = 200 if fast() else 1000
+ICCG_N = 128 if fast() else 512
+HYDRO_PES = (4, 16) if fast() else (4, 16, 64)
+TOPOLOGIES = ("crossbar", "ring", "mesh2d", "hypercube", "bus")
+
+
+def _hydro_trace():
+    program, inputs = get_kernel("hydro_fragment").build(n=HYDRO_N)
+    return kernel_trace(program, inputs)
+
+
+def _iccg_trace():
+    program, inputs = get_kernel("iccg").build(n=ICCG_N)
+    return kernel_trace(program, inputs)
+
+
+def run_bit_exactness():
+    """The bench_timed_machine cases, default vs ``infinite-bw``."""
+    rows = []
+    trace = _hydro_trace()
+    infinite = cost_model("infinite-bw")
+    for pes in HYDRO_PES:
+        for mode in ("blocking", "multithreaded"):
+            cfg = MachineConfig(n_pes=pes, page_size=32, cache_elems=256)
+            base = TimedMachine(trace, cfg, topology="mesh2d", mode=mode).run()
+            ctrl = TimedMachine(
+                trace,
+                cfg,
+                topology="mesh2d",
+                mode=mode,
+                costs=infinite,
+            ).run()
+            assert ctrl.finish_time == base.finish_time
+            assert np.array_equal(ctrl.per_pe_finish, base.per_pe_finish)
+            assert np.array_equal(ctrl.stall_time, base.stall_time)
+            assert ctrl.contention_delay_cycles == 0.0
+            rows.append([f"hydro pes={pes}", mode, base.finish_time, "=="])
+    trace = _iccg_trace()
+    for topo in TOPOLOGIES:
+        cfg = MachineConfig(n_pes=16, page_size=32, cache_elems=256)
+        base = TimedMachine(trace, cfg, topology=topo).run()
+        ctrl = TimedMachine(trace, cfg, topology=topo, costs=infinite).run()
+        assert ctrl.finish_time == base.finish_time
+        assert np.array_equal(ctrl.per_pe_finish, base.per_pe_finish)
+        assert ctrl.contention_delay_cycles == 0.0
+        rows.append([f"iccg {topo}", "blocking", base.finish_time, "=="])
+    return rows
+
+
+def run_contention_ablation():
+    """Finish time and queueing delay, ``default`` vs ``contended``."""
+    rows = []
+    trace = _iccg_trace()
+    contended = cost_model("contended")
+    for topo in TOPOLOGIES:
+        for strategy in ("host", "subrange"):
+            cfg = MachineConfig(
+                n_pes=16,
+                page_size=32,
+                cache_elems=256,
+                reduction_strategy=strategy,
+            )
+            base = TimedMachine(
+                trace,
+                cfg,
+                topology=topo,
+                mode="multithreaded",
+            ).run()
+            loaded = TimedMachine(
+                trace,
+                cfg,
+                topology=topo,
+                mode="multithreaded",
+                costs=contended,
+            ).run()
+            # Queueing shifts *when* fetches land, which can change the
+            # partial-page refetch pattern (and with it cached/remote
+            # splits or even the finish time, either way); only the
+            # structural counters are invariant across cost models.
+            assert loaded.contention_delay_cycles >= 0.0
+            assert loaded.stats.writes == base.stats.writes
+            assert loaded.stats.total_reads == base.stats.total_reads
+            rows.append(
+                [
+                    topo,
+                    strategy,
+                    base.finish_time,
+                    loaded.finish_time,
+                    loaded.contention_delay_cycles,
+                    loaded.finish_time / base.finish_time,
+                ]
+            )
+    return rows
+
+
+def test_infinite_bandwidth_is_bit_exact(benchmark):
+    rows = once(benchmark, run_bit_exactness)
+    save(
+        "timed_contention_bitexact",
+        render_table(
+            ["case", "mode", "finish (cycles)", "infinite-bw"],
+            rows,
+            title=(
+                f"A5a: link_bandwidth=inf reproduces pre-bandwidth "
+                f"latencies bit-for-bit ({len(rows)} cases)"
+            ),
+        ),
+    )
+    assert len(rows) == 2 * len(HYDRO_PES) + len(TOPOLOGIES)
+
+
+def test_contended_network_feeds_latency(benchmark):
+    rows = once(benchmark, run_contention_ablation)
+    save(
+        "timed_contention_ablation",
+        render_table(
+            [
+                "topology",
+                "reduction",
+                "default finish",
+                "contended finish",
+                "queueing (cycles)",
+                "slowdown",
+            ],
+            rows,
+            title="A5b: per-link bandwidth contention (ICCG, 16 PEs)",
+        ),
+    )
+    # Multithreaded PEs keep several messages in flight, so the shared
+    # bus must show real queueing on at least the host-funnel runs.
+    bus_delay = [row[4] for row in rows if row[0] == "bus"]
+    assert max(bus_delay) > 0.0

@@ -10,7 +10,7 @@ from __future__ import annotations
 from repro.bench import kernel_trace, render_table
 from repro.core import MachineConfig
 from repro.kernels import get_kernel
-from repro.machine import CostModel, TimedMachine, serial_time
+from repro.machine import TimedMachine, serial_time
 
 from _util import once, save
 

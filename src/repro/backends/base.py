@@ -53,12 +53,15 @@ class UnsupportedScenarioError(ValueError):
     """A backend cannot model a scenario knob it was handed.
 
     Raised by a backend's ``evaluate`` when the scenario requests
-    something outside the backend's modelling envelope — e.g. the
-    timed machine replaying ``reduction_strategy="subrange"`` (see the
-    support matrix in ``docs/backends.md``).  The message names the
-    backend, the knob and its value, plus the supported values when
-    the backend knows them, so a failure deep inside a worker still
-    says exactly which combination to change.  Subclasses
+    something outside the backend's modelling envelope — e.g. a
+    hand-built scenario smuggling a reduction strategy no backend has
+    ever heard of past the config validator (see the support matrix in
+    ``docs/backends.md``; every *valid* strategy is modelled by every
+    built-in backend).  The message names the backend, the knob and
+    its value, plus the supported values when the backend knows them —
+    sorted, so the message is deterministic whatever order the backend
+    declared them in — and a failure deep inside a worker still says
+    exactly which combination to change.  Subclasses
     :class:`ValueError` for backward compatibility with callers that
     catch broadly.
 
@@ -78,7 +81,11 @@ class UnsupportedScenarioError(ValueError):
         self.backend = backend
         self.knob = knob
         self.value = value
-        self.supported = tuple(supported) if supported is not None else None
+        # Sorted for a deterministic message (backends declare support
+        # in documentation order; the error must not depend on it).
+        self.supported = (
+            tuple(sorted(supported, key=str)) if supported is not None else None
+        )
         message = (
             f"backend {backend!r} does not support {knob}={value!r}"
         )
@@ -121,6 +128,22 @@ COST_MODEL_PRESETS: dict[str, CostModel] = {
         reply_overhead=80.0,
         per_hop=20.0,
         per_element=2.0,
+    ),
+    # Default costs plus finite per-link bandwidth: messages occupy
+    # each link on their route (4 bytes/cycle ⇒ 2 cycles per 8-byte
+    # element) and queue behind traffic already holding it, so the
+    # contention summary feeds back into completion time.
+    "contended": CostModel(
+        link_bandwidth=4.0,
+        contention_model="per-link",
+    ),
+    # The control for "contended": the per-link queueing machinery is
+    # ON but bandwidth is infinite, so occupancy is exactly 0.0 and
+    # every latency reproduces the "default" preset bit for bit —
+    # contention_delay_cycles must come out 0 (property-tested).
+    "infinite-bw": CostModel(
+        link_bandwidth=float("inf"),
+        contention_model="per-link",
     ),
 }
 
@@ -336,12 +359,12 @@ class EvalBackend(Protocol):
     Two optional extensions refine the engine's behaviour:
 
     * ``supported_reductions`` — a tuple of reduction-strategy names,
-      declared when the backend cannot model every strategy (the
-      timed machine models only ``"host"``); campaign specs are then
-      rejected at construction instead of mid-run, and ``evaluate``
-      raises :class:`UnsupportedScenarioError` for hand-built
-      scenarios that bypass the validator (full matrix in
-      ``docs/backends.md``);
+      declared when the backend wants strategy-level validation (both
+      built-in evaluators now model ``"host"`` and ``"subrange"``);
+      campaign specs sweeping an undeclared strategy are rejected at
+      construction instead of mid-run, and ``evaluate`` raises
+      :class:`UnsupportedScenarioError` for hand-built scenarios that
+      bypass the validator (full matrix in ``docs/backends.md``);
     * ``dispatch_jobs(jobs, traces, touch, trace_paths)`` — declared
       by *dispatching* backends (the shared evaluation service): the
       campaign executor hands such a backend its whole job list to

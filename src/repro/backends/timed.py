@@ -29,10 +29,14 @@ class TimedBackend:
 
     name = "timed"
     scenario_axes: tuple[str, ...] = ("topologies", "modes", "cost_models")
-    #: The discrete-event model replays reductions through their
-    #: accumulator's owner only (campaign specs are rejected up front
-    #: for anything else).
-    supported_reductions: tuple[str, ...] = ("host",)
+    #: Every strategy the untimed simulator models is replayed on the
+    #: discrete-event machine too — ``host`` funnels folds through the
+    #: accumulator's owner, ``subrange`` re-places them onto their
+    #: data's owners and schedules the host's partial-gather messages.
+    #: The tuple (and the :class:`UnsupportedScenarioError` raised for
+    #: anything outside it) stays as the backstop for hand-built
+    #: scenarios carrying a strategy this backend has never heard of.
+    supported_reductions: tuple[str, ...] = ("host", "subrange")
     result_schema: tuple[str, ...] = (
         "finish_time",
         "speedup",
@@ -43,6 +47,7 @@ class TimedBackend:
         "deferred_reads",
         "messages_per_link_max",
         "messages_per_link_mean",
+        "contention_delay_cycles",
     )
     table_metrics: tuple[str, ...] = ("finish_time", "speedup")
 
@@ -83,6 +88,7 @@ class TimedBackend:
                 "messages_per_link_mean": result.contention[
                     "messages_per_link_mean"
                 ],
+                "contention_delay_cycles": result.contention_delay_cycles,
             },
             per_pe={
                 "finish": result.per_pe_finish,

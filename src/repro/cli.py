@@ -8,6 +8,8 @@ Usage::
     python -m repro classify hydro_fragment  # one kernel's class
     python -m repro sweep iccg --pes 4 16 64 # custom sweep
     python -m repro sweep iccg --backend timed --topology mesh torus
+    python -m repro sweep iccg --backend timed --cost-model contended \
+        --reduction subrange                 # bandwidth-aware + subrange
     python -m repro sweep --campaign spec.json --parallel --json out.json
     python -m repro advise hydro_2d          # §9 partitioning advisor
     python -m repro store stats              # sharded store: sizes/counters
@@ -138,6 +140,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             cache_elems=(args.cache, 0) if args.cache else (0,),
             cache_policies=(args.policy,),
             partitions=(args.partition,),
+            reduction_strategies=tuple(args.reduction),
             topologies=tuple(args.topology),
             modes=tuple(args.mode),
             cost_models=tuple(args.cost_model),
@@ -462,6 +465,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition scheme (modulo, block, block-cyclic:K)",
     )
     swp.add_argument(
+        "--reduction",
+        nargs="+",
+        default=["host"],
+        choices=["host", "subrange"],
+        help="reduction strategies (host funnel, subrange collection)",
+    )
+    swp.add_argument(
         "--topology",
         nargs="+",
         default=["crossbar"],
@@ -481,8 +491,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--cost-model",
         nargs="+",
         default=["default"],
-        help="timed backend: cost-model presets "
-        "(default, fast-network, slow-network)",
+        help="timed backend: cost-model presets (default, fast-network, "
+        "slow-network, contended, infinite-bw)",
     )
     swp.add_argument(
         "--no-cache",

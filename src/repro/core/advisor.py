@@ -23,7 +23,6 @@ import numpy as np
 
 from ..ir.loops import Program
 from ..ir.trace import Trace
-from .access import AccessKind
 from .classify import AccessClass, classify_static
 from .partition import (
     BlockCyclicPartition,

@@ -38,7 +38,15 @@ from .access import AccessKind
 from .partition import ModuloPartition, PartitionScheme, named_scheme
 from .stats import AccessStats
 
-__all__ = ["MachineConfig", "SimResult", "simulate", "simulate_program"]
+__all__ = [
+    "MachineConfig",
+    "SimResult",
+    "SubrangeGroup",
+    "simulate",
+    "simulate_program",
+    "subrange_groups",
+    "subrange_placement",
+]
 
 
 @dataclass(frozen=True)
@@ -193,7 +201,7 @@ def _owners_by_array(
     return owners
 
 
-def _subrange_reduction_placement(
+def subrange_placement(
     trace: Trace,
     tables: list[PageTable],
     config: MachineConfig,
@@ -205,6 +213,11 @@ def _subrange_reduction_placement(
     contribution to an accumulator is evaluated where its data lives,
     into a PE-local partial sum; only the partials travel to the host.
     Folds with no reads stay on the accumulator's owner.
+
+    Shared by the untimed simulator and the timed machine
+    (:class:`repro.machine.msim.TimedMachine`), so both backends agree
+    on *which* PEs reduce together — the differential fidelity suite
+    (``tests/test_timed_fidelity.py``) holds them to it.
     """
     exec_pe = exec_pe.copy()
     red_idx = np.flatnonzero(trace.reduction_mask)
@@ -221,6 +234,60 @@ def _subrange_reduction_placement(
     return exec_pe
 
 
+@dataclass(frozen=True)
+class SubrangeGroup:
+    """One accumulator's combine group under the "subrange" strategy.
+
+    ``contributors`` is the sorted tuple of PEs holding a partial for
+    this accumulator; ``host`` is the accumulator cell's owner, which
+    gathers the partials and performs the final write.
+    """
+
+    array_id: int
+    flat: int
+    host: int
+    contributors: tuple[int, ...]
+
+    @property
+    def remote_partials(self) -> int:
+        return sum(1 for pe in self.contributors if pe != self.host)
+
+    @property
+    def local_partials(self) -> int:
+        return sum(1 for pe in self.contributors if pe == self.host)
+
+
+def subrange_groups(
+    trace: Trace,
+    tables: list[PageTable],
+    config: MachineConfig,
+    exec_pe: np.ndarray,
+) -> list[SubrangeGroup]:
+    """Group reduction folds by accumulator cell, in trace order.
+
+    The single definition of *which* PEs reduce together: the untimed
+    simulator charges the combine phase from these groups and the
+    timed machine schedules its gather messages from them, so the two
+    backends can never disagree on the reduction pattern.
+    """
+    red_idx = np.flatnonzero(trace.reduction_mask)
+    # accumulator cell id -> set of contributing PEs
+    acc_cells: dict[tuple[int, int], set[int]] = {}
+    for i in red_idx.tolist():
+        key = (int(trace.w_arr[i]), int(trace.w_flat[i]))
+        acc_cells.setdefault(key, set()).add(int(exec_pe[i]))
+    groups = []
+    for (arr, flat), contributors in acc_cells.items():
+        page = flat // config.page_size
+        host = config.partition.owner_of(
+            page, tables[arr].n_pages, config.n_pes
+        )
+        groups.append(
+            SubrangeGroup(arr, flat, host, tuple(sorted(contributors)))
+        )
+    return groups
+
+
 def _charge_subrange_combine(
     trace: Trace,
     tables: list[PageTable],
@@ -235,22 +302,20 @@ def _charge_subrange_combine(
     remote reads at the host — reads its own partial locally if it made
     one, and performs the final write.
     """
-    red_idx = np.flatnonzero(trace.reduction_mask)
-    # accumulator cell id -> set of contributing PEs
-    acc_cells: dict[tuple[int, int], set[int]] = {}
-    for i in red_idx.tolist():
-        key = (int(trace.w_arr[i]), int(trace.w_flat[i]))
-        acc_cells.setdefault(key, set()).add(int(exec_pe[i]))
-    for (arr, flat), contributors in acc_cells.items():
-        page = flat // config.page_size
-        host = config.partition.owner_of(
-            page, tables[arr].n_pages, config.n_pes
+    for group in subrange_groups(trace, tables, config, exec_pe):
+        stats.add(
+            group.host,
+            AccessKind.REMOTE_READ,
+            group.remote_partials,
+            array_id=group.array_id,
         )
-        remote_partials = len(contributors - {host})
-        local_partials = len(contributors & {host})
-        stats.add(host, AccessKind.REMOTE_READ, remote_partials, array_id=arr)
-        stats.add(host, AccessKind.LOCAL_READ, local_partials, array_id=arr)
-        stats.add(host, AccessKind.WRITE, 1, array_id=arr)
+        stats.add(
+            group.host,
+            AccessKind.LOCAL_READ,
+            group.local_partials,
+            array_id=group.array_id,
+        )
+        stats.add(group.host, AccessKind.WRITE, 1, array_id=group.array_id)
 
 
 def simulate(trace: Trace, config: MachineConfig) -> SimResult:
@@ -274,7 +339,7 @@ def simulate(trace: Trace, config: MachineConfig) -> SimResult:
         trace.w_arr, w_pages, tables, config.partition, n_pes
     )
     if config.reduction_strategy == "subrange" and trace.reduction_mask.any():
-        exec_pe = _subrange_reduction_placement(trace, tables, config, exec_pe)
+        exec_pe = subrange_placement(trace, tables, config, exec_pe)
     stats.add_vector(
         AccessKind.WRITE, np.bincount(exec_pe, minlength=n_pes)
     )

@@ -192,8 +192,9 @@ class CampaignSpec:
                 f"{self.backend!r}; leave it at 4"
             )
         # Backends may declare the reduction strategies they can model
-        # (the timed machine handles only "host"); fail at spec
-        # construction, not minutes later inside a pool worker.
+        # (both built-ins now model "host" and "subrange", but the
+        # declaration still guards third-party backends and typos);
+        # fail at spec construction, not minutes later in a worker.
         supported = getattr(backend, "supported_reductions", None)
         if supported is not None:
             for strategy in self.reduction_strategies:

@@ -961,16 +961,12 @@ class TraceStore:
     def _lease_path(self, kind: str, ref: str) -> Path:
         return self.lease_dir / f"{kind[0]}-{ref}.json"
 
-    def _read_lease(self, path: Path) -> dict | None:
-        """The lease document, or ``None`` for absent/unreadable files.
-
-        Leases are published and renewed atomically (hard link /
-        rename), so an unreadable file is crash junk, never a healthy
-        lease caught mid-write.
-        """
+    @staticmethod
+    def _parse_lease(raw: bytes) -> dict | None:
+        """Validate one lease document's bytes (``None`` if torn/junk)."""
         try:
-            data = json.loads(path.read_text())
-        except (OSError, ValueError):
+            data = json.loads(raw)
+        except ValueError:
             return None
         if not isinstance(data, dict):
             return None
@@ -983,6 +979,19 @@ class TraceStore:
             }
         except (KeyError, TypeError, ValueError):
             return None
+
+    def _read_lease(self, path: Path) -> dict | None:
+        """The lease document, or ``None`` for absent/unreadable files.
+
+        Leases are published and renewed atomically (hard link /
+        rename), so an unreadable file is crash junk, never a healthy
+        lease caught mid-write.
+        """
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        return self._parse_lease(raw)
 
     def _lease_stale(self, info: dict) -> bool:
         """Expired, or held by a pid that is dead on this host."""
@@ -1078,13 +1087,28 @@ class TraceStore:
         lease that appeared since the caller's check is left alone,
         and of several rivals racing the rename exactly one wins
         while the losers loop and observe the winner's new lease.
-        The re-judge→rename gap is the residual window; a rival that
-        loses it re-publishes over nothing (the path is empty), so
-        the worst case is one redundant, atomically-replaced build —
-        never a torn artifact or a lost fresh lease outside that
-        microsecond window.
+
+        The judgment is bound to the *file identity*: the staleness
+        check fstats the very fd it reads, and after winning the
+        rename the inode of what was actually taken is compared to
+        what was judged.  A mismatch means a rival republished inside
+        the judge→rename gap and we moved its *fresh* lease aside —
+        it is restored (hard link back; a no-op if the path has
+        already been repopulated) and the steal backs off.  That
+        narrows the residual window dramatically: a wrong steal is
+        detected and undone unless a *third* actor publishes into the
+        emptied path before the restore lands, in which case the
+        wronged holder's heartbeat notices the foreign pid within
+        ``ttl/3`` and downgrades to the protocol's documented worst
+        case — one redundant, atomically-replaced build, never a torn
+        artifact.
         """
-        info = self._read_lease(path)
+        try:
+            with open(path, "rb") as fh:
+                judged = os.fstat(fh.fileno())
+                info = self._parse_lease(fh.read())
+        except OSError:
+            return  # already retired by a rival stealer
         if info is not None and not self._lease_stale(info):
             return  # a fresh lease appeared since we judged: back off
         aside = path.parent / (
@@ -1094,6 +1118,18 @@ class TraceStore:
             os.rename(path, aside)
         except OSError:
             return  # another stealer won the rename; back off
+        try:
+            taken = os.stat(aside)
+        except OSError:
+            return
+        if (taken.st_ino, taken.st_dev) != (judged.st_ino, judged.st_dev):
+            # We took a lease republished after our judgment — a live
+            # rival's. Put it back and back off.
+            with contextlib.suppress(OSError):
+                os.link(aside, path)
+            with contextlib.suppress(OSError):
+                os.unlink(aside)
+            return
         with contextlib.suppress(OSError):
             os.unlink(aside)
 

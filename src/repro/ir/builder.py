@@ -21,7 +21,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Sequence
 
-from .expr import Expr, Ref, Var, as_expr
+from .expr import Ref, Var, as_expr
 from .loops import ArrayDecl, Loop, Program
 from .stmt import Assign, Reduction, Statement
 

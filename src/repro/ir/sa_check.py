@@ -33,7 +33,7 @@ from typing import Iterator, Sequence
 
 from .expr import AffineForm
 from .loops import Loop, Program
-from .stmt import Assign, Reduction, Statement
+from .stmt import Reduction, Statement
 
 __all__ = ["CheckReport", "Finding", "Verdict", "check_program"]
 
@@ -243,7 +243,9 @@ def _check_statement(ctx: _StmtContext) -> Finding:
             assert ranges is not None
             lo = {v: ranges[v][0] for v in loop_vars}
             second = dict(lo)
-            step = next(l.step for l in ctx.loops if l.var == witness_var)
+            step = next(
+                loop.step for loop in ctx.loops if loop.var == witness_var
+            )
             second[witness_var] = lo[witness_var] + step
             return Finding(
                 Verdict.VIOLATION,

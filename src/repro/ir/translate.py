@@ -35,7 +35,7 @@ from typing import Callable, Sequence
 from .expr import BinOp, Call, Const, Expr, Max, Min, Ref, Var
 from .loops import ArrayDecl, Loop, Program
 from .stmt import Assign, Reduction, Statement
-from .sa_check import Verdict, check_program
+from .sa_check import check_program
 
 __all__ = [
     "TranslationError",

@@ -33,7 +33,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..memory.linearize import row_major_strides
-from .expr import AffineForm, Expr
+from .expr import AffineForm
 from .loops import Loop, Program
 from .stmt import Reduction, Statement
 from .trace import Trace

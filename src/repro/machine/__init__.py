@@ -15,10 +15,11 @@ from .network import (
     make_topology,
     topology_names,
 )
-from .pe import CostModel, PEState
+from .pe import CONTENTION_MODELS, CostModel, PEState
 
 __all__ = [
     "Bus",
+    "CONTENTION_MODELS",
     "CostModel",
     "Crossbar",
     "DeadlockError",

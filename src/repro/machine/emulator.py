@@ -27,7 +27,7 @@ parallel execution *deterministic* with no synchronisation primitives.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np

@@ -20,7 +20,21 @@ but embeds them in a discrete-event model with
 * two execution modes — ``blocking`` (the PE stalls on every remote
   fetch) and ``multithreaded`` (the PE parks the waiting iteration and
   runs ahead, the paper's "during this remote read the requesting PE
-  can perform other useful work", §4).
+  can perform other useful work", §4),
+* both reduction strategies: ``host`` (every fold funnels through the
+  accumulator's owner — plain owner-computes replay) and ``subrange``
+  (folds run where their data lives via the *same*
+  :func:`~repro.core.simulator.subrange_placement` the untimed
+  simulator uses; once every fold of an accumulator has retired, its
+  host gathers one partial per contributing PE over the network and
+  performs the final write, releasing any reader deferred on the
+  accumulator cell),
+* optional per-link bandwidth: with
+  ``CostModel(contention_model="per-link")`` every message occupies
+  each link on its route for ``message_bytes / link_bandwidth``
+  cycles and queues behind traffic already holding the link, so the
+  contention the untimed model only *counts* feeds back into
+  completion time (``contention_delay_cycles`` in the result).
 
 Determinism: all event ties break on scheduling order; repeated runs
 produce identical cycle counts.
@@ -29,13 +43,19 @@ produce identical cycle counts.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..cache import PageCache, make_cache
 from ..core.access import AccessKind
-from ..core.simulator import MachineConfig, _owners_by_array
+from ..core.simulator import (
+    MachineConfig,
+    SubrangeGroup,
+    _owners_by_array,
+    subrange_groups,
+    subrange_placement,
+)
 from ..core.stats import AccessStats
 from ..ir.trace import Trace
 from ..memory.pages import PageTable
@@ -68,6 +88,11 @@ class TimedResult:
     refetches: int
     deferred_reads: int
     contention: dict[str, float]
+
+    @property
+    def contention_delay_cycles(self) -> float:
+        """Cycles messages spent queueing for (or draining over) links."""
+        return self.contention["contention_delay_cycles"]
 
     @property
     def remote_read_pct(self) -> float:
@@ -144,6 +169,18 @@ class TimedMachine:
         self.exec_pe = _owners_by_array(
             tr.w_arr, w_pages, self.tables, cfg.partition, cfg.n_pes
         )
+        # Subrange reductions: the same re-placement and accumulator
+        # grouping as the untimed simulator, so both backends agree on
+        # which PEs reduce together (and therefore on every counter).
+        self._combine_of: dict[Cell, SubrangeGroup] = {}
+        if cfg.reduction_strategy == "subrange" and tr.reduction_mask.any():
+            self.exec_pe = subrange_placement(
+                tr, self.tables, cfg, self.exec_pe
+            )
+            self._combine_of = {
+                _cell(g.array_id, g.flat): g
+                for g in subrange_groups(tr, self.tables, cfg, self.exec_pe)
+            }
         r_pages = tr.r_flat // cfg.page_size
         self.r_owner = _owners_by_array(
             tr.r_arr, r_pages, self.tables, cfg.partition, cfg.n_pes
@@ -157,6 +194,15 @@ class TimedMachine:
         for i in range(tr.n_instances):
             cell = _cell(int(tr.w_arr[i]), int(tr.w_flat[i]))
             self._writes_needed[cell] = self._writes_needed.get(cell, 0) + 1
+        # A subrange accumulator only becomes defined when its host's
+        # combine performs the final write — one write beyond the
+        # trace's folds — so readers defer until the gather completes.
+        for cell in self._combine_of:
+            self._writes_needed[cell] += 1
+        # When each accumulator's last trace write *completes* in
+        # simulated time (bursts run far ahead of queue.now, so the
+        # counting order alone must not time the gather).
+        self._acc_write_time: dict[Cell, float] = {}
         self._writes_done: dict[Cell, int] = {}
         self._write_time: dict[Cell, float] = {}
         # Deferred reads parked per cell: (request arrival time, deliver fn).
@@ -264,10 +310,74 @@ class TimedMachine:
         cell = _cell(int(tr.w_arr[instance]), int(tr.w_flat[instance]))
         done = self._writes_done.get(cell, 0) + 1
         self._writes_done[cell] = done
+        group = self._combine_of.get(cell)
+        if group is not None:
+            self._acc_write_time[cell] = max(
+                self._acc_write_time.get(cell, 0.0), state.busy_until
+            )
         if done >= self._writes_needed[cell]:
             self._write_time[cell] = state.busy_until
             self._release_waiters(cell, state.busy_until)
+        elif group is not None and done == self._writes_needed[cell] - 1:
+            # Every fold has been counted; the remaining write is the
+            # host's, performed after it gathers the partials.  The
+            # gather begins when the *slowest* counted write completes
+            # in simulated time — a PE's burst counts its folds while
+            # its local clock is already far past queue.now, so the
+            # counting order alone would start the combine early.
+            self.queue.schedule(
+                self._acc_write_time[cell],
+                lambda: self._combine(cell, group),
+            )
         return True
+
+    # -- messaging ------------------------------------------------------------
+    def _send_at(
+        self,
+        src: int,
+        dst: int,
+        depart: float,
+        payload_elements: int,
+        then,
+    ) -> None:
+        """Put one message on the wire at ``depart`` (simulated time).
+
+        Counts the message and its hops, then calls
+        ``then(hops, queued)`` where ``queued`` is the link-queueing
+        delay to add on top of the closed-form latency.
+
+        Without link occupancy (``contention_model="none"``, or
+        infinite bandwidth) the transmit is pure accounting and
+        ``then`` runs *synchronously* with ``queued == 0.0`` — the
+        historical event structure, bit-for-bit.  With occupancy, the
+        link reservation is deferred to an event at ``depart``: a PE's
+        burst calls this while its local clock runs far ahead of
+        ``queue.now``, so reserving at call time would queue messages
+        in event-processing order and charge a message delay behind
+        traffic that departs *later* in simulated time.  Routing
+        reservations through the event queue orders them causally.
+        """
+        occupancy = (
+            self.costs.occupancy(payload_elements)
+            if self.costs.contended
+            else 0.0
+        )
+        if occupancy == 0.0:
+            hops, _ = self.topology.transmit(src, dst, at=depart)
+            self.messages += 1
+            self.total_hops += hops
+            then(hops, 0.0)
+            return
+
+        def reserve() -> None:
+            hops, queued = self.topology.transmit(
+                src, dst, at=self.queue.now, occupancy=occupancy
+            )
+            self.messages += 1
+            self.total_hops += hops
+            then(hops, queued)
+
+        self.queue.schedule(depart, reserve)
 
     # -- remote fetches -------------------------------------------------------------
     def _snapshot_valid(self, pe: int, key: tuple[int, int], arr: int, flat: int) -> bool:
@@ -292,37 +402,45 @@ class TimedMachine:
         state = self._pes[pe]
         costs = self.costs
         state.busy_until = max(state.busy_until, self.queue.now)
-        hops = self.topology.record(pe, owner)
-        self.messages += 1
-        self.total_hops += hops
         state.requests_sent += 1
         self._outstanding[pe] += 1
         ctx.read_cursor = read_offset  # retry this read on resume
-        request_arrival = state.busy_until + costs.request_latency(hops)
+        depart = state.busy_until
         cell = _cell(arr, flat)
-        available = self._available_at(cell)
         key = (arr, page)
         page_elems = self.tables[arr].elements_in_page(page)
 
-        def deliver(ready_time: float) -> None:
-            reply_hops = self.topology.record(owner, pe)
-            self.messages += 1
-            self.total_hops += reply_hops
-            arrive = ready_time + costs.reply_latency(reply_hops, page_elems)
-            self.queue.schedule(
-                max(arrive, self.queue.now),
-                lambda: self._finish_fetch(pe, ctx, key, arrive, read_offset),
-            )
+        def on_request(hops: int, queued: float) -> None:
+            request_arrival = depart + costs.request_latency(hops) + queued
 
-        if available is not None:
-            deliver(max(request_arrival, available))
-        else:
-            # I-structure deferred read: parked at the owner until the
-            # producing write happens (§3).
-            self.deferred_reads += 1
-            self._deferred.setdefault(cell, []).append(
-                (request_arrival, deliver)
-            )
+            def deliver(ready_time: float) -> None:
+                def on_reply(reply_hops: int, reply_queued: float) -> None:
+                    arrive = (
+                        ready_time
+                        + costs.reply_latency(reply_hops, page_elems)
+                        + reply_queued
+                    )
+                    self.queue.schedule(
+                        max(arrive, self.queue.now),
+                        lambda: self._finish_fetch(
+                            pe, ctx, key, arrive, read_offset
+                        ),
+                    )
+
+                self._send_at(owner, pe, ready_time, page_elems, on_reply)
+
+            available = self._available_at(cell)
+            if available is not None:
+                deliver(max(request_arrival, available))
+            else:
+                # I-structure deferred read: parked at the owner until
+                # the producing write happens (§3).
+                self.deferred_reads += 1
+                self._deferred.setdefault(cell, []).append(
+                    (request_arrival, deliver)
+                )
+
+        self._send_at(pe, owner, depart, 0, on_request)
 
     def _finish_fetch(
         self,
@@ -360,6 +478,74 @@ class TimedMachine:
     def _release_waiters(self, cell: Cell, write_time: float) -> None:
         for request_arrival, deliver in self._deferred.pop(cell, []):
             deliver(max(write_time, request_arrival))
+
+    # -- subrange combine -------------------------------------------------------
+    def _combine(self, cell: Cell, group: SubrangeGroup) -> None:
+        """Gather one accumulator's partials at its host (§9 subrange).
+
+        Fires once every fold of the accumulator has *completed in
+        simulated time* (``queue.now`` is at least the slowest fold's
+        write completion, so every partial a reply carries exists when
+        it is read).  The host requests one partial from each *other*
+        contributing PE (request + single-element reply through the
+        network, so distance and — under the per-link model —
+        bandwidth contention both delay the gather), folds its own
+        partial locally if it made one, then performs the final
+        write.  Only then does the accumulator cell become available,
+        releasing any deferred readers — the exact charge pattern of
+        the untimed simulator's combine phase.
+        """
+        costs = self.costs
+        host = group.host
+        state = self._pes[host]
+        start = max(state.busy_until, self.queue.now)
+        remotes = [c for c in group.contributors if c != host]
+        arrivals = [start]
+        outstanding = [len(remotes)]
+
+        def finish() -> None:
+            done_time = max(arrivals)
+            if group.local_partials:
+                done_time += costs.local_read
+                self.stats.add(
+                    host, AccessKind.LOCAL_READ, array_id=group.array_id
+                )
+            done_time += costs.write
+            self.stats.add(host, AccessKind.WRITE, array_id=group.array_id)
+            state.busy_until = max(state.busy_until, done_time)
+            self._writes_done[cell] += 1
+            self._write_time[cell] = done_time
+            self._release_waiters(cell, done_time)
+
+        def gather(contributor: int) -> None:
+            self.stats.add(
+                host, AccessKind.REMOTE_READ, array_id=group.array_id
+            )
+
+            def on_request(hops: int, queued: float) -> None:
+                request_arrival = (
+                    start + costs.request_latency(hops) + queued
+                )
+
+                def on_reply(reply_hops: int, reply_queued: float) -> None:
+                    arrivals.append(
+                        request_arrival
+                        + costs.reply_latency(reply_hops, 1)
+                        + reply_queued
+                    )
+                    outstanding[0] -= 1
+                    if outstanding[0] == 0:
+                        finish()
+
+                self._send_at(contributor, host, request_arrival, 1, on_reply)
+
+            self._send_at(host, contributor, start, 0, on_request)
+
+        if not remotes:
+            finish()
+            return
+        for contributor in remotes:
+            gather(contributor)
 
 
 def serial_time(trace: Trace, costs: CostModel | None = None) -> float:

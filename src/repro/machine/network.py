@@ -15,7 +15,6 @@ against a shortest-path computation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from math import isqrt
 
 import numpy as np
@@ -46,6 +45,10 @@ class Topology:
             raise ValueError("need at least one PE")
         self.n_pes = n_pes
         self.link_traffic: dict[Link, int] = {}
+        # Bandwidth bookkeeping: the time each link next drains, kept
+        # only for messages transmitted with a nonzero occupancy.
+        self.link_free: dict[Link, float] = {}
+        self.queueing_delay = 0.0
 
     # -- required ---------------------------------------------------------------
     def hops(self, src: int, dst: int) -> int:
@@ -62,21 +65,53 @@ class Topology:
     # -- bookkeeping ---------------------------------------------------------------
     def record(self, src: int, dst: int) -> int:
         """Account one message's traffic; returns its hop count."""
+        hops, _ = self.transmit(src, dst, at=0.0)
+        return hops
+
+    def transmit(
+        self, src: int, dst: int, *, at: float, occupancy: float = 0.0
+    ) -> tuple[int, float]:
+        """Account one message and charge it link time.
+
+        The message departs at ``at`` and holds every link on its
+        deterministic route for ``occupancy`` cycles, store-and-forward:
+        a link still draining earlier traffic queues the message until
+        it frees.  Returns ``(hops, delay)`` where ``delay`` is the
+        cycles lost to queueing *and* serialization past the departure
+        time — the caller adds it on top of the closed-form latency.
+
+        With ``occupancy=0.0`` (the ``"none"`` contention model, or
+        infinite bandwidth) no link state is touched and the delay is
+        exactly ``0.0``: pure traffic accounting, identical to the
+        historical :meth:`record`.
+        """
         self._check(src)
         self._check(dst)
+        t = at
         for link in self.route(src, dst):
             key = (min(link), max(link))
             self.link_traffic[key] = self.link_traffic.get(key, 0) + 1
-        return self.hops(src, dst)
+            if occupancy > 0.0:
+                t = max(t, self.link_free.get(key, 0.0))
+                self.link_free[key] = t + occupancy
+                t += occupancy
+        delay = t - at
+        self.queueing_delay += delay
+        return self.hops(src, dst), delay
 
     def contention_summary(self) -> dict[str, float]:
         """Aggregate link-load statistics after a run."""
         if not self.link_traffic:
-            return {"messages_per_link_max": 0.0, "messages_per_link_mean": 0.0}
+            return {
+                "messages_per_link_max": 0.0,
+                "messages_per_link_mean": 0.0,
+                "contention_delay_cycles": 0.0,
+            }
         loads = np.asarray(list(self.link_traffic.values()), dtype=float)
         return {
             "messages_per_link_max": float(loads.max()),
             "messages_per_link_mean": float(loads.mean()),
+            "contention_delay_cycles": float(self.queueing_delay),
         }
 
     def graph(self):

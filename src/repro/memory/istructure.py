@@ -20,7 +20,7 @@ been produced yet; the untimed core only needs the write-once check.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.ir import ArrayDecl, Loop, ProgramBuilder, Var
-from repro.ir.loops import Program
 
 
 def tiny_program(n=10):

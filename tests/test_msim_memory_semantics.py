@@ -13,9 +13,6 @@ mechanisms that natural kernels only exercise incidentally:
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-
 from repro.core import MachineConfig, simulate
 from repro.ir import TraceBuilder
 from repro.machine import CostModel, TimedMachine

@@ -142,20 +142,21 @@ class TestFacade:
     def test_unsupported_scenario_error_crosses_the_service(
         self, hydro_trace
     ):
+        """A strategy no backend has heard of (smuggled past the
+        config validator — every valid one is modelled now) hits the
+        delegate's backstop inside a pool worker and must come back
+        with its structured fields intact."""
         configure_service(delegate="timed", workers=1)
-        scenario = Scenario(
-            config=MachineConfig(
-                n_pes=2, page_size=32, reduction_strategy="subrange"
-            ),
-            backend="service",
-        )
+        config = MachineConfig(n_pes=2, page_size=32)
+        object.__setattr__(config, "reduction_strategy", "tree")
+        scenario = Scenario(config=config, backend="service")
         with pytest.raises(UnsupportedScenarioError) as excinfo:
             get_backend("service").evaluate(hydro_trace, scenario)
         # The structured fields survived the worker → parent pickle.
         assert excinfo.value.backend == "timed"
         assert excinfo.value.knob == "reduction_strategy"
-        assert excinfo.value.value == "subrange"
-        assert excinfo.value.supported == ("host",)
+        assert excinfo.value.value == "tree"
+        assert excinfo.value.supported == ("host", "subrange")
 
 
 class TestSharedPool:

@@ -19,7 +19,6 @@ from repro.core import (
     simulate,
     simulate_program,
 )
-from repro.ir import ProgramBuilder
 from repro.kernels import get_kernel
 
 

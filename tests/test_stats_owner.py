@@ -10,7 +10,6 @@ from repro.core import (
     AccessStats,
     DataLayout,
     LoadBalance,
-    ModuloPartition,
     screen_iterations,
 )
 

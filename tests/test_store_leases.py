@@ -20,7 +20,6 @@ import os
 import time
 from pathlib import Path
 
-import pytest
 
 from repro.engine import (
     CampaignSpec,

@@ -7,7 +7,7 @@ import pytest
 
 from repro.ir import ProgramBuilder, Ref, run_program
 from repro.ir.vectorize import _assert_equal, fast_trace, try_vectorize_trace
-from repro.kernels import all_kernels, get_kernel
+from repro.kernels import get_kernel
 
 AFFINE_SIZES = {
     "hydro_fragment": 257,    # odd sizes exercise partial pages

@@ -64,22 +64,16 @@ def check_file(path: Path) -> list[str]:
             continue
         if target.startswith("#"):
             if target[1:].lower() not in _headings(path):
-                problems.append(
-                    f"{path}:{number}: broken anchor {target!r}"
-                )
+                problems.append(f"{path}:{number}: broken anchor {target!r}")
             continue
         raw, _, fragment = target.partition("#")
         destination = (path.parent / raw).resolve()
         if not destination.exists():
-            problems.append(
-                f"{path}:{number}: missing target {target!r}"
-            )
+            problems.append(f"{path}:{number}: missing target {target!r}")
             continue
         if fragment and destination.suffix == ".md":
             if fragment.lower() not in _headings(destination):
-                problems.append(
-                    f"{path}:{number}: broken anchor {target!r}"
-                )
+                problems.append(f"{path}:{number}: broken anchor {target!r}")
     return problems
 
 
