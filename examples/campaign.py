@@ -133,8 +133,8 @@ def main() -> None:
 
     # -- 6. the sharded store: stats and GC under a disk budget ------------
     stats = store.stats()
-    print(f"\nstore layout: {stats['traces']['entries']} traces + "
-          f"{stats['results']['entries']} results across "
+    print(f"\nstore layout: {stats['trace_entries']} traces + "
+          f"{stats['result_entries']} results across "
           f"{stats['shards']} shards, {stats['total_bytes']} bytes "
           f"(index.json format v{stats['index_format']})")
     budget = stats["total_bytes"] // 2

@@ -7,7 +7,7 @@ The ``backend="service"`` workflow end to end:
 2. launch three campaigns *concurrently* — each would historically
    have forked its own multiprocessing pool; through the service they
    submit into one bounded queue served by one resident pool;
-3. read the service's stats: one ``pool_launches``, every submission
+3. read the service's stats: one ``pool_launches_total``, every submission
    completed, the queue's high-water mark;
 4. run an overlapping campaign — points another campaign already
    built replay from the store's result cache (claims and, across
@@ -79,7 +79,7 @@ def main() -> None:
             title="service stats after 3 concurrent campaigns",
         )
     )
-    assert stats["pool_launches"] <= 1  # ONE pool served everything
+    assert stats["pool_launches_total"] <= 1  # ONE pool served everything
 
     # 4. An overlapping campaign: shared points come from the cache.
     before = evaluation_count()

@@ -52,10 +52,12 @@ import contextlib
 import multiprocessing as mp
 import os
 import threading
+import time
 import warnings
 from dataclasses import replace
 from typing import Iterator, Mapping, Sequence
 
+from .. import obs
 from ..ir.trace import Trace
 from .base import (
     EvalOutcome,
@@ -78,6 +80,15 @@ __all__ = [
 #: Default bound on the service's admission queue: submissions beyond
 #: this block in the submitter until a dispatcher frees a slot.
 DEFAULT_QUEUE_SIZE = 128
+
+#: One-release deprecation shim: pre-obs ``stats()`` keys -> canonical.
+_SERVICE_STATS_ALIASES: dict[str, str] = {
+    "submitted": "submitted_total",
+    "completed": "completed_total",
+    "failed": "failed_total",
+    "shared": "shared_total",
+    "pool_launches": "pool_launches_total",
+}
 
 
 class TraceUnavailableError(RuntimeError):
@@ -146,7 +157,10 @@ def _run_job(payload: _Payload) -> EvalOutcome:
     ) = payload
     if trace is None:
         trace = _load_worker_trace(trace_path)
-    outcome = get_backend(delegate).evaluate(trace, scenario)
+    # Pool workers inherit REPRO_OBS through the environment, so this
+    # span lands in the worker's own per-process JSONL file.
+    with obs.span("engine.evaluate", backend=delegate, ref=ref):
+        outcome = get_backend(delegate).evaluate(trace, scenario)
     if outcome.backend != scenario.backend:
         outcome = replace(outcome, backend=scenario.backend)
     if count_eval:
@@ -251,10 +265,13 @@ class EvalService:
         queue = self._queue
         assert queue is not None
         await queue.put(item)
+        high_water = None
         with self._lock:
-            self._stats["queue_high_water"] = max(
-                self._stats["queue_high_water"], queue.qsize()
-            )
+            if queue.qsize() > self._stats["queue_high_water"]:
+                self._stats["queue_high_water"] = queue.qsize()
+                high_water = queue.qsize()
+        if high_water is not None:
+            obs.emit("service.queue_high_water", value=high_water)
 
     async def _dispatch(self) -> None:
         """One dispatcher: drain the queue into the shared pool."""
@@ -394,10 +411,24 @@ class EvalService:
             existing = self._inflight.get(key)
             if existing is not None:
                 self._stats["shared"] += 1
-                return existing
-            future: concurrent.futures.Future = concurrent.futures.Future()
-            self._inflight[key] = future
-            self._stats["submitted"] += 1
+            else:
+                future = concurrent.futures.Future()
+                self._inflight[key] = future
+                self._stats["submitted"] += 1
+        if existing is not None:
+            obs.emit(
+                "service.submit",
+                ref=identity,
+                scenario=scenario.digest[:8],
+                shared=True,
+            )
+            return existing
+        obs.emit(
+            "service.submit",
+            ref=identity,
+            scenario=scenario.digest[:8],
+            shared=False,
+        )
         future.add_done_callback(lambda _f: self._forget(key))
         payload: _Payload = (
             self.delegate,
@@ -458,17 +489,43 @@ class EvalService:
             return "cold"  # pool not launched yet (no job has run)
         return f"pool[{self.workers}]"
 
-    def stats(self) -> dict[str, object]:
+    def stats_registry(self) -> "obs.MetricsRegistry":
+        """The service's lifetime counters and gauges as a registry."""
         with self._lock:
-            out: dict[str, object] = dict(self._stats)
-            out["in_flight"] = len(self._inflight)
-        out.update(
-            workers=self.workers,
-            queue_size=self.queue_size,
-            delegate=self.delegate,
-            mode=self.mode,
+            raw = dict(self._stats)
+            in_flight = len(self._inflight)
+        registry = obs.MetricsRegistry()
+        registry.label("delegate", self.delegate)
+        registry.label("mode", self.mode)
+        for name, help in (
+            ("submitted", "jobs admitted to the queue"),
+            ("completed", "jobs finished successfully"),
+            ("failed", "jobs that raised"),
+            ("shared", "submissions served by an in-flight duplicate"),
+            ("pool_launches", "resident pool launches"),
+        ):
+            registry.counter(name, help).inc(raw[name])
+        registry.gauge(
+            "queue_high_water", "deepest the admission queue has been"
+        ).set(raw["queue_high_water"])
+        registry.gauge("in_flight", "deduplicated jobs in flight").set(
+            in_flight
         )
-        return out
+        registry.gauge("workers", "resident pool size").set(self.workers)
+        registry.gauge("queue_size", "admission queue bound").set(
+            self.queue_size
+        )
+        return registry
+
+    def stats(self) -> dict[str, object]:
+        """Canonical snake_case snapshot (counters suffixed ``_total``).
+
+        The pre-obs unsuffixed counter keys still resolve for one
+        release via the deprecation shim.
+        """
+        return obs.LegacySnapshot(
+            self.stats_registry().snapshot(), _SERVICE_STATS_ALIASES
+        )
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
@@ -654,7 +711,7 @@ class ServiceBackend:
         traces: Mapping[str, Trace],
         touch: tuple[str, str] | None,
         trace_paths: Mapping[str, str] | None = None,
-    ) -> Iterator[tuple[int, EvalOutcome]]:
+    ) -> Iterator[tuple[int, EvalOutcome, float]]:
         """Submit a campaign's job list; yield outcomes as they finish.
 
         Store-backed traces travel by artifact path (each shared
@@ -678,9 +735,14 @@ class ServiceBackend:
         completed: queue_module.Queue = queue_module.Queue()
         entries_for: dict[concurrent.futures.Future, list] = {}
         outstanding: set[concurrent.futures.Future] = set()
+        #: submission time per future — the yielded wall seconds are
+        #: submit-to-completion (queue wait included: that *is* where
+        #: a service job's wall-clock goes under contention)
+        submitted_at: dict[concurrent.futures.Future, float] = {}
 
         def track(future: concurrent.futures.Future, entry) -> None:
             entries_for.setdefault(future, []).append(entry)
+            submitted_at.setdefault(future, time.perf_counter())
             if future not in outstanding:
                 outstanding.add(future)
                 future.add_done_callback(completed.put)
@@ -720,8 +782,11 @@ class ServiceBackend:
                             (index, label, ref, scenario),
                         )
                     continue
+                wall = time.perf_counter() - submitted_at.get(
+                    future, time.perf_counter()
+                )
                 for index, _label, _ref, _scenario in entries:
-                    yield index, outcome
+                    yield index, outcome, wall
         finally:
             # An abandoned or errored stream cannot cancel jobs the
             # resident pool already accepted — but it must not return

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from ..ir.trace import Trace
 from ..machine.msim import TimedMachine, serial_time
+from ..obs import profile
 from .base import (
     EvalOutcome,
     Scenario,
@@ -60,36 +61,50 @@ class TimedBackend:
                 supported=self.supported_reductions,
             )
         costs = scenario.costs
-        machine = TimedMachine(
-            trace,
-            scenario.config,
-            topology=scenario.topology,
-            costs=costs,
-            mode=scenario.mode,
-            max_outstanding=scenario.max_outstanding,
-        )
-        result = machine.run()
+
+        def run_machine():
+            machine = TimedMachine(
+                trace,
+                scenario.config,
+                topology=scenario.topology,
+                costs=costs,
+                mode=scenario.mode,
+                max_outstanding=scenario.max_outstanding,
+            )
+            return machine.run()
+
+        # REPRO_PROFILE adds setup / event_loop wall columns (same
+        # opt-in and bit-exactness caveat as the untimed backend).
+        phases: dict[str, float] = {}
+        if profile.enabled():
+            with profile.collect() as phases:
+                result = run_machine()
+        else:
+            result = run_machine()
         base = serial_time(trace, costs)
+        metrics = {
+            "finish_time": result.finish_time,
+            "speedup": result.speedup(base),
+            "stall_time": float(result.stall_time.sum()),
+            "messages": float(result.messages),
+            "total_hops": float(result.total_hops),
+            "refetches": float(result.refetches),
+            "deferred_reads": float(result.deferred_reads),
+            "messages_per_link_max": result.contention[
+                "messages_per_link_max"
+            ],
+            "messages_per_link_mean": result.contention[
+                "messages_per_link_mean"
+            ],
+            "contention_delay_cycles": result.contention_delay_cycles,
+        }
+        for name, seconds in phases.items():
+            metrics[f"profile_{name}_s"] = seconds
         return EvalOutcome(
             backend=self.name,
             scenario=scenario,
             stats=result.stats,
-            metrics={
-                "finish_time": result.finish_time,
-                "speedup": result.speedup(base),
-                "stall_time": float(result.stall_time.sum()),
-                "messages": float(result.messages),
-                "total_hops": float(result.total_hops),
-                "refetches": float(result.refetches),
-                "deferred_reads": float(result.deferred_reads),
-                "messages_per_link_max": result.contention[
-                    "messages_per_link_max"
-                ],
-                "messages_per_link_mean": result.contention[
-                    "messages_per_link_mean"
-                ],
-                "contention_delay_cycles": result.contention_delay_cycles,
-            },
+            metrics=metrics,
             per_pe={
                 "finish": result.per_pe_finish,
                 "stall": result.stall_time,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from ..core.simulator import simulate
 from ..ir.trace import Trace
+from ..obs import profile
 from .base import EvalOutcome, Scenario, register_backend
 
 __all__ = ["UntimedBackend"]
@@ -29,17 +30,30 @@ class UntimedBackend:
     table_metrics: tuple[str, ...] = ("page_fetches",)
 
     def evaluate(self, trace: Trace, scenario: Scenario) -> EvalOutcome:
-        result = simulate(trace, scenario.config)
+        # REPRO_PROFILE adds per-phase wall columns to the metrics.
+        # Off by default: timings are machine-dependent, so including
+        # them unconditionally would break the serial-vs-parallel
+        # bit-exactness contract (and cached outcomes replay whatever
+        # columns they were stored with).
+        phases: dict[str, float] = {}
+        if profile.enabled():
+            with profile.collect() as phases:
+                result = simulate(trace, scenario.config)
+        else:
+            result = simulate(trace, scenario.config)
+        metrics = {
+            "page_fetches": float(result.page_fetches.sum()),
+            "distinct_pages_fetched": float(
+                result.distinct_pages_fetched.sum()
+            ),
+        }
+        for name, seconds in phases.items():
+            metrics[f"profile_{name}_s"] = seconds
         return EvalOutcome(
             backend=self.name,
             scenario=scenario,
             stats=result.stats,
-            metrics={
-                "page_fetches": float(result.page_fetches.sum()),
-                "distinct_pages_fetched": float(
-                    result.distinct_pages_fetched.sum()
-                ),
-            },
+            metrics=metrics,
             per_pe={
                 "page_fetches": result.page_fetches,
                 "distinct_pages_fetched": result.distinct_pages_fetched,

@@ -15,6 +15,7 @@ Usage::
     python -m repro store stats              # sharded store: sizes/counters
     python -m repro store gc --max-bytes 50000000   # evict to a budget
     python -m repro serve --campaign a.json --campaign b.json  # shared pool
+    python -m repro obs summary              # telemetry event/span rollup
 
 The ``sweep`` subcommand runs on :mod:`repro.engine`: traces come from
 the persistent store (interpreted once per machine), results replay
@@ -150,8 +151,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     use_cache = not args.no_cache
     if args.parallel:
-        # Stream records as workers complete them: a progress line on
-        # stderr, the same canonically-ordered result at the end.
+        # Stream records as workers complete them.  The progress line
+        # renders through the observability event log: subscribing to
+        # ``campaign.point`` events activates emission, and the
+        # subscriber guarantees a final newline on close, so the table
+        # below never lands mid-line.
+        from . import obs
+
         stream = run_campaign(
             spec,
             parallel=True,
@@ -159,20 +165,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             stream=True,
             use_cache=use_cache,
         )
-        done = 0
-        width = 0
-        for record in stream:
-            done += 1
-            line = (
-                f"  [{done}/{spec.n_points}] {record.kernel.label} "
-                f"{record.scenario.label()}"
-            )
-            # Pad to the longest line so a shorter label fully
-            # overwrites the previous one.
-            width = max(width, len(line))
-            print(f"\r{line.ljust(width)}", end="", file=sys.stderr)
-        if done:
-            print(file=sys.stderr)
+        with obs.ProgressLine():
+            for _record in stream:
+                pass
         result = stream.result()
     else:
         result = run_campaign(spec, parallel=False, use_cache=use_cache)
@@ -228,6 +223,9 @@ def _cmd_store_stats(args: argparse.Namespace) -> int:
     # file idle for minutes has no owner coming back for it); files a
     # live campaign is still appending to are left for their owner.
     store.merge_touches(stale_after_s=300.0)
+    if args.prometheus:
+        print(store.stats_registry().to_prometheus(), end="")
+        return 0
     stats = store.stats()
     if args.json:
         print(_json.dumps(stats, indent=2, sort_keys=True))
@@ -238,14 +236,18 @@ def _cmd_store_stats(args: argparse.Namespace) -> int:
         ["policy", stats["policy"]],
         ["max_bytes", "unbounded" if budget is None else budget],
         ["shards", stats["shards"]],
-        ["traces", f"{stats['traces']['entries']} entries, "
-                   f"{stats['traces']['bytes']} bytes"],
-        ["results", f"{stats['results']['entries']} entries, "
-                    f"{stats['results']['bytes']} bytes"],
+        ["traces", f"{stats['trace_entries']} entries, "
+                   f"{stats['trace_bytes']} bytes"],
+        ["results", f"{stats['result_entries']} entries, "
+                    f"{stats['result_bytes']} bytes"],
         ["total_bytes", stats["total_bytes"]],
-        ["trace counters", stats["trace_counters"]],
-        ["result counters", stats["result_counters"]],
     ]
+    for kind in ("trace", "result"):
+        counters = {
+            name: stats[f"{kind}_{name}_total"]
+            for name in ("memory_hits", "disk_hits", "misses", "evictions")
+        }
+        rows.append([f"{kind} counters", counters])
     print(render_table(["field", "value"], rows, title="trace store stats"))
     return 0
 
@@ -326,10 +328,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         threading.Thread(target=drive, args=(slot, spec))
         for slot, spec in enumerate(specs)
     ]
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
+    # One shared progress line across all campaigns, fed by the event
+    # log; closing it guarantees the stats tables start on a fresh
+    # line instead of appending to a half-drawn progress line.
+    from . import obs
+
+    with obs.ProgressLine():
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
     for name, exc in errors:
         print(f"error in campaign {name!r}: {exc}", file=sys.stderr)
     if errors:
@@ -371,6 +379,75 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             _json.dumps(document, indent=2) + "\n"
         )
         print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Inspect the observability event log: tail, summary, merge.
+
+    Every subcommand folds the per-process ``<stem>-<pid>.jsonl``
+    files into the merged ``<stem>.jsonl`` first, so the view is
+    always current even while campaigns are running.
+    """
+    import json as _json
+    from collections import Counter as _Counter
+
+    from . import obs
+
+    merged = obs.merge(args.stem)
+    if merged is None:
+        print(
+            "error: no event log configured; pass --stem PATH or set "
+            "REPRO_OBS=jsonl:<path>",
+            file=sys.stderr,
+        )
+        return 2
+    events = list(obs.read_events(merged))
+    if args.obs_command == "merge":
+        print(f"merged {len(events)} events into {merged}")
+        return 0
+    if args.obs_command == "tail":
+        for record in events[-args.lines:]:
+            print(_json.dumps(record, default=str))
+        return 0
+    # summary: event-type histogram plus aggregated span durations.
+    from .bench import render_table
+
+    kinds = _Counter(str(e.get("event", "?")) for e in events)
+    print(
+        render_table(
+            ["event", "count"],
+            [[name, kinds[name]] for name in sorted(kinds)],
+            title=f"{len(events)} events in {merged}",
+        )
+    )
+    spans = [e for e in events if e.get("event") == "span"]
+    if spans:
+        count: _Counter = _Counter()
+        total: dict[str, float] = {}
+        for entry in spans:
+            name = str(entry.get("name", "?"))
+            count[name] += 1
+            total[name] = total.get(name, 0.0) + float(
+                entry.get("dur_s", 0.0) or 0.0
+            )
+        rows = [
+            [
+                name,
+                count[name],
+                f"{total[name]:.4f}s",
+                f"{total[name] / count[name]:.4f}s",
+            ]
+            for name in sorted(total, key=lambda n: -total[n])
+        ]
+        print()
+        print(
+            render_table(
+                ["span", "count", "total", "mean"],
+                rows,
+                title="span durations",
+            )
+        )
     return 0
 
 
@@ -534,6 +611,11 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
+    stats.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="Prometheus text-format export of the stats registry",
+    )
     stats.set_defaults(fn=_cmd_store_stats)
     gc = store_sub.add_parser(
         "gc", help="evict LRU entries (results first) down to a byte budget"
@@ -590,6 +672,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(fn=_cmd_serve)
 
+    obs_parser = sub.add_parser(
+        "obs", help="inspect the observability event log (REPRO_OBS)"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    for name, help_text in (
+        ("tail", "print the last N merged events as JSON lines"),
+        ("summary", "event-type histogram and span duration rollup"),
+        ("merge", "fold per-process event files into <stem>.jsonl"),
+    ):
+        obs_cmd = obs_sub.add_parser(name, help=help_text)
+        obs_cmd.add_argument(
+            "--stem",
+            default=None,
+            help="event log stem/path (default: parsed from REPRO_OBS)",
+        )
+        if name == "tail":
+            obs_cmd.add_argument(
+                "-n", "--lines", type=int, default=20, help="events to show"
+            )
+        obs_cmd.set_defaults(fn=_cmd_obs)
+
     adv = sub.add_parser("advise", help="recommend scheme and page size (§9)")
     adv.add_argument("kernel")
     adv.add_argument("--n", type=int, default=None)
@@ -614,6 +717,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except BrokenPipeError:
+        # e.g. `repro obs tail | head`: the consumer closed the pipe.
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # doesn't raise a second time.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     except (KeyError, ValueError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..cache import make_cache
 from ..ir.loops import Program
+from ..obs.profile import phase as _phase
 from ..ir.trace import Trace
 from ..memory.pages import PageTable
 from .access import AccessKind
@@ -334,24 +335,34 @@ def simulate(trace: Trace, config: MachineConfig) -> SimResult:
         )
 
     # --- owner-computes: executing PE of each statement instance -----------
-    w_pages = trace.w_flat // ps
-    exec_pe = _owners_by_array(
-        trace.w_arr, w_pages, tables, config.partition, n_pes
-    )
-    if config.reduction_strategy == "subrange" and trace.reduction_mask.any():
-        exec_pe = subrange_placement(trace, tables, config, exec_pe)
-    stats.add_vector(
-        AccessKind.WRITE, np.bincount(exec_pe, minlength=n_pes)
-    )
-
-    def finish(
-        page_fetches: np.ndarray, distinct_pages: np.ndarray
-    ) -> SimResult:
+    # Profiling phases (classify / cache_sim / reduction) bracket the
+    # hot regions for `repro.obs` — free no-op context managers unless
+    # a collector or the event sink is active.
+    with _phase("classify"):
+        w_pages = trace.w_flat // ps
+        exec_pe = _owners_by_array(
+            trace.w_arr, w_pages, tables, config.partition, n_pes
+        )
         if (
             config.reduction_strategy == "subrange"
             and trace.reduction_mask.any()
         ):
-            _charge_subrange_combine(trace, tables, config, exec_pe, stats)
+            exec_pe = subrange_placement(trace, tables, config, exec_pe)
+        stats.add_vector(
+            AccessKind.WRITE, np.bincount(exec_pe, minlength=n_pes)
+        )
+
+    def finish(
+        page_fetches: np.ndarray, distinct_pages: np.ndarray
+    ) -> SimResult:
+        with _phase("reduction"):
+            if (
+                config.reduction_strategy == "subrange"
+                and trace.reduction_mask.any()
+            ):
+                _charge_subrange_combine(
+                    trace, tables, config, exec_pe, stats
+                )
         return SimResult(config, stats, page_fetches, distinct_pages)
 
     if trace.n_reads == 0:
@@ -360,19 +371,20 @@ def simulate(trace: Trace, config: MachineConfig) -> SimResult:
         )
 
     # --- read classification -------------------------------------------------
-    reads_per_instance = np.diff(trace.r_ptr)
-    r_exec = np.repeat(exec_pe, reads_per_instance)
-    r_pages = trace.r_flat // ps
-    r_owner = _owners_by_array(
-        trace.r_arr, r_pages, tables, config.partition, n_pes
-    )
-    local_mask = r_owner == r_exec
-    stats.add_vector(
-        AccessKind.LOCAL_READ,
-        np.bincount(r_exec[local_mask], minlength=n_pes),
-    )
+    with _phase("classify"):
+        reads_per_instance = np.diff(trace.r_ptr)
+        r_exec = np.repeat(exec_pe, reads_per_instance)
+        r_pages = trace.r_flat // ps
+        r_owner = _owners_by_array(
+            trace.r_arr, r_pages, tables, config.partition, n_pes
+        )
+        local_mask = r_owner == r_exec
+        stats.add_vector(
+            AccessKind.LOCAL_READ,
+            np.bincount(r_exec[local_mask], minlength=n_pes),
+        )
 
-    nonlocal_idx = np.flatnonzero(~local_mask)
+        nonlocal_idx = np.flatnonzero(~local_mask)
     page_fetches = np.zeros(n_pes, dtype=np.int64)
     distinct_pages = np.zeros(n_pes, dtype=np.int64)
     if nonlocal_idx.size == 0:
@@ -383,51 +395,53 @@ def simulate(trace: Trace, config: MachineConfig) -> SimResult:
     nl_page = r_pages[nonlocal_idx]
 
     if not config.has_cache:
-        remote = np.bincount(nl_exec, minlength=n_pes)
-        stats.add_vector(AccessKind.REMOTE_READ, remote)
-        page_fetches += remote
-        for pe in range(n_pes):
-            mask = nl_exec == pe
-            if mask.any():
-                distinct_pages[pe] = len(
-                    np.unique(nl_arr[mask] * (1 << 40) + nl_page[mask])
-                )
+        with _phase("cache_sim"):
+            remote = np.bincount(nl_exec, minlength=n_pes)
+            stats.add_vector(AccessKind.REMOTE_READ, remote)
+            page_fetches += remote
+            for pe in range(n_pes):
+                mask = nl_exec == pe
+                if mask.any():
+                    distinct_pages[pe] = len(
+                        np.unique(nl_arr[mask] * (1 << 40) + nl_page[mask])
+                    )
         return finish(page_fetches, distinct_pages)
 
     # --- cache walk, per PE, run-length compressed ---------------------------
     # Composite key packs (array, page) into one int64 for fast comparison.
-    composite = nl_arr * (1 << 40) + nl_page
-    cached_per_pe = np.zeros(n_pes, dtype=np.int64)
-    remote_per_pe = np.zeros(n_pes, dtype=np.int64)
-    for pe in range(n_pes):
-        mask = nl_exec == pe
-        if not mask.any():
-            continue
-        keys = composite[mask]
-        arrs = nl_arr[mask]
-        pages = nl_page[mask]
-        # Run boundaries: positions where the page key changes.
-        change = np.empty(len(keys), dtype=bool)
-        change[0] = True
-        np.not_equal(keys[1:], keys[:-1], out=change[1:])
-        starts = np.flatnonzero(change)
-        run_lengths = np.diff(np.append(starts, len(keys)))
-        cache = make_cache(config.cache_policy, config.cache_pages)
-        cached = 0
-        remote = 0
-        for start, length in zip(starts.tolist(), run_lengths.tolist()):
-            hit = cache.access((int(arrs[start]), int(pages[start])))
-            if hit:
-                cached += length
-            else:
-                remote += 1
-                cached += length - 1
-        cached_per_pe[pe] = cached
-        remote_per_pe[pe] = remote
-        distinct_pages[pe] = len(np.unique(keys))
-    stats.add_vector(AccessKind.CACHED_READ, cached_per_pe)
-    stats.add_vector(AccessKind.REMOTE_READ, remote_per_pe)
-    page_fetches += remote_per_pe
+    with _phase("cache_sim"):
+        composite = nl_arr * (1 << 40) + nl_page
+        cached_per_pe = np.zeros(n_pes, dtype=np.int64)
+        remote_per_pe = np.zeros(n_pes, dtype=np.int64)
+        for pe in range(n_pes):
+            mask = nl_exec == pe
+            if not mask.any():
+                continue
+            keys = composite[mask]
+            arrs = nl_arr[mask]
+            pages = nl_page[mask]
+            # Run boundaries: positions where the page key changes.
+            change = np.empty(len(keys), dtype=bool)
+            change[0] = True
+            np.not_equal(keys[1:], keys[:-1], out=change[1:])
+            starts = np.flatnonzero(change)
+            run_lengths = np.diff(np.append(starts, len(keys)))
+            cache = make_cache(config.cache_policy, config.cache_pages)
+            cached = 0
+            remote = 0
+            for start, length in zip(starts.tolist(), run_lengths.tolist()):
+                hit = cache.access((int(arrs[start]), int(pages[start])))
+                if hit:
+                    cached += length
+                else:
+                    remote += 1
+                    cached += length - 1
+            cached_per_pe[pe] = cached
+            remote_per_pe[pe] = remote
+            distinct_pages[pe] = len(np.unique(keys))
+        stats.add_vector(AccessKind.CACHED_READ, cached_per_pe)
+        stats.add_vector(AccessKind.REMOTE_READ, remote_per_pe)
+        page_fetches += remote_per_pe
     return finish(page_fetches, distinct_pages)
 
 

@@ -57,6 +57,7 @@ import warnings
 from itertools import count
 from typing import Iterator, Sequence
 
+from .. import obs
 from ..backends import EvalOutcome, Scenario, evaluate_scenario, get_backend
 from ..backends.base import record_evaluations
 from ..core.simulator import MachineConfig
@@ -114,17 +115,20 @@ def _init_worker(
         _SHARED_TRACES.update(traces)
 
 
-def _eval_job(job: _Job) -> tuple[int, EvalOutcome]:
+def _eval_job(job: _Job) -> tuple[int, EvalOutcome, float]:
     """Pool-worker entry point: evaluate against the inherited table."""
     index, label, ref, scenario = job
-    outcome = evaluate_scenario(_SHARED_TRACES[label], scenario)
+    t0 = time.perf_counter()
+    with obs.span("engine.evaluate", index=index):
+        outcome = evaluate_scenario(_SHARED_TRACES[label], scenario)
+    wall = time.perf_counter() - t0
     if _WORKER_TOUCH is not None and ref:
         touch_dir, tag = _WORKER_TOUCH
         # Write-ahead: one access record per evaluation, to this
         # worker's own file.  ``evals=1`` carries the worker-side
         # evaluation count home (the parent's counter never saw it).
         append_touch(touch_dir, tag, ref, evals=1)
-    return index, outcome
+    return index, outcome, wall
 
 
 def _iter_parallel(
@@ -132,7 +136,7 @@ def _iter_parallel(
     traces: dict[str, Trace],
     workers: int,
     touch: tuple[str, str] | None,
-) -> Iterator[tuple[int, EvalOutcome]]:
+) -> Iterator[tuple[int, EvalOutcome, float]]:
     methods = mp.get_all_start_methods()
     ctx = mp.get_context("fork" if "fork" in methods else None)
     fork = ctx.get_start_method() == "fork"
@@ -158,7 +162,7 @@ def _iter_parallel(
             _SHARED_TRACES.pop(key, None)
         raise
 
-    def results() -> Iterator[tuple[int, EvalOutcome]]:
+    def results() -> Iterator[tuple[int, EvalOutcome, float]]:
         try:
             with pool:
                 yield from pool.imap_unordered(_eval_job, jobs, chunksize)
@@ -246,25 +250,43 @@ class _JobRunner:
                 f"parallel[{self._workers}]" if self._parallel else "serial"
             )
 
-    def _serial(self) -> Iterator[tuple[int, EvalOutcome]]:
+    def _serial(self) -> Iterator[tuple[int, EvalOutcome, float]]:
         for index, label, ref, scenario in self._jobs:
-            outcome = evaluate_scenario(self._traces[label], scenario)
+            t0 = time.perf_counter()
+            with obs.span("engine.evaluate", index=index):
+                outcome = evaluate_scenario(self._traces[label], scenario)
+            wall = time.perf_counter() - t0
             if self._touch is not None and ref:
                 # Same write-ahead record the workers produce, with
                 # evals=0: the parent's evaluation counter already saw
                 # this one, only the access time / hit count is news.
                 touch_dir, tag = self._touch
                 append_touch(touch_dir, tag, ref, evals=0)
-            yield index, outcome
+            yield index, outcome, wall
 
-    def __iter__(self) -> Iterator[tuple[int, EvalOutcome]]:
+    @staticmethod
+    def _with_wall(
+        items: Iterator[tuple],
+    ) -> Iterator[tuple[int, EvalOutcome, float]]:
+        """Normalise dispatcher output: old-style (index, outcome)
+        pairs from custom dispatching backends gain ``wall=None``."""
+        for item in items:
+            if len(item) == 2:
+                index, outcome = item
+                yield index, outcome, None
+            else:
+                yield item
+
+    def __iter__(self) -> Iterator[tuple[int, EvalOutcome, float]]:
         if self._dispatcher is not None:
             if self._bulk_dispatch:
-                yield from self._dispatcher.dispatch_jobs(
-                    self._jobs,
-                    self._traces,
-                    self._touch,
-                    trace_paths=self._trace_paths,
+                yield from self._with_wall(
+                    self._dispatcher.dispatch_jobs(
+                        self._jobs,
+                        self._traces,
+                        self._touch,
+                        trace_paths=self._trace_paths,
+                    )
                 )
             else:
                 # Serial pacing, same machinery: one job in flight at
@@ -272,11 +294,13 @@ class _JobRunner:
                 # travel by artifact path and resident workers memoise
                 # them instead of unpickling the trace per point.
                 for job in self._jobs:
-                    yield from self._dispatcher.dispatch_jobs(
-                        [job],
-                        self._traces,
-                        self._touch,
-                        trace_paths=self._trace_paths,
+                    yield from self._with_wall(
+                        self._dispatcher.dispatch_jobs(
+                            [job],
+                            self._traces,
+                            self._touch,
+                            trace_paths=self._trace_paths,
+                        )
                     )
             return
         if not self._parallel:
@@ -317,7 +341,10 @@ def run_grid(
         for s in scenarios
     ]
     jobs: list[_Job] = [(i, "", "", s) for i, s in enumerate(coerced)]
-    results = dict(_JobRunner(jobs, {"": trace}, parallel, workers))
+    results = {
+        i: outcome
+        for i, outcome, _wall in _JobRunner(jobs, {"": trace}, parallel, workers)
+    }
     return [results[i] for i in range(len(coerced))]
 
 
@@ -362,6 +389,7 @@ class CampaignStream:
         #: campaign loads no traces and records no shapes)
         self.trace_meta: dict[str, dict[str, int]] = {}
         self._records: list[EvalRecord] = []
+        self._done = 0
 
         trace_keys = {
             kernel.label: kernel_trace_key(
@@ -451,6 +479,15 @@ class CampaignStream:
             trace_paths=trace_paths,
         )
         self._iterator = self._generate()
+        if obs.active():
+            obs.emit(
+                "campaign.start",
+                campaign=spec.digest[:8],
+                backend=spec.backend,
+                points=spec.n_points,
+                cached=len(self._cached),
+                deferred=len(self._deferred),
+            )
 
     @property
     def executor(self) -> str:
@@ -467,9 +504,35 @@ class CampaignStream:
     def __len__(self) -> int:
         return self.spec.n_points
 
-    def _record(self, index: int, outcome: EvalOutcome) -> EvalRecord:
-        kernel, _scenario = self._points[index]
-        return EvalRecord(kernel=kernel, outcome=outcome, index=index)
+    def _record(
+        self,
+        index: int,
+        outcome: EvalOutcome,
+        *,
+        wall_s: float | None = None,
+        cache_hit: bool = False,
+    ) -> EvalRecord:
+        kernel, scenario = self._points[index]
+        self._done += 1
+        if obs.active():
+            obs.emit(
+                "campaign.point",
+                campaign=self.spec.digest[:8],
+                index=index,
+                done=self._done,
+                total=self.spec.n_points,
+                kernel=kernel.label,
+                scenario=scenario.label(),
+                cache_hit=cache_hit,
+                wall_s=wall_s,
+            )
+        return EvalRecord(
+            kernel=kernel,
+            outcome=outcome,
+            index=index,
+            eval_wall_s=wall_s,
+            cache_hit=cache_hit,
+        )
 
     def _resolve_deferred(self, index: int, event) -> EvalOutcome:
         """Replay a point a peer campaign claimed (compute if it died).
@@ -534,10 +597,10 @@ class CampaignStream:
         identity_warned = False
         try:
             for index, outcome in self._cached:
-                record = self._record(index, outcome)
+                record = self._record(index, outcome, cache_hit=True)
                 self._records.append(record)
                 yield record
-            for index, outcome in runner_iter:
+            for index, outcome, wall in runner_iter:
                 if self._use_cache:
                     key = self._result_keys[index]
                     if key.backend == self._current_cache_identity():
@@ -561,12 +624,14 @@ class CampaignStream:
                             )
                         self._store.abandon_result_claim(key)
                     self._owned_claims.discard(index)
-                record = self._record(index, outcome)
+                record = self._record(index, outcome, wall_s=wall)
                 self._records.append(record)
                 yield record
             for index, event in self._deferred:
                 record = self._record(
-                    index, self._resolve_deferred(index, event)
+                    index,
+                    self._resolve_deferred(index, event),
+                    cache_hit=True,
                 )
                 self._records.append(record)
                 yield record
@@ -588,6 +653,18 @@ class CampaignStream:
             merged = self._store.merge_touches(self._touch_tag)
             if merged["evaluations"]:
                 record_evaluations(merged["evaluations"])
+            # Telemetry follows the same write-ahead pattern: workers
+            # emitted into per-process JSONL files; fold them into the
+            # merged log now that the pool is closed.
+            if obs.active():
+                obs.emit(
+                    "campaign.done",
+                    campaign=self.spec.digest[:8],
+                    points=self.spec.n_points,
+                    delivered=self._done,
+                    elapsed_s=time.perf_counter() - self._started,
+                )
+                obs.merge()
 
     def __iter__(self) -> Iterator[EvalRecord]:
         """Single-pass: every record is yielded exactly once."""

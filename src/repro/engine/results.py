@@ -39,6 +39,12 @@ class EvalRecord:
     kernel: KernelSpec
     outcome: EvalOutcome
     index: int = -1
+    #: wall seconds this record's evaluation took in *this* run
+    #: (``None`` when it never ran here — served from the result cache)
+    eval_wall_s: float | None = None
+    #: True when the outcome came from the result cache (memory, disk,
+    #: or a peer campaign's deferred point), not a fresh evaluation
+    cache_hit: bool = False
 
     # -- convenient views ------------------------------------------------------
     @property
@@ -135,11 +141,19 @@ class EvalRecord:
             "reduction_strategy": config.reduction_strategy,
         }
         out.update(self._scenario_columns())
+        out["eval_wall_s"] = self.eval_wall_s
+        out["cache_hit"] = self.cache_hit
         out.update(self.outcome.summary())
         return out
 
     def identical(self, other: "EvalRecord") -> bool:
-        """Bit-exact comparison of every counter, metric and array."""
+        """Bit-exact comparison of every counter, metric and array.
+
+        Wall-clock provenance (``eval_wall_s``, ``cache_hit``) is
+        deliberately excluded — two runs of one campaign are the same
+        *result* however long each took and wherever each was served
+        from.
+        """
         return (
             self.kernel == other.kernel
             and self.index == other.index
@@ -252,6 +266,8 @@ class CampaignResult:
             *scenario_fields,
             "remote%",
             "cached%",
+            "eval_s",
+            "hit",
             *table_metrics,
         ]
         rows: list[list[object]] = []
@@ -272,6 +288,12 @@ class CampaignResult:
                     ),
                     record.remote_read_pct,
                     record.cached_read_pct,
+                    (
+                        None
+                        if record.eval_wall_s is None
+                        else round(record.eval_wall_s, 4)
+                    ),
+                    record.cache_hit,
                     *(
                         record.metrics.get(metric)
                         for metric in table_metrics

@@ -106,6 +106,7 @@ from typing import Callable, Iterator, Mapping
 
 import numpy as np
 
+from .. import obs
 from ..backends.base import EvalOutcome, Scenario
 from ..core.stats import AccessStats
 from ..ir.loops import Program
@@ -509,6 +510,39 @@ class GCReport:
 _POLICIES: dict[str, Callable[[dict], object]] = {
     "lru": lambda entry: entry.get("atime", 0.0),
     "fifo": lambda entry: entry.get("ctime", 0.0),
+}
+
+
+def _lease_fields(path: Path) -> dict[str, str]:
+    """Event fields (kind, ref) recovered from a lease file name."""
+    letter, _, rest = path.name.partition("-")
+    ref = rest[:-5] if rest.endswith(".json") else rest
+    kind = {"t": "trace", "r": "result"}.get(letter, letter)
+    return {"kind": kind, "ref": ref}
+
+
+def _counter_aliases(kind: str) -> Callable[[Mapping], dict[str, int]]:
+    def build(snapshot: Mapping) -> dict[str, int]:
+        return {
+            name: snapshot[f"{kind}_{name}_total"]
+            for name in ("memory_hits", "disk_hits", "misses", "evictions")
+        }
+
+    return build
+
+
+#: One-release deprecation shim: pre-obs ``stats()`` keys -> canonical.
+_STATS_ALIASES: dict[str, object] = {
+    "traces": lambda s: {
+        "entries": s["trace_entries"],
+        "bytes": s["trace_bytes"],
+    },
+    "results": lambda s: {
+        "entries": s["result_entries"],
+        "bytes": s["result_bytes"],
+    },
+    "trace_counters": _counter_aliases("trace"),
+    "result_counters": _counter_aliases("result"),
 }
 
 
@@ -1074,6 +1108,7 @@ class TraceStore:
             with self._lock:
                 self._held_leases.add((kind, ref))
                 self._ensure_lease_heartbeat()
+            obs.emit("lease.acquire", kind=kind, ref=ref)
             return True
         return False
 
@@ -1111,6 +1146,12 @@ class TraceStore:
             return  # already retired by a rival stealer
         if info is not None and not self._lease_stale(info):
             return  # a fresh lease appeared since we judged: back off
+        if info is None:
+            reason = "junk"
+        elif info["expires"] <= time.time():
+            reason = "expired"
+        else:
+            reason = "dead-holder"
         aside = path.parent / (
             f"{path.name}.stale-{os.getpid()}-{time.monotonic_ns()}"
         )
@@ -1132,6 +1173,7 @@ class TraceStore:
             return
         with contextlib.suppress(OSError):
             os.unlink(aside)
+        obs.emit("lease.steal", reason=reason, **_lease_fields(path))
 
     def release_lease(self, ref: str, *, kind: str = "result") -> None:
         """Drop a lease *if this store acquired it* (no-op otherwise).
@@ -1152,6 +1194,7 @@ class TraceStore:
         if info["pid"] == os.getpid() and info["host"] == _HOSTNAME:
             with contextlib.suppress(OSError):
                 os.unlink(path)
+            obs.emit("lease.release", kind=kind, ref=ref)
 
     def _ensure_lease_heartbeat(self) -> None:
         """Start the renewal thread if it is not running (locked)."""
@@ -1200,6 +1243,7 @@ class TraceStore:
             # case is one redundant, atomically-replaced evaluation.
             with self._lock:
                 self._held_leases.discard((kind, ref))
+            obs.emit("lease.expire", kind=kind, ref=ref)
             return
         if info["expires"] - time.time() > self.lease_ttl_s * (2.0 / 3.0):
             # Freshly acquired or just renewed: skip the rewrite.
@@ -1217,6 +1261,8 @@ class TraceStore:
             # Failed renewals must not litter leases/ with temp files.
             with contextlib.suppress(OSError):
                 os.unlink(tmp)
+        else:
+            obs.emit("lease.renew", kind=kind, ref=ref)
 
     def active_leases(self) -> int:
         """How many live (unexpired) leases exist under this root.
@@ -1379,7 +1425,15 @@ class TraceStore:
         try:
             with self._lock:
                 self.counters.misses += 1
-            trace = builder()
+            obs.emit("trace.build.start", ref=key.ref)
+            build_t0 = time.perf_counter()
+            with obs.span("store.build_trace", ref=key.ref):
+                trace = builder()
+            obs.emit(
+                "trace.build.done",
+                ref=key.ref,
+                dur_s=time.perf_counter() - build_t0,
+            )
             self.put(key, trace)
             return trace
         finally:
@@ -1416,7 +1470,10 @@ class TraceStore:
                 if count:
                     self.result_counters.memory_hits += 1
                 self._touch_entry(key.ref)
-                return outcome
+        if outcome is not None:
+            if count:
+                obs.emit("cache.hit", ref=key.ref, tier="memory")
+            return outcome
         path = self._resolve_result(key)
         outcome = None
         with self.reading(key.ref):
@@ -1434,10 +1491,14 @@ class TraceStore:
                     self._touch_entry(key.ref)
                 else:
                     self._record_entry(key.ref, "result", path)
-                return outcome
-            if count:
+            elif count:
                 self.result_counters.misses += 1
-            return None
+        if count:
+            if outcome is not None:
+                obs.emit("cache.hit", ref=key.ref, tier="disk")
+            else:
+                obs.emit("cache.miss", ref=key.ref)
+        return outcome
 
     def claim_result(self, key: ResultKey) -> threading.Event | _LeaseWaiter | None:
         """Announce an intent to compute a missing result.
@@ -1673,7 +1734,17 @@ class TraceStore:
                     self.counters.evictions += 1
             report.total_bytes = total
             self._flush_index()
-            return report
+        if report.evicted:
+            obs.emit(
+                "gc.evicted",
+                n=len(report.evicted),
+                results=report.evicted_results,
+                traces=report.evicted_traces,
+                freed_bytes=report.freed_bytes,
+                total_bytes=report.total_bytes,
+                policy=self.policy,
+            )
+        return report
 
     def _evict_memory(self, ref: str, kind: str) -> None:
         """Drop the in-memory copies of an evicted entry (locked)."""
@@ -1685,12 +1756,20 @@ class TraceStore:
                 del self._result_memory[key]
 
     # -- observability ---------------------------------------------------------
-    def stats(self) -> dict[str, object]:
-        """One JSON-friendly snapshot of layout, sizes and counters."""
+    def stats_registry(self) -> "obs.MetricsRegistry":
+        """Layout, sizes and counters as one metrics registry.
+
+        This is the single emission path behind ``repro store stats``
+        (``--json`` and ``--prometheus``) and
+        ``CampaignResult.store_stats``: gauges for layout/sizes,
+        ``_total``-suffixed counters for the monotonic hit/miss/
+        eviction counts.
+        """
         # Lease files are read without the store lock: the scan is
         # pure file I/O, and holding the lock through it would stall
         # every concurrent lookup/put for the duration.
         active = self.active_leases()
+        registry = obs.MetricsRegistry()
         with self._lock:
             self._adopt_unindexed()
             entries = self._index()
@@ -1711,22 +1790,49 @@ class TraceStore:
                 if self.touch_dir.is_dir()
                 else 0
             )
-            return {
-                "root": str(self.root),
-                "policy": self.policy,
-                "max_bytes": self.max_bytes,
-                "index_format": INDEX_FORMAT_VERSION,
-                "traces": by_kind["trace"],
-                "results": by_kind["result"],
-                "total_bytes": sum(
-                    b["bytes"] for b in by_kind.values()
-                ),
-                "shards": len(shards),
-                "pending_touch_files": pending,
-                "active_leases": active,
-                "trace_counters": self.counters.as_dict(),
-                "result_counters": self.result_counters.as_dict(),
-            }
+            registry.label("root", str(self.root))
+            registry.label("policy", self.policy)
+            registry.label("max_bytes", self.max_bytes)
+            registry.label("index_format", INDEX_FORMAT_VERSION)
+            for kind in ("trace", "result"):
+                registry.gauge(
+                    f"{kind}_entries", f"indexed {kind} artifacts"
+                ).set(by_kind[kind]["entries"])
+                registry.gauge(
+                    f"{kind}_bytes", f"on-disk bytes of {kind} artifacts"
+                ).set(by_kind[kind]["bytes"])
+            registry.gauge("total_bytes", "total on-disk bytes").set(
+                sum(b["bytes"] for b in by_kind.values())
+            )
+            registry.gauge("shards", "populated shard directories").set(
+                len(shards)
+            )
+            registry.gauge(
+                "pending_touch_files", "unmerged write-ahead files"
+            ).set(pending)
+            registry.gauge("active_leases", "live claim leases").set(active)
+            for kind, counters in (
+                ("trace", self.counters),
+                ("result", self.result_counters),
+            ):
+                for name, value in counters.as_dict().items():
+                    registry.counter(
+                        f"{kind}_{name}", f"{kind} store {name}"
+                    ).inc(value)
+        return registry
+
+    def stats(self) -> dict[str, object]:
+        """One JSON-friendly snapshot of layout, sizes and counters.
+
+        Canonical snake_case schema (monotonic counts suffixed
+        ``_total``); the pre-obs nested keys (``traces``, ``results``,
+        ``trace_counters``, ``result_counters``) still resolve for one
+        release via a :class:`~repro.obs.LegacySnapshot` that warns
+        ``DeprecationWarning`` on access.
+        """
+        return obs.LegacySnapshot(
+            self.stats_registry().snapshot(), _STATS_ALIASES
+        )
 
     # -- maintenance -----------------------------------------------------------
     def clear_memory(self) -> None:

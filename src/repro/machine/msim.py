@@ -59,6 +59,7 @@ from ..core.simulator import (
 from ..core.stats import AccessStats
 from ..ir.trace import Trace
 from ..memory.pages import PageTable
+from ..obs.profile import phase as _phase
 from .event import EventQueue
 from .network import Topology, make_topology
 from .pe import CostModel, PEState
@@ -142,8 +143,9 @@ class TimedMachine:
         self.tables = [
             PageTable(size, config.page_size) for size in trace.array_sizes
         ]
-        self._build_placement()
-        self._build_memory_state()
+        with _phase("setup"):
+            self._build_placement()
+            self._build_memory_state()
         self._pes = [PEState(pe) for pe in range(config.n_pes)]
         for idx, pe in enumerate(self.exec_pe):
             self._pes[pe].instances.append(idx)
@@ -230,7 +232,8 @@ class TimedMachine:
                 _Context(local_idx=i) for i in range(len(state.instances))
             )
             self._schedule_burst(pe, 0.0)
-        self.queue.run(max_events=20_000_000)
+        with _phase("event_loop"):
+            self.queue.run(max_events=20_000_000)
         per_pe_finish = np.asarray(
             [pe_state.busy_until for pe_state in self._pes]
         )

@@ -1,0 +1,206 @@
+"""One metrics vocabulary for the four ad-hoc counter schemas.
+
+The engine grew four disjoint stats surfaces —
+:class:`~repro.engine.store.StoreCounters`, the cache layer's
+``CacheStats``, ``EvalService.stats()`` and the simulator's
+``AccessStats`` — each with its own names and nesting.  This module
+gives them one registry of :class:`Counter` / :class:`Gauge` /
+:class:`Histogram` instruments with a stable ``snapshot()`` dict
+(snake_case; monotonic counts suffixed ``_total``) and a
+Prometheus-style text export.
+
+:class:`LegacySnapshot` keeps the previous schema readable for one
+release: legacy keys resolve through ``__getitem__``/``get`` with a
+:class:`DeprecationWarning` but are excluded from iteration and JSON
+serialization, so new output is clean while old callers keep working.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LegacySnapshot",
+    "MetricsRegistry",
+]
+
+
+def _total_name(name: str) -> str:
+    return name if name.endswith("_total") else f"{name}_total"
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count (snapshots as ``<name>_total``)."""
+
+    name: str
+    help: str = ""
+    value: int = 0
+
+    kind = "counter"
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def snapshot(self) -> dict[str, object]:
+        return {_total_name(self.name): self.value}
+
+
+@dataclass
+class Gauge:
+    """Point-in-time value that may go up or down."""
+
+    name: str
+    help: str = ""
+    value: float = 0
+
+    kind = "gauge"
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> dict[str, object]:
+        return {self.name: self.value}
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observations (count / sum / min / max)."""
+
+    name: str
+    help: str = ""
+    count: int = 0
+    total: float = 0.0
+    vmin: float | None = None
+    vmax: float | None = None
+
+    kind = "histogram"
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.vmin = value if self.vmin is None else min(self.vmin, value)
+        self.vmax = value if self.vmax is None else max(self.vmax, value)
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            f"{self.name}_count": self.count,
+            f"{self.name}_sum": self.total,
+            f"{self.name}_min": self.vmin,
+            f"{self.name}_max": self.vmax,
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Named instruments with one snapshot and one text export."""
+
+    _metrics: dict[str, Counter | Gauge | Histogram] = field(
+        default_factory=dict
+    )
+    #: non-numeric identity fields carried into the snapshot verbatim
+    _labels: dict[str, object] = field(default_factory=dict)
+
+    def _get(self, cls, name: str, help: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name, help)
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get(Histogram, name, help)
+
+    def label(self, name: str, value: object) -> None:
+        """Attach a non-numeric field (policy name, root path, ...)."""
+        self._labels[name] = value
+
+    def snapshot(self) -> dict[str, object]:
+        """Flat snake_case dict; counters suffixed ``_total``."""
+        out: dict[str, object] = dict(self._labels)
+        for name in self._metrics:
+            out.update(self._metrics[name].snapshot())
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (labels become ``# HELP`` noise-free
+        comments, non-numeric values are skipped)."""
+        lines: list[str] = []
+        for name, value in self._labels.items():
+            lines.append(f"# {name}: {value}")
+        for name, metric in self._metrics.items():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for key, value in metric.snapshot().items():
+                if value is None:
+                    continue
+                lines.append(f"{key} {value}")
+        return "\n".join(lines) + "\n"
+
+
+class LegacySnapshot(dict):
+    """A snapshot dict that still answers for one-release-old keys.
+
+    Iteration, ``len``, ``keys`` and JSON serialization see only the
+    canonical schema; looking up a legacy key succeeds with a
+    :class:`DeprecationWarning`.  ``aliases`` maps each legacy key to
+    either the canonical key it renamed to or a callable building the
+    legacy value from the snapshot.
+    """
+
+    def __init__(
+        self,
+        data: Mapping[str, object],
+        aliases: Mapping[str, str | Callable[[Mapping], object]],
+    ):
+        super().__init__(data)
+        self._aliases = dict(aliases)
+
+    def _resolve(self, key: str) -> object:
+        warnings.warn(
+            f"stats key {key!r} is deprecated; use the canonical "
+            "snake_case schema (see docs/observability.md)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        target = self._aliases[key]
+        if callable(target):
+            return target(self)
+        return dict.__getitem__(self, target)
+
+    def __getitem__(self, key):
+        if not dict.__contains__(self, key) and key in self._aliases:
+            return self._resolve(key)
+        return dict.__getitem__(self, key)
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __contains__(self, key) -> bool:
+        return dict.__contains__(self, key) or key in self._aliases

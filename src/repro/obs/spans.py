@@ -1,0 +1,96 @@
+"""Nestable tracing spans over the event log.
+
+A span is a timed region: ``with obs.span("store.build_trace",
+ref=ref): ...``.  On exit it emits a single ``span`` event carrying
+its id, its parent's id (spans nest via a thread-local stack), the
+start timestamp and the duration — enough to rebuild the tree offline
+from the merged JSONL.  Ids are ``<pid:x>-<seq:x>`` so they stay
+unique when multiprocessing workers and service pool workers all emit
+into their own per-process files.
+
+When no sink is active :func:`span` returns a shared no-op context
+manager — one function call and one boolean check, nothing else.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+
+from . import events
+
+__all__ = ["current_span_id", "span"]
+
+_counter = itertools.count(1)
+_tls = threading.local()
+
+
+class _NullSpan:
+    """Stateless, reusable do-nothing context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def _stack() -> list[str]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+def current_span_id() -> str | None:
+    """Id of the innermost open span on this thread (or None)."""
+    stack = getattr(_tls, "stack", None)
+    return stack[-1] if stack else None
+
+
+class _Span:
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "t0", "wall0")
+
+    def __init__(self, name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self):
+        stack = _stack()
+        self.span_id = f"{os.getpid():x}-{next(_counter):x}"
+        self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self.wall0 = time.time()
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        dur = time.perf_counter() - self.t0
+        stack = _stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        events.emit(
+            "span",
+            name=self.name,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            t0=self.wall0,
+            dur_s=dur,
+            ok=exc_type is None,
+            **self.attrs,
+        )
+        return False
+
+
+def span(name: str, **attrs: object):
+    """A timed, nestable tracing region (no-op when obs is inactive)."""
+    if not events.active():
+        return _NULL_SPAN
+    return _Span(name, attrs)

@@ -201,7 +201,7 @@ class TestCommands:
             assert "service stats" in out
             document = json.loads(out_path.read_text())
             assert len(document["campaigns"]) == 2
-            assert document["service"]["completed"] >= 1
+            assert document["service"]["completed_total"] >= 1
             for campaign in document["campaigns"]:
                 assert campaign["backend"] == "service"
         finally:

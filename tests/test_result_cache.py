@@ -105,7 +105,7 @@ class TestEvictionOrdering:
         run_campaign(small_spec(), store=store, parallel=False)
         n_traces, n_results = len(store), store.n_results()
         assert n_traces == 1 and n_results == small_spec().n_points
-        trace_bytes = store.stats()["traces"]["bytes"]
+        trace_bytes = store.stats()["trace_bytes"]
         # Budget just below current total: evicts results one by one
         # (LRU first) and never touches the trace.
         report = store.gc(max_bytes=store.total_bytes() - 1)
@@ -144,8 +144,8 @@ class TestEvictionOrdering:
         store = TraceStore(tmp_path)
         first = run_campaign(spec, store=store, parallel=False)
         # Keep roughly half the result bytes (plus the trace).
-        budget = store.stats()["traces"]["bytes"] + (
-            store.stats()["results"]["bytes"] // 2
+        budget = store.stats()["trace_bytes"] + (
+            store.stats()["result_bytes"] // 2
         )
         report = store.gc(max_bytes=budget)
         survivors = store.n_results()
@@ -161,8 +161,8 @@ class TestEvictionOrdering:
         result = run_campaign(small_spec(), store=store, parallel=False)
         stats = result.store_stats
         assert stats is not None
-        assert stats["results"]["entries"] == small_spec().n_points
-        assert stats["result_counters"]["misses"] == small_spec().n_points
+        assert stats["result_entries"] == small_spec().n_points
+        assert stats["result_misses_total"] == small_spec().n_points
         assert json.loads(result.to_json())["store"]["policy"] == "lru"
 
 

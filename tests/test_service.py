@@ -5,7 +5,7 @@ The tentpole contracts of ``backend="service"``:
 * the service is a *facade* — scenario axes, result schema and
   reduction support are the delegate's, and outcomes are bit-identical
   to evaluating on the delegate directly;
-* N concurrent campaigns share **one** worker pool (``pool_launches``
+* N concurrent campaigns share **one** worker pool (``pool_launches_total``
   stays at 1) with exactly-once evaluation, asserted through the
   process evaluation counter and the store's entry counts;
 * the admission queue is bounded — a grid larger than the queue still
@@ -200,8 +200,8 @@ class TestSharedPool:
         assert evaluation_count() - before == len(expected)
         assert store.n_results() == len(expected)
         stats = get_service().stats()
-        assert stats["pool_launches"] <= 1  # 0 if the sandbox forced inline
-        assert stats["completed"] == stats["submitted"]
+        assert stats["pool_launches_total"] <= 1  # 0 when forced inline
+        assert stats["completed_total"] == stats["submitted_total"]
         for result in results.values():
             assert result.executor.startswith("service[")
 
@@ -222,7 +222,7 @@ class TestSharedPool:
         )
         assert len(result) == spec.n_points
         stats = get_service().stats()
-        assert stats["completed"] == spec.n_points
+        assert stats["completed_total"] == spec.n_points
         assert stats["queue_high_water"] <= 2
 
     def test_second_run_replays_from_cache(self, tmp_path):
@@ -297,7 +297,7 @@ class TestSharedPool:
         )
         assert result.executor == "serial"
         assert len(result) == spec.n_points
-        assert get_service().stats()["completed"] == spec.n_points
+        assert get_service().stats()["completed_total"] == spec.n_points
 
     def test_parallel_grid_rejects_mixed_dispatching_backends(
         self, hydro_trace
@@ -334,8 +334,8 @@ class TestSharedPool:
         stats = service.stats()
         # All four submissions resolved; later ones shared the first's
         # future whenever it was still in flight.
-        assert stats["completed"] + stats["shared"] == 4
-        assert len(outcomes) <= stats["completed"]
+        assert stats["completed_total"] + stats["shared_total"] == 4
+        assert len(outcomes) <= stats["completed_total"]
 
     def test_service_repr_and_stats_shape(self):
         configure_service(workers=0, queue_size=7, delegate="untimed")
@@ -343,9 +343,9 @@ class TestSharedPool:
         assert "EvalService" in repr(service)
         stats = service.stats()
         for field in (
-            "submitted", "completed", "failed", "shared",
-            "queue_high_water", "pool_launches", "in_flight",
-            "workers", "queue_size", "delegate", "mode",
+            "submitted_total", "completed_total", "failed_total",
+            "shared_total", "pool_launches_total", "queue_high_water",
+            "in_flight", "workers", "queue_size", "delegate", "mode",
         ):
             assert field in stats
         assert stats["mode"] == "inline"
@@ -371,13 +371,13 @@ class TestSharedPool:
             for pes in (1, 2, 4, 8)
             for page in (16, 32, 64, 128)
         ]
-        launches_before = service.stats()["pool_launches"]
+        launches_before = service.stats()["pool_launches_total"]
         started = time.monotonic()
         service.close()
         assert time.monotonic() - started < 8.0  # no join-timeout hang
         assert not service._thread.is_alive()
         # The backlog was failed, not evaluated by a resurrected pool.
-        assert service.stats()["pool_launches"] == launches_before
+        assert service.stats()["pool_launches_total"] == launches_before
         for future in futures:
             assert future.done()
 

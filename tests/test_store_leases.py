@@ -20,7 +20,9 @@ import os
 import time
 from pathlib import Path
 
+import pytest
 
+from repro import obs
 from repro.engine import (
     CampaignSpec,
     KernelSpec,
@@ -266,6 +268,127 @@ class TestLeaseFiles:
         store.release_lease("4e" * 10)
 
 
+def merged_events(stem: Path) -> list[dict]:
+    merged = obs.merge(stem)
+    assert merged is not None
+    return list(obs.read_events(merged))
+
+
+def count_events(events: list[dict], name: str, **match: object) -> int:
+    return sum(
+        1
+        for event in events
+        if event.get("event") == name
+        and all(event.get(key) == value for key, value in match.items())
+    )
+
+
+class TestLeaseEventLog:
+    """Every lease transition shows up in the merged event log exactly
+    once — the telemetry is trustworthy enough to audit the exactly-
+    once build protocol from the outside."""
+
+    @pytest.fixture
+    def obs_stem(self, tmp_path, monkeypatch):
+        stem = tmp_path / "telemetry" / "events"
+        monkeypatch.setenv("REPRO_OBS", f"jsonl:{stem}")
+        yield stem
+        # Drop the sink handle and re-arm env auto-detection so later
+        # tests see the (restored) environment, not this test's stem.
+        obs.configure(None)
+
+    def test_acquire_and_release_logged_exactly_once(
+        self, tmp_path, obs_stem
+    ):
+        store = TraceStore(tmp_path / "store")
+        ref = "ab" * 10
+        assert store.acquire_lease(ref)
+        store.release_lease(ref)
+        events = merged_events(obs_stem)
+        assert count_events(events, "lease.acquire", ref=ref) == 1
+        assert count_events(events, "lease.release", ref=ref) == 1
+        assert count_events(events, "lease.steal") == 0
+        assert count_events(events, "lease.expire") == 0
+
+    def test_heartbeat_renewal_logged_exactly_once(
+        self, tmp_path, obs_stem
+    ):
+        # ttl=3.0 → heartbeat ticks every 1.0s and every tick finds
+        # remaining < 2/3·ttl, so holding for ~1.5s spans exactly one
+        # renewal window.
+        store = TraceStore(tmp_path / "store", lease_ttl_s=3.0)
+        ref = "2c" * 10
+        assert store.acquire_lease(ref)
+        time.sleep(1.5)
+        store.release_lease(ref)
+        events = merged_events(obs_stem)
+        assert count_events(events, "lease.renew", ref=ref) == 1
+        assert count_events(events, "lease.expire") == 0
+
+    def test_expired_steal_logged_exactly_once(self, tmp_path, obs_stem):
+        store = TraceStore(tmp_path / "store")
+        ref = "ef" * 10
+        write_lease(store, ref, host="elsewhere", expires_in=-1.0)
+        assert store.acquire_lease(ref)
+        events = merged_events(obs_stem)
+        assert (
+            count_events(events, "lease.steal", ref=ref, reason="expired")
+            == 1
+        )
+        assert count_events(events, "lease.acquire", ref=ref) == 1
+
+    def test_crash_recovery_steal_logged_exactly_once(
+        self, tmp_path, obs_stem
+    ):
+        """Two processes: the child acquires and dies mid-build; the
+        parent's steal is logged as a single dead-holder event, and
+        the merged log stitches both processes' files together."""
+        root = str(tmp_path / "store")
+        key = result_key(spec_a())
+        context = ctx()
+        acquired = context.Event()
+        child = context.Process(
+            target=_crash_holding_lease,
+            args=(
+                root,
+                {
+                    "trace_digest": key.trace_digest,
+                    "scenario_digest": key.scenario_digest,
+                    "backend": key.backend,
+                },
+                acquired,
+            ),
+        )
+        child.start()
+        assert acquired.wait(timeout=60)
+        child.kill()
+        child.join(timeout=60)
+
+        store = TraceStore(root, lease_ttl_s=60.0)
+        deadline = time.time() + 30
+        claim = store.claim_result(key)
+        while claim is not None and time.time() < deadline:
+            claim.wait(timeout=1.0)
+            claim = store.claim_result(key)
+        assert claim is None
+        store.abandon_result_claim(key)
+
+        events = merged_events(obs_stem)
+        # The child's acquire (its own per-pid file) plus the parent's
+        # post-steal acquire; one dead-holder steal; one release.
+        assert count_events(events, "lease.acquire", ref=key.ref) == 2
+        assert (
+            count_events(
+                events, "lease.steal", ref=key.ref, reason="dead-holder"
+            )
+            == 1
+        )
+        assert count_events(events, "lease.steal", reason="expired") == 0
+        assert count_events(events, "lease.release", ref=key.ref) == 1
+        pids = {event["pid"] for event in events}
+        assert len(pids) == 2  # both processes contributed
+
+
 class TestClaimIntegration:
     def test_claim_defers_to_a_foreign_lease(self, tmp_path):
         store = TraceStore(tmp_path)
@@ -325,9 +448,14 @@ def _crash_holding_lease(root, key_dict, acquired_event):
 
 
 class TestTwoProcessRaces:
-    def test_two_processes_build_every_entry_exactly_once(self, tmp_path):
+    def test_two_processes_build_every_entry_exactly_once(
+        self, tmp_path, monkeypatch
+    ):
         """The flagship: two independent processes, one store root —
-        every unique result built once, the trace interpreted once."""
+        every unique result built once, the trace interpreted once.
+        The merged event log tells the same story from the outside."""
+        stem = tmp_path / "telemetry" / "events"
+        monkeypatch.setenv("REPRO_OBS", f"jsonl:{stem}")
         root = str(tmp_path / "store")
         context = ctx()
         barrier = context.Barrier(2)
@@ -365,6 +493,22 @@ class TestTwoProcessRaces:
         data = json.loads(store.index_path.read_text())
         for entry in data["entries"].values():
             assert (store.root / entry["path"]).is_file()
+
+        # Telemetry audit: the merged log shows one trace build ever,
+        # both campaigns completing, and no lease left unexplained.
+        events = merged_events(stem)
+        obs.configure(None)
+        assert count_events(events, "trace.build.start") == 1
+        assert count_events(events, "trace.build.done") == 1
+        assert count_events(events, "campaign.done") == 2
+        acquires = count_events(events, "lease.acquire")
+        releases = count_events(events, "lease.release")
+        expires = count_events(events, "lease.expire")
+        assert acquires == releases + expires
+        assert {event["pid"] for event in events if
+                event["event"] == "campaign.done"} == {
+            process.pid for process in processes
+        }
 
     def test_crash_mid_lease_is_recovered(self, tmp_path):
         """A holder that dies mid-build delays rivals, never blocks

@@ -203,7 +203,7 @@ class TestParallelGCAcceptance:
         assert store.n_results() == spec.n_points
 
         stats = store.stats()
-        budget = stats["traces"]["bytes"] + stats["results"]["bytes"] // 2
+        budget = stats["trace_bytes"] + stats["result_bytes"] // 2
         report = store.gc(max_bytes=budget)
         assert report.evicted_results >= 1
         assert report.evicted_traces == 0  # results always go first

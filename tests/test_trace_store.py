@@ -390,10 +390,12 @@ class TestStoreStatsCLI:
         kernel_trace_cached("first_diff", n=32, store=store)
         assert main(["store", "stats", "--root", str(tmp_path), "--json"]) == 0
         data = json.loads(capsys.readouterr().out)
-        assert data["traces"]["entries"] == 1
-        assert data["results"]["entries"] == 0
+        assert data["trace_entries"] == 1
+        assert data["result_entries"] == 0
         assert data["index_format"] == 1
         assert data["total_bytes"] > 0
+        # Legacy nested keys are gone from the JSON document entirely.
+        assert "traces" not in data
 
     def test_store_gc_cli_enforces_budget(self, tmp_path, capsys):
         from repro.cli import main

@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Replay profiling baseline: where does evaluation time go?
+
+Runs the full replay path — interpret (trace build) plus the untimed
+simulator's classify / cache_sim / reduction phases — over
+representative kernels and reports per-phase wall seconds *and* each
+phase's share of the total.  The committed ``BENCH_replay.json`` is
+the baseline; CI's bench-smoke job re-runs this script in
+``REPRO_BENCH_FAST`` mode and fails when any phase's share drifts by
+more than 25% relative (with a 5-percentage-point absolute floor, so
+microsecond phases cannot flake the gate).
+
+Shares, not raw seconds, are what the gate compares: absolute timings
+track the runner's hardware, but the *proportion* of replay time spent
+in each phase is a property of the code.
+
+Usage::
+
+    python tools/replay_profile.py --out BENCH_replay.json   # regenerate
+    python tools/replay_profile.py --check BENCH_replay.json # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+PHASES = ("interpret", "classify", "cache_sim", "reduction")
+#: relative share-drift tolerance, plus an absolute floor so phases
+#: that are a sliver of the total cannot trip the relative gate.
+REL_TOLERANCE = 0.25
+ABS_FLOOR = 0.05
+
+
+def fast() -> bool:
+    return os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+
+def workload() -> tuple[tuple[tuple[str, int], ...], int]:
+    """(kernels, repetitions) — smaller in REPRO_BENCH_FAST mode."""
+    if fast():
+        return (("hydro_fragment", 400), ("first_diff", 400)), 2
+    return (("hydro_fragment", 2000), ("first_diff", 2000)), 5
+
+
+def profile_replay() -> dict[str, float]:
+    """Per-phase wall seconds over the workload (one fresh store)."""
+    from repro.core import MachineConfig
+    from repro.core.simulator import simulate
+    from repro.engine import TraceStore, kernel_trace_cached
+    from repro.obs import profile
+
+    kernels, reps = workload()
+    seconds = dict.fromkeys(PHASES, 0.0)
+    configs = (
+        MachineConfig(n_pes=16, page_size=32, cache_elems=256),
+        MachineConfig(n_pes=16, page_size=32, cache_elems=0),
+    )
+    with tempfile.TemporaryDirectory() as root:
+        store = TraceStore(root)
+        for name, n in kernels:
+            t0 = time.perf_counter()
+            trace = kernel_trace_cached(name, n=n, store=store)
+            seconds["interpret"] += time.perf_counter() - t0
+            for _ in range(reps):
+                for config in configs:
+                    with profile.collect() as phases:
+                        simulate(trace, config)
+                    for phase, elapsed in phases.items():
+                        seconds[phase] = seconds.get(phase, 0.0) + elapsed
+    return seconds
+
+
+def document(seconds: dict[str, float]) -> dict:
+    total = sum(seconds.values()) or 1.0
+    kernels, reps = workload()
+    return {
+        "schema": 1,
+        "fast": fast(),
+        "kernels": [f"{name}[n={n}]" for name, n in kernels],
+        "repetitions": reps,
+        "total_s": round(total, 6),
+        "phases": {
+            phase: {
+                "seconds": round(elapsed, 6),
+                "share": round(elapsed / total, 6),
+            }
+            for phase, elapsed in sorted(seconds.items())
+        },
+    }
+
+
+def check(baseline: dict, current: dict) -> list[str]:
+    """Share-drift failures of ``current`` against ``baseline``."""
+    failures: list[str] = []
+    base_phases = baseline.get("phases", {})
+    cur_phases = current.get("phases", {})
+    if set(base_phases) != set(cur_phases):
+        failures.append(
+            f"phase set changed: baseline {sorted(base_phases)} vs "
+            f"current {sorted(cur_phases)} (regenerate the baseline "
+            "with --out if this is intentional)"
+        )
+        return failures
+    for phase, base in base_phases.items():
+        base_share = float(base["share"])
+        cur_share = float(cur_phases[phase]["share"])
+        allowed = max(ABS_FLOOR, REL_TOLERANCE * base_share)
+        if abs(cur_share - base_share) > allowed:
+            failures.append(
+                f"phase {phase!r}: share {cur_share:.3f} vs baseline "
+                f"{base_share:.3f} (allowed drift {allowed:.3f})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--out", metavar="FILE", help="write the profile document"
+    )
+    group.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="profile now and diff phase shares against BASELINE",
+    )
+    args = parser.parse_args(argv)
+
+    doc = document(profile_replay())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}: total {doc['total_s']}s over "
+              f"{', '.join(doc['kernels'])}")
+        for phase, entry in doc["phases"].items():
+            print(f"  {phase:<10} {entry['seconds']:>10.4f}s "
+                  f"({entry['share']:6.1%})")
+        return 0
+
+    with open(args.check, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    failures = check(baseline, doc)
+    for phase, entry in doc["phases"].items():
+        base = baseline.get("phases", {}).get(phase, {})
+        print(f"  {phase:<10} share {entry['share']:6.1%} "
+              f"(baseline {float(base.get('share', 0.0)):6.1%})")
+    if failures:
+        print("replay profile regression:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("replay profile within tolerance of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
