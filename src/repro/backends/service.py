@@ -9,6 +9,21 @@ requests.  Campaigns (and one-off ``evaluate_scenario`` calls) submit
 jobs into a *bounded* queue; a small set of asyncio dispatchers drains
 it into one shared process pool that outlives any individual campaign.
 
+Admission is bounded globally (``queue_size``) and optionally by
+distinct campaign (``max_campaigns``); *dispatch* order round-robins
+across campaigns (:class:`_FairQueue`), so a 10⁵-point grid that
+arrived first cannot starve a one-job ``evaluate_scenario`` call — or
+a rival fleet campaign — behind its whole backlog.
+
+Submissions that carry a ``result_key`` (plus the ``store`` it lives
+in) are *store-coordinated inside submit*: the service looks the
+result up, takes the cross-process claim lease before dispatching,
+publishes the outcome on completion, and abandons the claim on
+failure.  Bare ``evaluate_scenario`` callers therefore coordinate
+through the same lease machinery campaigns use — two processes (or
+two fleet hosts) evaluating the same trace/scenario pair against one
+store root do the work exactly once while the first builder is alive.
+
 What sharing buys:
 
 * **workers** — the pool is created once (``pool_launches`` in
@@ -47,6 +62,7 @@ from __future__ import annotations
 
 import asyncio
 import atexit
+import collections
 import concurrent.futures
 import contextlib
 import multiprocessing as mp
@@ -71,6 +87,7 @@ __all__ = [
     "DEFAULT_QUEUE_SIZE",
     "EvalService",
     "ServiceBackend",
+    "ServiceSaturatedError",
     "TraceUnavailableError",
     "configure_service",
     "get_service",
@@ -80,6 +97,11 @@ __all__ = [
 #: Default bound on the service's admission queue: submissions beyond
 #: this block in the submitter until a dispatcher frees a slot.
 DEFAULT_QUEUE_SIZE = 128
+
+#: How long a store-coordinated submission defers to a live foreign
+#: claim holder before computing unclaimed (benign duplicate, atomic
+#: replace) — mirrors the store's own in-flight timeout.
+_CLAIM_DEFER_S = 120.0
 
 #: One-release deprecation shim: pre-obs ``stats()`` keys -> canonical.
 _SERVICE_STATS_ALIASES: dict[str, str] = {
@@ -99,6 +121,90 @@ class TraceUnavailableError(RuntimeError):
     cheap path-based hand-off failed — e.g. the entry was evicted
     between planning and execution).
     """
+
+
+class ServiceSaturatedError(RuntimeError):
+    """Admission control refused a submission.
+
+    Raised when the service's ``max_campaigns`` bound is set and a
+    submission would open one queue bucket too many.  The caller —
+    typically the fleet server — should back off and retry, or refuse
+    its own client upstream; jobs of already-admitted campaigns are
+    unaffected.
+    """
+
+
+class _FairQueue:
+    """Bounded multi-campaign queue with round-robin dispatch order.
+
+    Admission stays global — ``maxsize`` jobs across all campaigns,
+    matching the old single ``asyncio.Queue`` semantics — but each
+    campaign queues into its own bucket and :meth:`get` serves the
+    buckets round-robin, one job at a time.  A grid that arrived
+    first no longer starves later arrivals behind its whole backlog;
+    with K campaigns queued, each is served every K-th dispatch.
+
+    Runs entirely on the service's event loop thread (asyncio
+    primitives, no locks).  ``max_campaigns`` is the optional
+    admission bound on *distinct queued campaigns*: opening one bucket
+    beyond it raises :class:`ServiceSaturatedError` to the submitter.
+    """
+
+    def __init__(self, maxsize: int, max_campaigns: int | None = None):
+        self._maxsize = maxsize
+        self._max_campaigns = max_campaigns
+        self._size = 0
+        self._buckets: dict[str, collections.deque] = {}
+        self._rotation: collections.deque[str] = collections.deque()
+        self._cond = asyncio.Condition()
+
+    def qsize(self) -> int:
+        return self._size
+
+    def campaigns(self) -> int:
+        """Distinct campaigns currently queued (snapshot)."""
+        return len(self._buckets)
+
+    def task_done(self) -> None:
+        """Compatibility no-op (completion is tracked per future)."""
+
+    async def put(self, campaign: str, item) -> None:
+        async with self._cond:
+            while self._size >= self._maxsize:
+                await self._cond.wait()
+            bucket = self._buckets.get(campaign)
+            if bucket is None:
+                if (
+                    self._max_campaigns is not None
+                    and len(self._buckets) >= self._max_campaigns
+                ):
+                    raise ServiceSaturatedError(
+                        f"admission refused: {len(self._buckets)} campaigns "
+                        f"already queued (max_campaigns="
+                        f"{self._max_campaigns})"
+                    )
+                bucket = self._buckets[campaign] = collections.deque()
+                self._rotation.append(campaign)
+            bucket.append(item)
+            self._size += 1
+            self._cond.notify_all()
+
+    async def get(self):
+        async with self._cond:
+            while self._size == 0:
+                await self._cond.wait()
+            # Invariant: every rotation entry has a non-empty bucket
+            # (drained buckets are retired immediately below).
+            campaign = self._rotation.popleft()
+            bucket = self._buckets[campaign]
+            item = bucket.popleft()
+            if bucket:
+                self._rotation.append(campaign)
+            else:
+                del self._buckets[campaign]
+            self._size -= 1
+            self._cond.notify_all()
+            return item
 
 
 # ---------------------------------------------------------------------------
@@ -189,8 +295,12 @@ class EvalService:
     sandbox/degraded mode).  ``queue_size`` bounds the admission
     queue: :meth:`submit` blocks once that many jobs are in flight,
     which is what keeps a burst of campaigns from buffering their
-    entire grids in memory.  ``delegate`` names the backend that
-    actually evaluates each job.
+    entire grids in memory.  ``max_campaigns`` optionally bounds the
+    number of *distinct* campaigns queued at once (further admission
+    raises :class:`ServiceSaturatedError` — the fleet server's
+    refuse-upstream signal).  ``delegate`` names the backend that
+    actually evaluates each job.  Queued jobs dispatch round-robin
+    across campaigns, not strictly FIFO.
 
     Thread-safe: any number of campaign threads may submit
     concurrently; all coordination lives on the service's own event
@@ -205,17 +315,21 @@ class EvalService:
         workers: int | None = None,
         queue_size: int = DEFAULT_QUEUE_SIZE,
         delegate: str = "untimed",
+        max_campaigns: int | None = None,
     ) -> None:
         if queue_size < 1:
             raise ValueError("queue_size must be at least 1")
         if workers is not None and workers < 0:
             raise ValueError("workers must be non-negative")
+        if max_campaigns is not None and max_campaigns < 1:
+            raise ValueError("max_campaigns must be at least 1")
         _validate_delegate(delegate)
         from ..engine.executor import default_workers
 
         self.workers = default_workers() if workers is None else workers
         self.queue_size = queue_size
         self.delegate = delegate
+        self.max_campaigns = max_campaigns
         self._pid = os.getpid()
         self._lock = threading.Lock()
         self._closed = False
@@ -228,12 +342,13 @@ class EvalService:
             "shared": 0,
             "queue_high_water": 0,
             "pool_launches": 0,
+            "store_hits": 0,
         }
         #: in-flight dedup: (trace identity, scenario digest) -> future
         self._inflight: dict[tuple[str, str], concurrent.futures.Future] = {}
         self._ready = threading.Event()
         self._loop = asyncio.new_event_loop()
-        self._queue: asyncio.Queue | None = None
+        self._queue: _FairQueue | None = None
         self._thread = threading.Thread(
             target=self._run_loop, name="repro-eval-service", daemon=True
         )
@@ -243,7 +358,7 @@ class EvalService:
     # -- the loop --------------------------------------------------------------
     def _run_loop(self) -> None:
         asyncio.set_event_loop(self._loop)
-        self._queue = asyncio.Queue(maxsize=self.queue_size)
+        self._queue = _FairQueue(self.queue_size, self.max_campaigns)
         for slot in range(max(self.workers, 1)):
             self._loop.create_task(self._dispatch())
         self._loop.call_soon(self._ready.set)
@@ -261,10 +376,10 @@ class EvalService:
                 )
             self._loop.close()
 
-    async def _enqueue(self, item) -> None:
+    async def _enqueue(self, campaign: str, item) -> None:
         queue = self._queue
         assert queue is not None
-        await queue.put(item)
+        await queue.put(campaign, item)
         high_water = None
         with self._lock:
             if queue.qsize() > self._stats["queue_high_water"]:
@@ -389,6 +504,9 @@ class EvalService:
         ref: str = "",
         touch: tuple[str, str] | None = None,
         count_eval: bool = False,
+        campaign: str | None = None,
+        result_key=None,
+        store=None,
     ) -> concurrent.futures.Future:
         """Queue one evaluation; returns its future.
 
@@ -397,15 +515,31 @@ class EvalService:
         store artifact path instead of pickling it per job; ``ref`` and
         ``touch`` carry the write-ahead accounting of campaign jobs;
         ``count_eval=False`` marks dispatches the caller already
-        counted (the ``evaluate_scenario`` path).  Identical in-flight
-        submissions (same trace identity and scenario digest) share
-        one future and one evaluation.
+        counted (the ``evaluate_scenario`` path).  ``campaign`` names
+        the fairness bucket the job queues under (anonymous
+        submissions share one).  Identical in-flight submissions (same
+        trace identity and scenario digest) share one future and one
+        evaluation.
+
+        ``result_key``/``store`` (a :class:`~repro.engine.store.ResultKey`
+        and the :class:`~repro.engine.store.TraceStore` it addresses)
+        make the submission *store-coordinated*: a cached outcome
+        resolves the future immediately, otherwise the service takes
+        the cross-process claim lease before dispatching and publishes
+        (or abandons) it when the job settles — so bare
+        ``evaluate_scenario`` callers in different processes build
+        each point exactly once.
         """
         if trace is None and trace_path is None:
             raise ValueError("submit needs a trace or a trace_path")
         if self._closed or not self._thread.is_alive():
             raise RuntimeError("evaluation service is closed")
-        identity = ref or trace_path or f"mem:{id(trace)}"
+        identity = (
+            ref
+            or (result_key.ref if result_key is not None else "")
+            or trace_path
+            or f"mem:{id(trace)}"
+        )
         key = (identity, scenario.digest)
         with self._lock:
             existing = self._inflight.get(key)
@@ -441,8 +575,19 @@ class EvalService:
             count_eval,
         )
         try:
+            if result_key is not None and store is not None:
+                hit, claimed = self._coordinate_store(result_key, store)
+                if hit is not None:
+                    with self._lock:
+                        self._stats["store_hits"] += 1
+                    future.set_result(hit)
+                    return future
+                future.add_done_callback(
+                    self._settle_claim(result_key, store, claimed)
+                )
             admission = asyncio.run_coroutine_threadsafe(
-                self._enqueue((payload, future)), self._loop
+                self._enqueue(campaign or "adhoc", (payload, future)),
+                self._loop,
             )
             # Backpressure: block while the queue is full — but poll
             # the service's liveness, because a concurrent close()
@@ -479,6 +624,61 @@ class EvalService:
         with self._lock:
             self._inflight.pop(key, None)
 
+    # -- store coordination ----------------------------------------------------
+    def _coordinate_store(self, result_key, store):
+        """Resolve a store-coordinated submission up front.
+
+        Returns ``(hit, claimed)``: a cached outcome (and the job is
+        never dispatched), or ``(None, True)`` once this process holds
+        the claim lease, or ``(None, False)`` after deferring
+        :data:`_CLAIM_DEFER_S` to a wedged foreign holder — then the
+        job computes unclaimed, a benign duplicate that publishes by
+        atomic replace.  Runs in the *submitter's* thread: blocking
+        here is the same admission backpressure a full queue applies.
+        """
+        deadline = time.monotonic() + _CLAIM_DEFER_S
+        while True:
+            outcome = store.lookup_result(result_key)
+            if outcome is not None:
+                obs.emit("service.store_hit", ref=result_key.ref)
+                return outcome, False
+            gate = store.claim_result(result_key)
+            if gate is None:
+                obs.emit("service.claim", ref=result_key.ref)
+                return None, True
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                obs.emit("service.claim_defer_expired", ref=result_key.ref)
+                return None, False
+            gate.wait(timeout=min(5.0, max(0.05, remaining)))
+
+    def _settle_claim(self, result_key, store, claimed: bool):
+        """Done-callback publishing a store-coordinated job's outcome.
+
+        Success publishes through :meth:`TraceStore.put_result` (which
+        also releases our claim lease); failure abandons the claim so
+        waiters elsewhere stop deferring to a job that will never
+        publish.  Never raises — a done-callback exception would
+        poison the future's other callbacks.
+        """
+
+        def settle(future: concurrent.futures.Future) -> None:
+            try:
+                outcome = future.result()
+            except BaseException:  # noqa: BLE001 - job failure, not ours
+                if claimed:
+                    with contextlib.suppress(Exception):
+                        store.abandon_result_claim(result_key)
+                return
+            try:
+                store.put_result(result_key, outcome)
+            except Exception:
+                if claimed:
+                    with contextlib.suppress(Exception):
+                        store.abandon_result_claim(result_key)
+
+        return settle
+
     # -- observability ---------------------------------------------------------
     @property
     def mode(self) -> str:
@@ -494,6 +694,8 @@ class EvalService:
         with self._lock:
             raw = dict(self._stats)
             in_flight = len(self._inflight)
+        queue = self._queue
+        queue_campaigns = queue.campaigns() if queue is not None else 0
         registry = obs.MetricsRegistry()
         registry.label("delegate", self.delegate)
         registry.label("mode", self.mode)
@@ -503,6 +705,7 @@ class EvalService:
             ("failed", "jobs that raised"),
             ("shared", "submissions served by an in-flight duplicate"),
             ("pool_launches", "resident pool launches"),
+            ("store_hits", "submissions resolved from the result store"),
         ):
             registry.counter(name, help).inc(raw[name])
         registry.gauge(
@@ -515,6 +718,9 @@ class EvalService:
         registry.gauge("queue_size", "admission queue bound").set(
             self.queue_size
         )
+        registry.gauge(
+            "queue_campaigns", "distinct campaigns currently queued"
+        ).set(queue_campaigns)
         return registry
 
     def stats(self) -> dict[str, object]:
@@ -567,6 +773,7 @@ _config: dict[str, object] = {
     "workers": None,
     "queue_size": DEFAULT_QUEUE_SIZE,
     "delegate": "untimed",
+    "max_campaigns": None,
 }
 
 
@@ -583,6 +790,7 @@ def configure_service(
     workers: int | None = None,
     queue_size: int = DEFAULT_QUEUE_SIZE,
     delegate: str = "untimed",
+    max_campaigns: int | None = None,
 ) -> None:
     """Set the shared service's parameters (tears down a live one).
 
@@ -595,10 +803,15 @@ def configure_service(
         raise ValueError("workers must be non-negative")
     if queue_size < 1:
         raise ValueError("queue_size must be at least 1")
+    if max_campaigns is not None and max_campaigns < 1:
+        raise ValueError("max_campaigns must be at least 1")
     global _service
     with _service_lock:
         _config.update(
-            workers=workers, queue_size=queue_size, delegate=delegate
+            workers=workers,
+            queue_size=queue_size,
+            delegate=delegate,
+            max_campaigns=max_campaigns,
         )
         service, _service = _service, None
     if service is not None:
@@ -621,6 +834,7 @@ def get_service() -> EvalService:
                 workers=_config["workers"],  # type: ignore[arg-type]
                 queue_size=_config["queue_size"],  # type: ignore[arg-type]
                 delegate=_config["delegate"],  # type: ignore[arg-type]
+                max_campaigns=_config["max_campaigns"],  # type: ignore[arg-type]
             )
         return _service
 
@@ -694,8 +908,27 @@ class ServiceBackend:
         return getattr(self._delegate_backend(), "supported_reductions", None)
 
     def evaluate(self, trace: Trace, scenario: Scenario) -> EvalOutcome:
-        """One synchronous round-trip through the shared queue."""
-        return get_service().submit(trace, scenario).result()
+        """One synchronous round-trip through the shared queue.
+
+        Store-coordinated: the submission carries this point's
+        :class:`~repro.engine.store.ResultKey` (content digest of the
+        in-memory trace — no store registration required), so repeat
+        evaluations are cache hits and concurrent processes on one
+        store root serialise through the claim lease instead of
+        duplicating the build.
+        """
+        from ..engine.store import ResultKey, default_store
+
+        key = ResultKey(
+            trace_digest=trace.content_digest,
+            scenario_digest=scenario.digest,
+            backend=self.cache_identity,
+        )
+        return (
+            get_service()
+            .submit(trace, scenario, result_key=key, store=default_store())
+            .result()
+        )
 
     def dispatch_label(self) -> str:
         service = get_service()
@@ -727,6 +960,9 @@ class ServiceBackend:
 
         service = get_service()
         trace_paths = trace_paths or {}
+        # Fairness bucket: the campaign's touch tag is its identity for
+        # round-robin dispatch (anonymous grids share one bucket).
+        campaign = touch[1] if touch is not None else None
         # Completion is collected through one done-callback per future
         # feeding a queue — O(jobs) bookkeeping total, where repeated
         # `concurrent.futures.wait` calls would re-register a waiter
@@ -758,6 +994,7 @@ class ServiceBackend:
                         ref=ref,
                         touch=touch,
                         count_eval=True,
+                        campaign=campaign,
                     ),
                     (index, label, ref, scenario),
                 )
@@ -778,6 +1015,7 @@ class ServiceBackend:
                                 ref=ref,
                                 touch=touch,
                                 count_eval=True,
+                                campaign=campaign,
                             ),
                             (index, label, ref, scenario),
                         )

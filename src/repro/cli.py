@@ -277,6 +277,44 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_listen(args: argparse.Namespace) -> int:
+    """Run the fleet server: admit campaigns, hand points to workers."""
+    import asyncio
+
+    from .engine import CampaignSpec
+    from .fleet import FleetCoordinator, parse_address
+    from .fleet.server import FleetServer
+
+    host, port = parse_address(args.listen)
+    coordinator = FleetCoordinator(
+        max_attempts=args.max_attempts, max_campaigns=args.max_campaigns
+    )
+    server = FleetServer(
+        coordinator, host=host, port=port, delegate=args.delegate
+    )
+
+    async def main() -> None:
+        await server.start()
+        # The bound port (meaningful with --listen HOST:0) goes to
+        # stdout in a stable, parseable form before any campaign work.
+        print(f"fleet: listening on {host}:{server.port}", flush=True)
+        for path in args.campaign or ():
+            spec = server._normalise(CampaignSpec.load(path))
+            accepted = coordinator.submit(spec)
+            print(
+                f"fleet: admitted campaign {spec.name!r} "
+                f"({accepted['points']} points, {accepted['campaign'][:12]})",
+                flush=True,
+            )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run N campaigns concurrently over one shared evaluation service."""
     import json as _json
@@ -288,6 +326,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .bench import render_table
     from .engine import CampaignSpec, run_campaign
 
+    if args.listen:
+        return _cmd_serve_listen(args)
+    if not args.campaign:
+        print(
+            "error: pass --campaign FILE (or --listen HOST:PORT to run "
+            "the fleet server)",
+            file=sys.stderr,
+        )
+        return 2
     configure_service(
         workers=args.workers,
         queue_size=args.queue_size,
@@ -380,6 +427,131 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         print(f"wrote {args.json}")
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Run one fleet worker (TCP mode or filesystem spool mode)."""
+    from .engine import TraceStore
+    from .fleet.worker import run_spool_worker, run_worker
+
+    store = (
+        TraceStore(args.store_root) if args.store_root is not None else None
+    )
+    if args.connect:
+        return run_worker(
+            args.connect,
+            store=store,
+            max_jobs=args.max_jobs,
+            idle_exit_s=args.idle_exit,
+        )
+    if store is None:
+        print(
+            "error: pass --connect HOST:PORT (TCP mode) or "
+            "--store-root PATH (spool mode)",
+            file=sys.stderr,
+        )
+        return 2
+    return run_spool_worker(store=store, once=not args.watch)
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """Validate, print the schema for, or submit campaign specs."""
+    import json as _json
+    from pathlib import Path
+
+    from .engine import CampaignSpec
+    from .fleet import CAMPAIGN_SCHEMA, validate_campaign
+
+    if args.campaign_command == "schema":
+        print(_json.dumps(CAMPAIGN_SCHEMA, indent=2))
+        return 0
+
+    if args.campaign_command == "validate":
+        failures = 0
+        for name in args.spec:
+            try:
+                document = _json.loads(Path(name).read_text())
+            except (OSError, ValueError) as exc:
+                print(f"{name}: unreadable: {exc}")
+                failures += 1
+                continue
+            violations = validate_campaign(document)
+            if not violations:
+                try:
+                    spec = CampaignSpec.from_dict(document)
+                except (KeyError, ValueError) as exc:
+                    violations = [f"$: {exc}"]
+            if violations:
+                failures += 1
+                print(f"{name}: INVALID")
+                for violation in violations:
+                    print(f"  {violation}")
+            else:
+                print(
+                    f"{name}: ok — campaign {spec.name!r}, "
+                    f"{spec.n_points} points, backend {spec.backend!r}"
+                )
+        return 1 if failures else 0
+
+    # submit: over TCP to a fleet server, or into a spool directory.
+    if args.campaign_command == "submit":
+        if args.store_root is not None:
+            from .engine import TraceStore
+            from .fleet.worker import spool_dir
+
+            spool = spool_dir(TraceStore(args.store_root))
+            spool.mkdir(parents=True, exist_ok=True)
+            for name in args.spec:
+                spec = CampaignSpec.load(name)
+                target = spool / f"{spec.digest[:16]}.json"
+                spec.save(target)
+                print(f"spooled {spec.name!r} -> {target}")
+            return 0
+        if not args.connect:
+            print(
+                "error: pass --connect HOST:PORT or --store-root PATH",
+                file=sys.stderr,
+            )
+            return 2
+        from .fleet import FleetClient
+
+        exit_code = 0
+        with FleetClient(args.connect) as client:
+            digests = []
+            for name in args.spec:
+                document = _json.loads(Path(name).read_text())
+                reply = client.request({"op": "submit", "spec": document})
+                print(
+                    f"accepted {name}: campaign {reply['campaign'][:12]} "
+                    f"({reply['points']} points, backend {reply['backend']!r}"
+                    + (", already known)" if reply.get("known") else ")")
+                )
+                digests.append(reply["campaign"])
+            if args.wait:
+                for digest in digests:
+                    while True:
+                        status = client.request(
+                            {"op": "wait", "campaign": digest, "timeout": 30}
+                        )
+                        if status["state"] != "running":
+                            break
+                        print(
+                            f"waiting on {digest[:12]}: "
+                            f"{status['done']}/{status['total']} done",
+                            flush=True,
+                        )
+                    failures = status.get("failures") or {}
+                    print(
+                        f"campaign {digest[:12]} {status['state']}: "
+                        f"{status['done']}/{status['total']} points"
+                        + (f", {len(failures)} failed" if failures else "")
+                    )
+                    for index, error in sorted(failures.items()):
+                        print(f"  point {index}: {error}")
+                    if status["state"] != "done":
+                        exit_code = 1
+        return exit_code
+    raise AssertionError(f"unknown campaign command {args.campaign_command}")
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -633,14 +805,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="run campaigns concurrently over one shared evaluation service",
+        help=(
+            "run campaigns over one shared evaluation service, or "
+            "(--listen) serve them to fleet workers"
+        ),
     )
     serve.add_argument(
         "--campaign",
         metavar="FILE",
         action="append",
-        required=True,
         help="JSON campaign spec (repeat for concurrent campaigns)",
+    )
+    serve.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help=(
+            "fleet mode: listen for workers and campaign submissions "
+            "(port 0 picks a free port, printed on startup)"
+        ),
+    )
+    serve.add_argument(
+        "--max-campaigns",
+        type=int,
+        default=None,
+        help="fleet mode: bound on concurrently admitted campaigns",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="fleet mode: attempts per point before a structured failure",
     )
     serve.add_argument(
         "--workers",
@@ -671,6 +866,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="write campaign results + service stats as JSON",
     )
     serve.set_defaults(fn=_cmd_serve)
+
+    worker = sub.add_parser(
+        "worker", help="run one fleet worker against a shared store root"
+    )
+    worker.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="fleet server to pull jobs from (TCP mode)",
+    )
+    worker.add_argument(
+        "--store-root",
+        metavar="PATH",
+        default=None,
+        help=(
+            "shared store root (default: the active store); without "
+            "--connect this selects spool mode"
+        ),
+    )
+    worker.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="exit after settling this many points",
+    )
+    worker.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        help="exit 0 after this many seconds without work",
+    )
+    worker.add_argument(
+        "--watch",
+        action="store_true",
+        help="spool mode: keep polling instead of one pass",
+    )
+    worker.set_defaults(fn=_cmd_worker)
+
+    campaign = sub.add_parser(
+        "campaign", help="validate, describe, or submit campaign specs"
+    )
+    campaign_sub = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+    validate = campaign_sub.add_parser(
+        "validate", help="check spec files against the versioned schema"
+    )
+    validate.add_argument("spec", nargs="+", metavar="FILE")
+    validate.set_defaults(fn=_cmd_campaign)
+    campaign_sub.add_parser(
+        "schema", help="print the campaign-spec JSON Schema"
+    ).set_defaults(fn=_cmd_campaign)
+    submit = campaign_sub.add_parser(
+        "submit", help="submit spec files to a fleet server (or spool)"
+    )
+    submit.add_argument("spec", nargs="+", metavar="FILE")
+    submit.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="fleet server address",
+    )
+    submit.add_argument(
+        "--store-root", metavar="PATH", default=None,
+        help="spool the specs under this store root instead",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the submitted campaigns finish",
+    )
+    submit.set_defaults(fn=_cmd_campaign)
 
     obs_parser = sub.add_parser(
         "obs", help="inspect the observability event log (REPRO_OBS)"

@@ -36,7 +36,7 @@ therefore shards::
       index.json            versioned JSON index (atomic rename)
       traces/<ab>/<name>-<digest16>.npz     trace shards
       results/<cd>/<backend>-<digest20>.npz result shards
-      touch/<tag>-<pid>.jsonl               per-worker write-ahead logs
+      touch/<tag>-<host>-<pid>.jsonl        per-worker write-ahead logs
 
 * **Shards** — every artifact lives under a two-hex-character prefix
   directory derived from its digest (:func:`shard_of`, i.e.
@@ -61,7 +61,7 @@ therefore shards::
   kind (``counters.evictions`` / ``result_counters.evictions``).
 * **Write-ahead touch files** — multiprocessing campaign workers never
   write ``index.json``; each worker appends one JSON line per
-  evaluation to its own ``touch/<tag>-<pid>.jsonl`` file and the
+  evaluation to its own ``touch/<tag>-<host>-<pid>.jsonl`` file and the
   parent merges them (access times, hit counters, worker-side
   evaluation counts) when the campaign completes
   (:meth:`TraceStore.merge_touches`), so the index cannot be corrupted
@@ -72,12 +72,17 @@ therefore shards::
   in-flight build recording the holder's pid, host and an expiry
   timestamp.  A lease is published atomically (written to a temp file,
   then hard-linked into place, so a reader can never observe a
-  half-written lease), renewed by a per-process heartbeat thread while
-  the claim is held, and *stolen* by a rival once it expires — or
+  half-written lease) and *stolen* by a rival once it goes stale — or
   immediately, when the holder's pid is provably dead on the same
-  host.  Two independent processes sharing one store root therefore
-  never build the same entry twice while the first builder is alive;
-  a crash mid-build delays rivals by at most ``lease_ttl_s``.
+  host.  Liveness past the lease's own expiry comes from a single
+  per-process *heartbeat manifest* (``leases/hb/<host>-<pid>.json``)
+  renewed with one atomic replace per tick, so heartbeat I/O is O(1)
+  per tick no matter how many leases a campaign holds: a lease is
+  live while its own expiry is in the future *or* its holder's
+  heartbeat is fresh.  Two independent processes sharing one store
+  root therefore never build the same entry twice while the first
+  builder is alive; a crash stops the heartbeat and delays rivals by
+  at most ``lease_ttl_s``.
 * **Migration** — a legacy flat-layout store (traces at ``<root>/
   *.npz``, results at ``<root>/results/*.npz``) is migrated losslessly
   into the sharded layout the first time it is opened.
@@ -154,9 +159,10 @@ _LEASES_DIR = "leases"
 #: before giving up and building the entry itself.
 _INFLIGHT_TIMEOUT_S = 120.0
 
-#: Default validity of a cross-process claim lease.  Held leases are
-#: renewed by a heartbeat thread every ``lease_ttl_s / 3``, so only a
-#: crashed (or wedged) holder ever lets one expire.
+#: Default validity of a cross-process claim lease.  A holder's
+#: per-process heartbeat manifest is renewed every ``lease_ttl_s / 3``
+#: (one atomic replace covering every lease it holds), so only a
+#: crashed (or wedged) holder ever lets its leases go stale.
 LEASE_TTL_S = 30.0
 
 #: How often a cross-process lease waiter re-checks for the peer's
@@ -164,6 +170,15 @@ LEASE_TTL_S = 30.0
 _LEASE_POLL_S = 0.05
 
 _HOSTNAME = socket.gethostname() or "localhost"
+
+#: Heartbeat manifests live in a subdirectory so the ``*-*.json``
+#: globs over claim-lease files never pick one up.
+_HB_DIR = "hb"
+
+
+def _safe_host(host: str) -> str:
+    """A hostname reduced to filename-safe characters."""
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", host) or "localhost"
 
 
 def _pid_alive(pid: int) -> bool:
@@ -445,7 +460,10 @@ def append_touch(
                 "evals": int(evals),
             }
         )
-        with open(directory / f"{tag}-{os.getpid()}.jsonl", "a") as fh:
+        # Host + pid in the filename: fleet workers on different hosts
+        # sharing one store root may reuse a pid.
+        name = f"{tag}-{_safe_host(_HOSTNAME)}-{os.getpid()}.jsonl"
+        with open(directory / name, "a") as fh:
             fh.write(line + "\n")
     except OSError:
         pass
@@ -654,6 +672,10 @@ class TraceStore:
         #: cross-process leases this store currently holds: (kind, ref)
         self._held_leases: set[tuple[str, str]] = set()
         self._lease_thread: threading.Thread | None = None
+        #: (host, pid) -> (checked_monotonic, expires): short-lived
+        #: cache of holder heartbeat manifests, so scanning N leases of
+        #: one holder costs one manifest read, not N
+        self._hb_cache: dict[tuple[str, int], tuple[float, float]] = {}
         #: whether unindexed shard artifacts have been adopted (once)
         self._adopted = False
         #: (inode, mtime, size) of the index as this process last
@@ -1027,21 +1049,59 @@ class TraceStore:
             return None
         return self._parse_lease(raw)
 
+    def _heartbeat_path(self, host: str, pid: int) -> Path:
+        """Where ``(host, pid)``'s per-process heartbeat manifest lives."""
+        return self.lease_dir / _HB_DIR / f"{_safe_host(host)}-{int(pid)}.json"
+
+    def _heartbeat_expires(self, host: str, pid: int) -> float:
+        """When ``(host, pid)``'s heartbeat manifest expires (0.0 = none).
+
+        Reads are cached for a small fraction of the TTL: a sweep over
+        thousands of leases held by one campaign process costs one
+        manifest read, not one per lease.
+        """
+        now = time.monotonic()
+        window = min(1.0, self.lease_ttl_s / 6.0)
+        cached = self._hb_cache.get((host, pid))
+        if cached is not None and now - cached[0] <= window:
+            return cached[1]
+        info = self._read_lease(self._heartbeat_path(host, pid))
+        expires = 0.0
+        if info is not None and info["pid"] == pid and info["host"] == host:
+            expires = info["expires"]
+        self._hb_cache[(host, pid)] = (now, expires)
+        return expires
+
     def _lease_stale(self, info: dict) -> bool:
-        """Expired, or held by a pid that is dead on this host."""
-        if info["expires"] <= time.time():
+        """Dead holder, or expired with no fresh holder heartbeat.
+
+        A lease file is written once (at acquire, with one TTL of
+        validity) and never rewritten; past its own expiry it stays
+        live for as long as the holder's per-process heartbeat
+        manifest is fresh.
+        """
+        if info["host"] == _HOSTNAME and not _pid_alive(info["pid"]):
             return True
-        return info["host"] == _HOSTNAME and not _pid_alive(info["pid"])
+        now = time.time()
+        if info["expires"] > now:
+            return False
+        return self._heartbeat_expires(info["host"], info["pid"]) <= now
 
     def lease_holder(self, ref: str, *, kind: str = "result") -> dict | None:
         """The *live* lease on an entry, or ``None``.
 
-        Stale leases (expired, or a same-host holder whose pid is
-        dead) read as ``None``: they are free to steal.
+        Stale leases (expired with no holder heartbeat, or a same-host
+        holder whose pid is dead) read as ``None``: they are free to
+        steal.  The reported ``expires`` is the *effective* one — the
+        later of the lease file's own expiry and the holder's
+        heartbeat expiry.
         """
         info = self._read_lease(self._lease_path(kind, ref))
         if info is None or self._lease_stale(info):
             return None
+        heartbeat = self._heartbeat_expires(info["host"], info["pid"])
+        if heartbeat > info["expires"]:
+            info["expires"] = heartbeat
         return info
 
     def _write_lease_tmp(self) -> Path:
@@ -1106,8 +1166,14 @@ class TraceStore:
                 with contextlib.suppress(OSError):
                     os.unlink(tmp)
             with self._lock:
+                first_hold = not self._held_leases
                 self._held_leases.add((kind, ref))
                 self._ensure_lease_heartbeat()
+            if first_hold:
+                # Publish the liveness manifest right away: the lease
+                # file itself carries one TTL of validity, but the
+                # manifest is what keeps it alive past that.
+                self._renew_manifest(force=True)
             obs.emit("lease.acquire", kind=kind, ref=ref)
             return True
         return False
@@ -1207,62 +1273,101 @@ class TraceStore:
             self._lease_thread.start()
 
     def _lease_heartbeat(self) -> None:
-        """Renew every held lease; exits once none are held.
+        """Renew the per-process heartbeat manifest; exits when idle.
 
-        A crash kills this thread with the process, the renewals stop,
-        and rivals steal the leases after ``lease_ttl_s`` — the lease
-        *is* the holder's liveness signal.
+        One atomic replace per tick covers *every* lease this process
+        holds — renewal I/O is O(1), not O(held leases), so campaigns
+        that claim a 10⁵-point grid up front cost the same per tick as
+        one that claims a single point.  A crash kills this thread
+        with the process, the manifest goes stale, and rivals steal
+        the leases after ``lease_ttl_s`` — the manifest *is* the
+        holder's liveness signal.
         """
         interval = min(max(self.lease_ttl_s / 3.0, 0.02), 10.0)
         while True:
             time.sleep(interval)
             with self._lock:
-                held = list(self._held_leases)
-                if not held:
+                if not self._held_leases:
                     self._lease_thread = None
                     return
-            for kind, ref in held:
-                self._renew_lease(kind, ref)
+            self._renew_manifest()
 
-    def _renew_lease(self, kind: str, ref: str) -> None:
-        """Push a held lease's expiry forward (atomic replace)."""
-        path = self._lease_path(kind, ref)
+    def _renew_manifest(self, *, force: bool = False) -> None:
+        """Push this process's heartbeat manifest forward (one replace).
+
+        ``force`` publishes unconditionally (first acquire); otherwise
+        a manifest another store instance of this same process renewed
+        moments ago is left alone, and a manifest that *already
+        expired* (this heartbeat stalled past the TTL) first drops the
+        held leases rivals were entitled to steal in the gap — never
+        resurrect a lease a rival may have legitimately taken.
+        """
+        path = self._heartbeat_path(_HOSTNAME, os.getpid())
+        now = time.time()
         info = self._read_lease(path)
-        if info is None or info["pid"] != os.getpid() or info["host"] != _HOSTNAME:
-            # Lost it (stolen after a stall, or released concurrently):
-            # stop renewing — never clobber the new holder.
-            with self._lock:
-                self._held_leases.discard((kind, ref))
+        own = (
+            info is not None
+            and info["pid"] == os.getpid()
+            and info["host"] == _HOSTNAME
+        )
+        if not force:
+            if own and info["expires"] - now > self.lease_ttl_s * (2.0 / 3.0):
+                return  # freshly renewed (another instance's tick)
+            if not own or info["expires"] <= now:
+                self._drop_stalled_leases(now)
+        expires = now + self.lease_ttl_s
+        document = json.dumps(
+            {
+                "pid": os.getpid(),
+                "host": _HOSTNAME,
+                "acquired": now,
+                "expires": expires,
+            }
+        )
+        tmp = ""
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            with os.fdopen(fd, "w") as fh:
+                fh.write(document + "\n")
+            os.replace(tmp, path)
+        except OSError:
+            # Renewal is advisory; the next tick retries.  Failed
+            # renewals must not litter leases/hb/ with temp files.
+            if tmp:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
             return
-        if info["expires"] <= time.time():
-            # Our own lease already expired (this heartbeat stalled
-            # past the TTL): a rival is entitled to steal it at any
-            # moment, so renewing now could overwrite the rival's
-            # fresh lease.  Treat the lease as lost instead — the
-            # in-flight build continues unprotected and the worst
-            # case is one redundant, atomically-replaced evaluation.
+        self._hb_cache[(_HOSTNAME, os.getpid())] = (time.monotonic(), expires)
+        if not force:
+            with self._lock:
+                held = len(self._held_leases)
+            obs.emit("lease.renew", kind="hb", held=held)
+
+    def _drop_stalled_leases(self, now: float) -> None:
+        """Forget held leases a stalled heartbeat let go stale.
+
+        Called when this process's manifest is found already expired:
+        any held lease whose own file expiry has also passed (or whose
+        file a rival replaced) was fair game to steal, so renewing the
+        manifest over it could yield two holders.  The in-flight
+        builds continue unprotected — the worst case is one redundant,
+        atomically-replaced evaluation, never a torn artifact.
+        """
+        with self._lock:
+            held = list(self._held_leases)
+        for kind, ref in held:
+            info = self._read_lease(self._lease_path(kind, ref))
+            if (
+                info is not None
+                and info["pid"] == os.getpid()
+                and info["host"] == _HOSTNAME
+                and info["expires"] > now
+            ):
+                continue  # acquired after the stall: still safely ours
             with self._lock:
                 self._held_leases.discard((kind, ref))
             obs.emit("lease.expire", kind=kind, ref=ref)
-            return
-        if info["expires"] - time.time() > self.lease_ttl_s * (2.0 / 3.0):
-            # Freshly acquired or just renewed: skip the rewrite.
-            # Renewal I/O is O(held leases) per tick — a campaign
-            # claims its whole grid up front — so every skipped
-            # rewrite matters on big grids and slow roots.
-            return
-        try:
-            tmp = self._write_lease_tmp()
-        except OSError:
-            return  # renewal is advisory; the next tick retries
-        try:
-            os.replace(tmp, path)
-        except OSError:
-            # Failed renewals must not litter leases/ with temp files.
-            with contextlib.suppress(OSError):
-                os.unlink(tmp)
-        else:
-            obs.emit("lease.renew", kind=kind, ref=ref)
 
     def active_leases(self) -> int:
         """How many live (unexpired) leases exist under this root.
@@ -1307,6 +1412,19 @@ class TraceStore:
                     path.unlink(missing_ok=True)
             except OSError:
                 continue
+        # Heartbeat manifests of exited (or long-idle) processes: give
+        # a full extra TTL of grace so an owner republishing at this
+        # very moment is never raced.
+        hb_dir = self.lease_dir / _HB_DIR
+        if hb_dir.is_dir():
+            for path in hb_dir.glob("*.json"):
+                info = self._read_lease(path)
+                if (
+                    info is None
+                    or info["expires"] + self.lease_ttl_s < time.time()
+                ):
+                    with contextlib.suppress(OSError):
+                        path.unlink(missing_ok=True)
         return swept
 
     # -- trace access ----------------------------------------------------------
@@ -1855,6 +1973,9 @@ class TraceStore:
                 self._held_leases.clear()
                 for path in self.lease_dir.glob("*-*.json"):
                     path.unlink(missing_ok=True)
+                for path in (self.lease_dir / _HB_DIR).glob("*.json"):
+                    path.unlink(missing_ok=True)
+                self._hb_cache.clear()
             self._flush_index()
 
     def __repr__(self) -> str:

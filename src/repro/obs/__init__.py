@@ -20,6 +20,7 @@ Everything degrades to ~zero cost when nothing is listening.
 from __future__ import annotations
 
 from .events import (
+    HOSTNAME,
     active,
     configure,
     emit,
@@ -42,6 +43,7 @@ from .spans import current_span_id, span
 
 __all__ = [
     "Counter",
+    "HOSTNAME",
     "Gauge",
     "Histogram",
     "LegacySnapshot",

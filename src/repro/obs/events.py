@@ -2,13 +2,17 @@
 
 The sink is configured from ``REPRO_OBS=jsonl:<stem>`` (or
 programmatically via :func:`configure`); every process — the campaign
-parent, ``multiprocessing`` pool workers, ``repro serve`` pool workers
-— appends to its own ``<stem>-<pid>.jsonl`` so no file is ever shared
-across processes, exactly like the store's write-ahead touch files.
-:func:`merge` concatenates the per-process files into ``<stem>.jsonl``
-in timestamp order *without* deleting the sources: long-lived service
-workers keep their file handles open, and deleting under them would
-silently drop events from the next campaign.
+parent, ``multiprocessing`` pool workers, ``repro serve`` pool
+workers, remote fleet workers — appends to its own
+``<stem>-<host>-<pid>.jsonl`` so no file is ever shared across
+processes *or hosts* (two machines sharing one store root can reuse a
+pid; the hostname prefix keeps their telemetry apart), exactly like
+the store's write-ahead touch files.  :func:`merge` concatenates the
+per-process files into ``<stem>.jsonl`` in timestamp order *without*
+deleting the sources: long-lived service workers keep their file
+handles open, and deleting under them would silently drop events from
+the next campaign.  Identical records are merged once, so re-merging
+an already-merged stem is idempotent.
 
 When no sink and no in-process subscriber is active, :func:`emit`
 returns immediately after one boolean check — instrumentation in hot
@@ -19,6 +23,8 @@ from __future__ import annotations
 
 import json
 import os
+import re
+import socket
 import threading
 import time
 from pathlib import Path
@@ -36,6 +42,14 @@ __all__ = [
 ]
 
 _ENV = "REPRO_OBS"
+
+#: This host's name, reduced to filename-safe characters: it prefixes
+#: per-process sink filenames and span ids so telemetry merged across
+#: hosts sharing one store root can never collide on a reused pid.
+HOSTNAME = (
+    re.sub(r"[^A-Za-z0-9_.-]+", "-", socket.gethostname() or "")
+    or "localhost"
+)
 
 _lock = threading.Lock()
 #: merged-log stem (``<stem>.jsonl`` after merge); None → sink disabled
@@ -121,7 +135,7 @@ def event_path() -> Path | None:
     """Per-process sink path for the current configuration (or None)."""
     if not active() or _stem is None:
         return None
-    return _stem.parent / f"{_stem.name}-{os.getpid()}.jsonl"
+    return _stem.parent / f"{_stem.name}-{HOSTNAME}-{os.getpid()}.jsonl"
 
 
 def _sink():
@@ -136,7 +150,7 @@ def _sink():
         if _fh is not None:
             # inherited across fork — the parent owns it; just drop ours
             _fh = None
-        path = _stem.parent / f"{_stem.name}-{pid}.jsonl"
+        path = _stem.parent / f"{_stem.name}-{HOSTNAME}-{pid}.jsonl"
         path.parent.mkdir(parents=True, exist_ok=True)
         _fh = open(path, "a", encoding="utf-8")
         _fh_pid = pid
@@ -151,7 +165,12 @@ def emit(event: str, **fields: object) -> None:
     """
     if not active():
         return
-    record = {"ts": time.time(), "pid": os.getpid(), "event": event}
+    record = {
+        "ts": time.time(),
+        "host": HOSTNAME,
+        "pid": os.getpid(),
+        "event": event,
+    }
     record.update(fields)
     for fn in list(_subscribers):
         try:
@@ -198,13 +217,17 @@ def read_events(path: str | os.PathLike) -> Iterator[dict]:
 
 
 def merge(stem: str | os.PathLike | None = None) -> Path | None:
-    """Merge every ``<stem>-<pid>.jsonl`` into ``<stem>.jsonl``.
+    """Merge every ``<stem>-<host>-<pid>.jsonl`` into ``<stem>.jsonl``.
 
-    Events are ordered by timestamp across processes.  Source files
-    are left in place (open handles in long-lived workers stay valid);
-    the merged file is rewritten from scratch each call, so merging is
-    idempotent.  Returns the merged path, or ``None`` when no sink is
-    configured and no ``stem`` was given.
+    Events are ordered by timestamp across processes and hosts.
+    Source files are left in place (open handles in long-lived workers
+    stay valid); the merged file is rewritten from scratch each call
+    and *identical records are kept once*, so merging is idempotent
+    even when a part file is itself the product of an earlier merge
+    over a narrower stem (``events-hostA.jsonl`` matching the
+    ``events-*`` glob must not double its records).  Returns the
+    merged path, or ``None`` when no sink is configured and no
+    ``stem`` was given.
     """
     if stem is None:
         if not active() or _stem is None:
@@ -217,10 +240,16 @@ def merge(stem: str | os.PathLike | None = None) -> Path | None:
     merged = base.parent / f"{base.name}.jsonl"
     parts = sorted(base.parent.glob(f"{base.name}-*.jsonl"))
     events: list[dict] = []
+    seen: set[str] = set()
     for part in parts:
         if part == merged:
             continue
-        events.extend(read_events(part))
+        for record in read_events(part):
+            canon = json.dumps(record, sort_keys=True, default=str)
+            if canon in seen:
+                continue
+            seen.add(canon)
+            events.append(record)
     events.sort(key=lambda e: e.get("ts", 0.0))
     # Unique temp name: concurrent merges (two campaign streams
     # finishing together) must not replace each other's temp file out

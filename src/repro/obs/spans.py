@@ -4,8 +4,9 @@ A span is a timed region: ``with obs.span("store.build_trace",
 ref=ref): ...``.  On exit it emits a single ``span`` event carrying
 its id, its parent's id (spans nest via a thread-local stack), the
 start timestamp and the duration — enough to rebuild the tree offline
-from the merged JSONL.  Ids are ``<pid:x>-<seq:x>`` so they stay
-unique when multiprocessing workers and service pool workers all emit
+from the merged JSONL.  Ids are ``<host>-<pid:x>-<seq:x>`` so they
+stay unique when multiprocessing workers, service pool workers and
+remote fleet workers (which may reuse a pid across hosts) all emit
 into their own per-process files.
 
 When no sink is active :func:`span` returns a shared no-op context
@@ -64,7 +65,7 @@ class _Span:
 
     def __enter__(self):
         stack = _stack()
-        self.span_id = f"{os.getpid():x}-{next(_counter):x}"
+        self.span_id = f"{events.HOSTNAME}-{os.getpid():x}-{next(_counter):x}"
         self.parent_id = stack[-1] if stack else None
         stack.append(self.span_id)
         self.wall0 = time.time()

@@ -28,9 +28,13 @@ class TestParser:
         ):
             assert parser.parse_args(argv).fn is not None
 
-    def test_serve_requires_a_campaign(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["serve"])
+    def test_serve_requires_a_campaign_or_listen(self, capsys):
+        # The parser accepts a bare `serve` (listen mode has no
+        # --campaign), but running it without either flag is a usage
+        # error at dispatch time.
+        assert build_parser().parse_args(["serve"]).fn is not None
+        assert main(["serve"]) == 2
+        assert "--campaign" in capsys.readouterr().err
 
 
 class TestCommands:

@@ -55,7 +55,7 @@ class TestEventSink:
         obs.configure(f"jsonl:{pinned}")
         monkeypatch.setenv("REPRO_OBS", f"jsonl:{tmp_path / 'env'}")
         assert obs.event_path() == pinned.parent / (
-            f"pinned-{os.getpid()}.jsonl"
+            f"pinned-{obs.HOSTNAME}-{os.getpid()}.jsonl"
         )
         obs.configure(None)  # unpin: the env takes over again
         assert obs.event_path() is not None
@@ -71,7 +71,9 @@ class TestEventSink:
 
     def test_trailing_jsonl_suffix_is_shed(self, tmp_path):
         obs.configure(f"jsonl:{tmp_path / 'log.jsonl'}")
-        assert obs.event_path().name == f"log-{os.getpid()}.jsonl"
+        assert obs.event_path().name == (
+            f"log-{obs.HOSTNAME}-{os.getpid()}.jsonl"
+        )
 
     def test_emit_writes_one_json_line_per_event(self, stem):
         obs.emit("alpha", n=1)
@@ -80,6 +82,7 @@ class TestEventSink:
         assert [r["event"] for r in records] == ["alpha", "beta"]
         assert records[0]["n"] == 1
         assert records[0]["pid"] == os.getpid()
+        assert records[0]["host"] == obs.HOSTNAME
         assert records[0]["ts"] > 0
 
     def test_subscriber_without_sink_activates_emission(self):
@@ -139,6 +142,31 @@ class TestEventSink:
         assert obs.merge(tmp_path / "ev.jsonl") == merged
         assert len(list(obs.read_events(merged))) == 3
 
+    def test_merge_is_idempotent_over_an_already_merged_stem(
+        self, tmp_path
+    ):
+        # A merged file produced for a *narrower* stem (events-hostA)
+        # matches the broader stem's part glob (events-*): its records
+        # must not be counted twice — once from the raw per-process
+        # files and once from the earlier merge product.
+        for host, pid, ts in (("hostA", 7, 1.0), ("hostB", 7, 2.0)):
+            (tmp_path / f"ev-{host}-{pid}.jsonl").write_text(
+                json.dumps(
+                    {"ts": ts, "host": host, "pid": pid, "event": "e"}
+                )
+                + "\n"
+            )
+        merged = obs.merge(tmp_path / "ev")
+        assert len(list(obs.read_events(merged))) == 2
+        # Simulate the earlier narrow merge landing in the glob.
+        narrow = tmp_path / "ev-hostA.jsonl"
+        narrow.write_text((tmp_path / "ev-hostA-7.jsonl").read_text())
+        assert obs.merge(tmp_path / "ev") == merged
+        assert len(list(obs.read_events(merged))) == 2
+        # Re-running over the unchanged layout changes nothing either.
+        assert obs.merge(tmp_path / "ev") == merged
+        assert len(list(obs.read_events(merged))) == 2
+
     def test_merge_without_configuration_returns_none(self):
         assert obs.merge() is None
 
@@ -169,10 +197,10 @@ class TestSpans:
         assert spans["outer"]["dur_s"] >= spans["inner"]["dur_s"] >= 0
         assert spans["outer"]["ok"] and spans["inner"]["ok"]
 
-    def test_span_ids_embed_the_pid(self, stem):
+    def test_span_ids_embed_the_host_and_pid(self, stem):
         with obs.span("tagged"):
             span_id = obs.current_span_id()
-        assert span_id.startswith(f"{os.getpid():x}-")
+        assert span_id.startswith(f"{obs.HOSTNAME}-{os.getpid():x}-")
 
     def test_exception_marks_span_not_ok_and_unwinds(self, stem):
         with pytest.raises(RuntimeError):

@@ -17,7 +17,9 @@ The tentpole contracts of ``backend="service"``:
 
 from __future__ import annotations
 
+import asyncio
 import threading
+import warnings
 
 import numpy as np
 import pytest
@@ -33,6 +35,7 @@ from repro.backends import (
     get_service,
     shutdown_service,
 )
+from repro.backends.service import ServiceSaturatedError, _FairQueue
 from repro.core import MachineConfig
 from repro.engine import (
     CampaignSpec,
@@ -393,3 +396,175 @@ class TestSharedPool:
                     backend="service",
                 ),
             )
+
+    def test_pool_worker_death_degrades_inline_and_recovers(
+        self, hydro_trace
+    ):
+        """Kill the resident pool's worker under a queued batch: every
+        future still resolves (inline fallback), the queue never
+        wedges, and later submissions keep completing."""
+        configure_service(workers=1)
+        service = get_service()
+
+        def scenario(pes: int) -> Scenario:
+            return Scenario(
+                config=MachineConfig(n_pes=pes, page_size=32),
+                backend="service",
+            )
+
+        # First job launches the pool; its worker pids become visible.
+        service.submit(hydro_trace, scenario(1)).result(timeout=120)
+        workers = list(service._pool._processes.values())
+        assert workers
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            futures = [
+                service.submit(hydro_trace, scenario(pes))
+                for pes in (2, 4, 8)
+            ]
+            for proc in workers:
+                proc.kill()
+            outcomes = [f.result(timeout=120) for f in futures]
+            # The queue is not wedged: post-mortem submissions work.
+            late = service.submit(hydro_trace, scenario(16)).result(
+                timeout=120
+            )
+        assert all(o.backend == "service" for o in outcomes)
+        assert late.backend == "service"
+        assert service.mode == "inline"
+        assert any("pool broke" in str(w.message) for w in caught)
+        # No silent losses: everything submitted either completed or
+        # was shared; nothing is left in flight.
+        stats = service.stats()
+        assert stats["in_flight"] == 0
+        assert stats["completed_total"] + stats["shared_total"] >= 5
+
+
+class TestFairQueue:
+    def test_round_robin_across_campaigns(self):
+        """A big backlog cannot starve a later arrival: buckets are
+        served alternately, FIFO within each campaign."""
+
+        async def scenario():
+            queue = _FairQueue(16)
+            for i in range(4):
+                await queue.put("big", f"big{i}")
+            for i in range(2):
+                await queue.put("late", f"late{i}")
+            return [await queue.get() for _ in range(6)]
+
+        order = asyncio.run(scenario())
+        assert order == ["big0", "late0", "big1", "late1", "big2", "big3"]
+
+    def test_global_bound_blocks_and_frees(self):
+        async def scenario():
+            queue = _FairQueue(2)
+            await queue.put("a", 1)
+            await queue.put("b", 2)
+            blocked = asyncio.ensure_future(queue.put("a", 3))
+            await asyncio.sleep(0.01)
+            assert not blocked.done()  # full: the third put waits
+            assert await queue.get() == 1
+            await asyncio.wait_for(blocked, timeout=5)
+            assert queue.qsize() == 2
+
+        asyncio.run(scenario())
+
+    def test_max_campaigns_admission_control(self):
+        async def scenario():
+            queue = _FairQueue(8, max_campaigns=1)
+            await queue.put("a", 1)
+            with pytest.raises(ServiceSaturatedError, match="admission"):
+                await queue.put("b", 2)
+            await queue.put("a", 3)  # the admitted campaign still queues
+            assert queue.campaigns() == 1
+            # Draining a's bucket frees the slot for b.
+            assert await queue.get() == 1
+            assert await queue.get() == 3
+            await queue.put("b", 4)
+            assert await queue.get() == 4
+
+        asyncio.run(scenario())
+
+    def test_max_campaigns_config_plumbs_through(self):
+        configure_service(workers=0, max_campaigns=3)
+        assert get_service().max_campaigns == 3
+        with pytest.raises(ValueError, match="max_campaigns"):
+            configure_service(max_campaigns=0)
+
+
+class TestStoreCoordination:
+    """Bare ``evaluate_scenario`` calls coordinate through the store.
+
+    ``ServiceBackend.evaluate`` addresses each point by the trace's
+    content digest and takes the result-claim lease service-side, so
+    one-off evaluations share the campaign machinery: repeats are
+    cache hits, failures release their claim.
+    """
+
+    @pytest.fixture()
+    def own_store(self, tmp_path):
+        from repro.engine import set_default_store
+
+        store = TraceStore(tmp_path / "svc-store")
+        set_default_store(store)
+        yield store
+        set_default_store(None)  # conftest's session store resumes
+
+    def test_repeat_evaluation_is_a_store_hit(self, hydro_trace, own_store):
+        configure_service(workers=0)
+        scenario = Scenario(
+            config=MachineConfig(n_pes=4, page_size=32), backend="service"
+        )
+        first = evaluate_scenario(hydro_trace, scenario)
+        assert own_store.n_results() == 1
+        assert own_store.active_leases() == 0  # published ⇒ released
+        service = get_service()
+        completed = service.stats()["completed_total"]
+        again = evaluate_scenario(hydro_trace, scenario)
+        stats = service.stats()
+        assert stats["store_hits_total"] == 1
+        assert stats["completed_total"] == completed  # nothing re-ran
+        assert again.metrics == first.metrics
+        assert np.array_equal(again.stats.counts, first.stats.counts)
+
+    def test_result_is_addressed_by_content_digest(
+        self, hydro_trace, own_store
+    ):
+        configure_service(workers=0)
+        scenario = Scenario(
+            config=MachineConfig(n_pes=2, page_size=16), backend="service"
+        )
+        evaluate_scenario(hydro_trace, scenario)
+        key = ResultKey(
+            trace_digest=hydro_trace.content_digest,
+            scenario_digest=scenario.digest,
+            backend="service:untimed",
+        )
+        cached = own_store.lookup_result(key, count=False)
+        assert cached is not None
+        assert cached.backend == "service"
+
+    def test_failed_evaluation_releases_its_claim(
+        self, hydro_trace, own_store
+    ):
+        """A job that raises must abandon the claim lease — a wedged
+        lease would make every retry defer to a corpse."""
+        configure_service(workers=0, delegate="timed")
+        config = MachineConfig(n_pes=2, page_size=32)
+        object.__setattr__(config, "reduction_strategy", "tree")
+        with pytest.raises(UnsupportedScenarioError):
+            get_backend("service").evaluate(
+                hydro_trace, Scenario(config=config, backend="service")
+            )
+        assert own_store.active_leases() == 0
+        assert own_store.n_results() == 0  # nothing published
+        # The point is computable again once the knob is fixed.
+        ok = get_backend("service").evaluate(
+            hydro_trace,
+            Scenario(
+                config=MachineConfig(n_pes=2, page_size=32),
+                backend="service",
+            ),
+        )
+        assert ok.backend == "service"

@@ -315,14 +315,20 @@ class TestLeaseEventLog:
     ):
         # ttl=3.0 → heartbeat ticks every 1.0s and every tick finds
         # remaining < 2/3·ttl, so holding for ~1.5s spans exactly one
-        # renewal window.
+        # renewal window.  The renewal is the per-process manifest —
+        # ONE event (and one file replace) regardless of how many
+        # leases the process holds.
         store = TraceStore(tmp_path / "store", lease_ttl_s=3.0)
-        ref = "2c" * 10
-        assert store.acquire_lease(ref)
+        refs = ["2c" * 10, "2d" * 10, "2e" * 10]
+        for ref in refs:
+            assert store.acquire_lease(ref)
         time.sleep(1.5)
-        store.release_lease(ref)
+        for ref in refs:
+            store.release_lease(ref)
         events = merged_events(obs_stem)
-        assert count_events(events, "lease.renew", ref=ref) == 1
+        assert count_events(events, "lease.renew") == 1
+        renewal = next(e for e in events if e["event"] == "lease.renew")
+        assert renewal["held"] == len(refs)
         assert count_events(events, "lease.expire") == 0
 
     def test_expired_steal_logged_exactly_once(self, tmp_path, obs_stem):

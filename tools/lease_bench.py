@@ -1,0 +1,149 @@
+"""Heartbeat-renewal scaling bench: O(held leases) vs O(1) per tick.
+
+Populates a store with N held claim leases (a campaign that claimed a
+whole 10^5-point grid up front) and times one heartbeat tick under
+
+* the **legacy** protocol — every held lease file rewritten with a
+  pushed-forward expiry (one ``mkstemp`` + ``os.replace`` per lease,
+  exactly what ``TraceStore._renew_lease`` used to do), and
+* the **manifest** protocol — the per-process heartbeat manifest
+  renewed with a single atomic replace
+  (:meth:`TraceStore._renew_manifest`), which is what ships.
+
+Usage::
+
+    PYTHONPATH=src python tools/lease_bench.py --held 100000 \
+        --out BENCH_leases.json
+
+The JSON report records files-written and seconds per tick for both
+protocols; the committed ``BENCH_leases.json`` is the before/after
+evidence for the lease-renewal scaling refactor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.engine.store import TraceStore
+
+
+def populate(store: TraceStore, held: int) -> None:
+    """Plant ``held`` claim leases owned by this process.
+
+    Lease files are written directly (we are measuring renewal, not
+    acquisition) and registered in the store's held set so both tick
+    flavours see a realistic steady state.
+    """
+    store.lease_dir.mkdir(parents=True, exist_ok=True)
+    now = time.time()
+    host = socket.gethostname() or "localhost"
+    for i in range(held):
+        ref = f"{i:040x}"
+        document = json.dumps(
+            {
+                "pid": os.getpid(),
+                "host": host,
+                "acquired": now,
+                "expires": now + store.lease_ttl_s,
+            }
+        )
+        store._lease_path("result", ref).write_text(document + "\n")
+        store._held_leases.add(("result", ref))
+
+
+def legacy_tick(store: TraceStore) -> int:
+    """One heartbeat tick, pre-refactor: rewrite every held lease."""
+    now = time.time()
+    host = socket.gethostname() or "localhost"
+    files = 0
+    for kind, ref in list(store._held_leases):
+        path = store._lease_path(kind, ref)
+        document = json.dumps(
+            {
+                "pid": os.getpid(),
+                "host": host,
+                "acquired": now,
+                "expires": now + store.lease_ttl_s,
+            }
+        )
+        fd, tmp = tempfile.mkstemp(dir=store.lease_dir, suffix=".tmp")
+        with os.fdopen(fd, "w") as fh:
+            fh.write(document + "\n")
+        os.replace(tmp, path)
+        files += 1
+    return files
+
+
+def manifest_tick(store: TraceStore) -> int:
+    """One heartbeat tick, post-refactor: one manifest replace."""
+    store._renew_manifest(force=True)
+    return 1
+
+
+def timed(fn, *args) -> tuple[float, int]:
+    start = time.perf_counter()
+    files = fn(*args)
+    return time.perf_counter() - start, files
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--held",
+        type=int,
+        default=100_000,
+        help="claim leases held by the benched process (default 1e5)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="store root (default: a fresh temp dir, removed after)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the JSON report here"
+    )
+    args = parser.parse_args(argv)
+
+    def run(root: Path) -> dict:
+        store = TraceStore(root, lease_ttl_s=30.0)
+        populate(store, args.held)
+        legacy_s, legacy_files = timed(legacy_tick, store)
+        manifest_s, manifest_files = timed(manifest_tick, store)
+        store._held_leases.clear()
+        return {
+            "bench": "lease-heartbeat-tick",
+            "held_leases": args.held,
+            "legacy": {
+                "files_per_tick": legacy_files,
+                "seconds_per_tick": round(legacy_s, 6),
+            },
+            "manifest": {
+                "files_per_tick": manifest_files,
+                "seconds_per_tick": round(manifest_s, 6),
+            },
+            "tick_speedup": round(legacy_s / max(manifest_s, 1e-9), 1),
+        }
+
+    if args.root is not None:
+        report = run(args.root)
+    else:
+        with tempfile.TemporaryDirectory(prefix="lease-bench-") as tmp:
+            report = run(Path(tmp))
+
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
