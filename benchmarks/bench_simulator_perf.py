@@ -1,16 +1,22 @@
 """Simulator throughput — the harness's own performance.
 
-Times the two hot paths with pytest-benchmark's statistical timing
+Times the hot paths with pytest-benchmark's statistical timing
 (multiple rounds, unlike the figure benches): trace generation by the
-interpreter and configuration evaluation by the vectorised simulator.
-The second must be much cheaper than the first — that asymmetry is
-what makes the trace-once / sweep-many design worthwhile.
+interpreter, configuration evaluation by the scalar simulator, and the
+same evaluation by the columnar ``untimed-vec`` engine.  Evaluation
+must be much cheaper than generation — that asymmetry is what makes
+the trace-once / sweep-many design worthwhile — and the columnar
+cases exist to keep its margin honest (the committed ``BENCH_vec.json``
+speedup gate lives in ``tools/vec_bench.py``; these cases are the
+statistically-timed artifact CI uploads alongside it).
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.bench import kernel_trace
-from repro.core import MachineConfig, simulate
+from repro.core import MachineConfig, simulate, simulate_vec
 from repro.kernels import get_kernel
 
 
@@ -34,3 +40,42 @@ def test_perf_simulate_no_cache_fast_path(benchmark):
     cfg = MachineConfig(n_pes=16, page_size=32, cache_elems=0)
     result = benchmark(lambda: simulate(trace, cfg))
     assert result.stats.cached_reads == 0
+
+
+def test_perf_simulate_vec_one_config(benchmark):
+    """The columnar engine on the scalar case above, bit-identical."""
+    program, inputs = get_kernel("hydro_2d").build(n=200)
+    trace = kernel_trace(program, inputs)
+    cfg = MachineConfig(n_pes=16, page_size=32, cache_elems=256)
+    result = benchmark(lambda: simulate_vec(trace, cfg))
+    assert np.array_equal(
+        result.stats.counts, simulate(trace, cfg).stats.counts
+    )
+
+
+def test_perf_simulate_vec_reduction_funnel(benchmark):
+    """The headline regime: host reduction funnels every fold to PE 0,
+    whose long alternating page stream the columnar engine batches."""
+    program, inputs = get_kernel("inner_product").build(n=20_000)
+    trace = kernel_trace(program, inputs)
+    cfg = MachineConfig(n_pes=8, page_size=32, cache_elems=256)
+    result = benchmark(lambda: simulate_vec(trace, cfg))
+    assert np.array_equal(
+        result.stats.counts, simulate(trace, cfg).stats.counts
+    )
+
+
+def test_perf_simulate_vec_fallback_policy(benchmark):
+    """FIFO over capacity is order-dependent: the per-PE scalar-replay
+    escape hatch is what this times."""
+    program, inputs = get_kernel("inner_product").build(n=20_000)
+    trace = kernel_trace(program, inputs)
+    cfg = MachineConfig(
+        n_pes=8, page_size=32, cache_elems=64, cache_policy="fifo"
+    )
+    telemetry: dict[str, int] = {}
+    result = benchmark(lambda: simulate_vec(trace, cfg, telemetry))
+    assert telemetry["fallback_pes"] >= 1
+    assert np.array_equal(
+        result.stats.counts, simulate(trace, cfg).stats.counts
+    )

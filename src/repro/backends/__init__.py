@@ -20,8 +20,11 @@ backend a user registers — behind one contract:
 * :func:`~repro.backends.base.evaluate_scenario` — the single counted
   evaluation path (mirrors the trace store's interpretation counter).
 
-Importing this package registers the three built-ins: ``"untimed"``
-(:class:`~repro.backends.untimed.UntimedBackend`), ``"timed"``
+Importing this package registers the four built-ins: ``"untimed"``
+(:class:`~repro.backends.untimed.UntimedBackend`), ``"untimed-vec"``
+(:class:`~repro.backends.untimed_vec.UntimedVecBackend` — the columnar
+replay engine, bit-identical to ``"untimed"`` and held to it by the
+generative fidelity harness), ``"timed"``
 (:class:`~repro.backends.timed.TimedBackend`) and ``"service"``
 (:class:`~repro.backends.service.ServiceBackend` — evaluations via the
 process-wide :class:`~repro.backends.service.EvalService`, a resident
@@ -74,6 +77,7 @@ from .service import (
 )
 from .timed import TimedBackend
 from .untimed import UntimedBackend
+from .untimed_vec import UntimedVecBackend
 
 __all__ = [
     "COST_MODEL_PRESETS",
@@ -86,6 +90,7 @@ __all__ = [
     "TimedBackend",
     "UnsupportedScenarioError",
     "UntimedBackend",
+    "UntimedVecBackend",
     "backend_names",
     "configure_service",
     "cost_model",

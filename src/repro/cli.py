@@ -696,7 +696,7 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument(
         "--backend",
         default="untimed",
-        help="evaluation backend (untimed, timed, service)",
+        help="evaluation backend (untimed, untimed-vec, timed, service)",
     )
     swp.add_argument(
         "--pes", nargs="+", type=int, default=[1, 4, 8, 16, 32, 64]

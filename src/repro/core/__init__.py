@@ -27,6 +27,7 @@ from .partition import (
     named_scheme,
 )
 from .simulator import MachineConfig, SimResult, simulate, simulate_program
+from .vec_simulator import simulate_vec
 from .stats import AccessStats, LoadBalance
 
 __all__ = [
@@ -59,5 +60,5 @@ __all__ = [
     "screen_iterations",
     "simulate",
     "simulate_program",
-    "simulate",
+    "simulate_vec",
 ]

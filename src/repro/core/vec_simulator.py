@@ -1,0 +1,300 @@
+"""Columnar (vectorised) replay of the untimed simulation.
+
+:func:`simulate_vec` produces **bit-identical** counters to
+:func:`repro.core.simulator.simulate` — same :class:`AccessStats`,
+same per-PE fetch vectors — but replaces the scalar per-run Python
+cache walk with whole-column numpy decisions wherever the replacement
+policy admits a closed form:
+
+* **no cache** — classification alone decides everything; fully
+  vectorised (the scalar engine already is, modulo the per-PE
+  distinct-page loop).
+* **no evictions** (distinct pages ≤ capacity) — every key misses
+  exactly once, every repeat hits.  Exact for ``lru``, ``fifo`` and
+  ``random`` alike: with no evictions the three policies are
+  indistinguishable and the random policy's RNG is never consulted.
+* **direct** — one slot per key hash at any capacity: a run hits iff
+  the previous run hashing to its slot carried the same key, which a
+  stable sort by slot answers for every run at once.
+* **lru** — a stack algorithm, so the Mattson stack-distance property
+  (see :mod:`repro.core.reuse`) decides each run exactly: a re-touch
+  hits iff fewer than ``capacity`` distinct keys intervened.  Runs
+  whose intervening window is shorter than the capacity are guaranteed
+  hits; the remaining few are decided by an exact per-window distinct
+  count, under a total-window budget.
+
+Order-dependent spans fall back to the *scalar* engine's own
+machinery so divergence is impossible by construction: FIFO/random
+eviction sequences replay through :func:`repro.cache.make_cache`
+run-by-run, and the subrange-reduction combine is charged by the
+shared :func:`repro.core.simulator._charge_subrange_combine`.  The
+fidelity contract is enforced generatively by
+``tests/test_vec_fidelity.py``.
+
+Profiling phases mirror the scalar engine's (``classify`` /
+``cache_sim`` / ``reduction``) as ``classify_vec`` / ``cache_sim_vec``
+plus ``fallback_scalar`` for the delegated spans, so
+``tools/replay_profile.py`` can attribute replay time to the
+vectorised and scalar halves separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cache import POLICIES, make_cache
+from ..ir.trace import Trace
+from ..memory.pages import PageTable
+from ..obs.profile import phase as _phase
+from .access import AccessKind
+from .simulator import (
+    MachineConfig,
+    SimResult,
+    _charge_subrange_combine,
+    _owners_by_array,
+    subrange_placement,
+)
+from .stats import AccessStats
+
+__all__ = ["simulate_vec"]
+
+#: Ceiling on the summed undecided-window lengths of one PE's LRU walk
+#: before the exact per-window distinct counts would cost more than the
+#: scalar replay they replace; past it the PE falls back wholesale.
+_WINDOW_BUDGET = 1 << 16
+
+
+def _segments(sorted_pes: np.ndarray):
+    """Yield ``(pe, start, end)`` for each PE's contiguous slice."""
+    boundaries = np.flatnonzero(sorted_pes[1:] != sorted_pes[:-1]) + 1
+    edges = np.concatenate(
+        ([0], boundaries, [sorted_pes.size])
+    )
+    for start, end in zip(edges[:-1].tolist(), edges[1:].tolist()):
+        yield int(sorted_pes[start]), start, end
+
+
+def _count_misses_vec(
+    run_keys: np.ndarray,
+    run_arrs: np.ndarray,
+    run_pages: np.ndarray,
+    policy: str,
+    capacity: int,
+) -> tuple[int | None, int]:
+    """``(miss count or None, distinct keys)`` for one PE's runs.
+
+    A None miss count means the sequence is order-dependent under this
+    policy (or too expensive to decide columnarly) and must replay
+    through the scalar cache.  The distinct-key count is exact either
+    way — it is a by-product of the same sort the decision needs.
+    """
+    n_runs = run_keys.size
+    if policy == "direct":
+        # The slot holds the key of the most recent run hashed to it;
+        # a stable sort by slot makes that previous run adjacent.
+        # Mirrors DirectMappedCache._slot_of exactly.
+        slots = (run_pages + 0x9E37 * run_arrs) % capacity
+        order = np.argsort(slots, kind="stable")
+        slot_sorted = slots[order]
+        key_sorted = run_keys[order]
+        hit_sorted = (slot_sorted[1:] == slot_sorted[:-1]) & (
+            key_sorted[1:] == key_sorted[:-1]
+        )
+        distinct = int(np.unique(run_keys).size)
+        return n_runs - int(hit_sorted.sum()), distinct
+
+    # Previous occurrence of each run's key, via one stable sort.
+    order = np.argsort(run_keys, kind="stable")
+    key_sorted = run_keys[order]
+    prev = np.full(n_runs, -1, dtype=np.int64)
+    same = key_sorted[1:] == key_sorted[:-1]
+    prev[order[1:][same]] = order[:-1][same]
+    cold = prev < 0
+    n_unique = int(cold.sum())
+    if n_unique <= capacity:
+        # Fits in cache: no policy ever evicts, so every repeat hits.
+        return n_unique, n_unique
+    if policy != "lru":
+        # FIFO is not a stack algorithm and the random policy's seeded
+        # RNG must be consulted in eviction order: scalar replay.
+        return None, n_unique
+    repeats = np.flatnonzero(~cold)
+    windows = repeats - prev[repeats] - 1
+    # Run-length compression bounds the distinct count by the window
+    # length, so short windows are guaranteed LRU hits.
+    undecided = repeats[windows >= capacity]
+    misses = n_unique
+    if undecided.size:
+        spans = undecided - prev[undecided] - 1
+        if int(spans.sum()) > max(_WINDOW_BUDGET, 8 * n_runs):
+            return None, n_unique
+        for i in undecided.tolist():
+            window = run_keys[prev[i] + 1 : i]
+            if np.unique(window).size >= capacity:
+                misses += 1
+    return misses, n_unique
+
+
+def _count_misses_scalar(
+    run_arrs: np.ndarray, run_pages: np.ndarray, policy: str, capacity: int
+) -> int:
+    """The scalar engine's own probe loop, one ``access`` per run."""
+    cache = make_cache(policy, capacity)
+    misses = 0
+    for arr, page in zip(run_arrs.tolist(), run_pages.tolist()):
+        if not cache.access((arr, page)):
+            misses += 1
+    return misses
+
+
+def simulate_vec(
+    trace: Trace,
+    config: MachineConfig,
+    telemetry: dict[str, int] | None = None,
+) -> SimResult:
+    """Classify every access in ``trace`` under ``config``, columnarly.
+
+    Bit-identical to :func:`repro.core.simulator.simulate` on every
+    counter.  ``telemetry``, when given, receives ``vectorised_pes``
+    and ``fallback_pes`` — how many PE cache walks each path decided.
+    """
+    n_pes = config.n_pes
+    ps = config.page_size
+    tables = [PageTable(size, ps) for size in trace.array_sizes]
+    stats = AccessStats(n_pes, trace.array_names)
+    if telemetry is not None:
+        telemetry["vectorised_pes"] = 0
+        telemetry["fallback_pes"] = 0
+
+    if trace.n_instances == 0:
+        return SimResult(
+            config,
+            stats,
+            np.zeros(n_pes, dtype=np.int64),
+            np.zeros(n_pes, dtype=np.int64),
+        )
+
+    columns = trace.columnar()
+
+    with _phase("classify_vec"):
+        w_pages = trace.w_flat // ps
+        exec_pe = _owners_by_array(
+            trace.w_arr, w_pages, tables, config.partition, n_pes
+        )
+        if (
+            config.reduction_strategy == "subrange"
+            and trace.reduction_mask.any()
+        ):
+            exec_pe = subrange_placement(trace, tables, config, exec_pe)
+        stats.add_vector(
+            AccessKind.WRITE, np.bincount(exec_pe, minlength=n_pes)
+        )
+
+    def finish(
+        page_fetches: np.ndarray, distinct_pages: np.ndarray
+    ) -> SimResult:
+        if (
+            config.reduction_strategy == "subrange"
+            and trace.reduction_mask.any()
+        ):
+            # The combine phase is inherently ordered per accumulator;
+            # charge it through the scalar engine's shared routine.
+            with _phase("fallback_scalar"):
+                _charge_subrange_combine(
+                    trace, tables, config, exec_pe, stats
+                )
+        return SimResult(config, stats, page_fetches, distinct_pages)
+
+    if trace.n_reads == 0:
+        return finish(
+            np.zeros(n_pes, dtype=np.int64), np.zeros(n_pes, dtype=np.int64)
+        )
+
+    with _phase("classify_vec"):
+        r_exec = exec_pe[columns.r_instance]
+        r_pages = trace.r_flat // ps
+        r_owner = _owners_by_array(
+            trace.r_arr, r_pages, tables, config.partition, n_pes
+        )
+        local_mask = r_owner == r_exec
+        stats.add_vector(
+            AccessKind.LOCAL_READ,
+            np.bincount(r_exec[local_mask], minlength=n_pes),
+        )
+        nonlocal_idx = np.flatnonzero(~local_mask)
+
+    page_fetches = np.zeros(n_pes, dtype=np.int64)
+    distinct_pages = np.zeros(n_pes, dtype=np.int64)
+    if nonlocal_idx.size == 0:
+        return finish(page_fetches, distinct_pages)
+
+    with _phase("cache_sim_vec"):
+        nl_exec = r_exec[nonlocal_idx]
+        nl_arr = columns.r_arr64[nonlocal_idx]
+        nl_page = r_pages[nonlocal_idx]
+        composite = nl_arr * (1 << 40) + nl_page
+        # One stable sort groups every PE's accesses contiguously while
+        # preserving each PE's program order — the segmented mirror of
+        # the scalar engine's per-PE boolean masks.
+        order = np.argsort(nl_exec, kind="stable")
+        seg_exec = nl_exec[order]
+        seg_keys = composite[order]
+
+    if not config.has_cache:
+        with _phase("cache_sim_vec"):
+            remote = np.bincount(nl_exec, minlength=n_pes)
+            stats.add_vector(AccessKind.REMOTE_READ, remote)
+            page_fetches += remote
+            for pe, start, end in _segments(seg_exec):
+                distinct_pages[pe] = np.unique(seg_keys[start:end]).size
+        return finish(page_fetches, distinct_pages)
+
+    if config.cache_policy not in POLICIES:
+        # Same error, same point in the replay as the scalar engine's
+        # first make_cache call.
+        make_cache(config.cache_policy, config.cache_pages)
+
+    cached_per_pe = np.zeros(n_pes, dtype=np.int64)
+    remote_per_pe = np.zeros(n_pes, dtype=np.int64)
+    pending: list[tuple[int, np.ndarray, np.ndarray, int]] = []
+    with _phase("cache_sim_vec"):
+        capacity = config.cache_pages
+        for pe, start, end in _segments(seg_exec):
+            keys = seg_keys[start:end]
+            # Run-length compression: consecutive touches of one page
+            # collapse into a single cache probe.
+            change = np.empty(keys.size, dtype=bool)
+            change[0] = True
+            np.not_equal(keys[1:], keys[:-1], out=change[1:])
+            starts = np.flatnonzero(change)
+            run_keys = keys[starts]
+            # Unpack the composite back into (array, page) — exact,
+            # since pages occupy the low 40 bits by construction.
+            run_arrs = run_keys >> 40
+            run_pages = run_keys & ((1 << 40) - 1)
+            misses, distinct_pages[pe] = _count_misses_vec(
+                run_keys, run_arrs, run_pages, config.cache_policy, capacity
+            )
+            if misses is None:
+                pending.append((pe, run_arrs, run_pages, keys.size))
+                continue
+            if telemetry is not None:
+                telemetry["vectorised_pes"] += 1
+            # Per run: a hit caches `length` reads; a miss fetches the
+            # page (1 remote read) and caches the remaining length-1.
+            cached_per_pe[pe] = keys.size - misses
+            remote_per_pe[pe] = misses
+    if pending:
+        with _phase("fallback_scalar"):
+            for pe, run_arrs, run_pages, n_accesses in pending:
+                misses = _count_misses_scalar(
+                    run_arrs, run_pages, config.cache_policy, capacity
+                )
+                if telemetry is not None:
+                    telemetry["fallback_pes"] += 1
+                cached_per_pe[pe] = n_accesses - misses
+                remote_per_pe[pe] = misses
+    stats.add_vector(AccessKind.CACHED_READ, cached_per_pe)
+    stats.add_vector(AccessKind.REMOTE_READ, remote_per_pe)
+    page_fetches += remote_per_pe
+    return finish(page_fetches, distinct_pages)

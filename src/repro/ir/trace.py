@@ -26,7 +26,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["TRACE_FORMAT_VERSION", "Trace", "TraceBuilder"]
+__all__ = ["TRACE_FORMAT_VERSION", "Trace", "TraceBuilder", "TraceColumns"]
 
 #: On-disk ``.npz`` layout version.  Bump when the set of columns or
 #: their meaning changes; :meth:`Trace.load` refuses other versions so
@@ -43,6 +43,29 @@ _COLUMNS = (
     "r_flat",
     "reduction_mask",
 )
+
+
+@dataclass(frozen=True)
+class TraceColumns:
+    """Configuration-independent columnar expansion of a trace.
+
+    The simulators flatten the CSR read structure into one row per
+    read — ``r_instance`` maps each read back to its statement
+    instance, so any per-instance column (the executing PE above all)
+    expands to per-read shape by plain fancy indexing.  None of this
+    depends on the machine configuration, so one expansion serves an
+    entire parameter sweep; :meth:`Trace.columnar` memoises it on the
+    trace.  The vectorised replay engine
+    (:mod:`repro.core.vec_simulator`) is the main consumer.
+    """
+
+    #: ``int64[n_instances]`` — reads per statement instance.
+    reads_per_instance: np.ndarray
+    #: ``int64[n_reads]`` — owning instance of each read row.
+    r_instance: np.ndarray
+    #: ``int64[n_reads]`` — read array ids, widened once for composite
+    #: (array, page) key arithmetic.
+    r_arr64: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -126,6 +149,22 @@ class Trace:
 
     def array_id(self, name: str) -> int:
         return self.array_names.index(name)
+
+    def columnar(self) -> TraceColumns:
+        """The memoised columnar view (see :class:`TraceColumns`)."""
+        cached = self.__dict__.get("_columns")
+        if cached is None:
+            reads_per_instance = np.diff(self.r_ptr)
+            cached = TraceColumns(
+                reads_per_instance=reads_per_instance,
+                r_instance=np.repeat(
+                    np.arange(self.n_instances, dtype=np.int64),
+                    reads_per_instance,
+                ),
+                r_arr64=self.r_arr.astype(np.int64),
+            )
+            object.__setattr__(self, "_columns", cached)
+        return cached
 
     def reads_of(self, instance: int) -> list[tuple[int, int]]:
         """(array id, flat index) pairs read by one instance."""

@@ -4,10 +4,28 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.bench import kernel_trace
 from repro.engine import TraceStore, set_default_store
 from repro.ir import ProgramBuilder
+
+# Hypothesis example budgets.  "default" (loaded unless pytest is given
+# --hypothesis-profile) keeps the standard budget but drops the
+# per-example deadline: the fidelity properties replay whole traces per
+# example, and wall time on CI runners is not a correctness signal.
+# "ci-deep" is the nightly vec-fuzz budget — an order of magnitude more
+# examples, with print_blob so a failing run's reproduction recipe
+# lands in the job log next to the uploaded example database.
+settings.register_profile("default", deadline=None)
+settings.register_profile(
+    "ci-deep",
+    deadline=None,
+    max_examples=1500,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("default")
 
 
 @pytest.fixture(autouse=True, scope="session")

@@ -1,0 +1,181 @@
+"""Hypothesis strategies shared by the differential fidelity suites.
+
+One generator instead of hand-picked cases: `machine_configs` and
+`scenarios` draw valid points from the paper's parameter space
+(PE counts x page sizes x cache sizes x replacement policies x
+partitions x reduction strategies), and `traces` builds small
+synthetic access traces directly through
+:class:`~repro.ir.trace.TraceBuilder` — including subrange-reduction
+folds (repeated writes to accumulator cells under ``reduction_mask``)
+and, in the unconstrained mode, reads of elements only written later
+in the trace (the istructure-defer pattern).
+
+Two consumers with different validity envelopes share these:
+
+* ``test_vec_fidelity.py`` (untimed vs untimed-vec) replays traces on
+  order-free engines, so it draws ``traces()`` unconstrained;
+* ``test_timed_fidelity.py`` replays on the discrete-event machine,
+  where a read can park forever if its producer never completes, so it
+  draws ``traces(timed_safe=True)``: single-assignment writes, and
+  reads that touch only pure-input arrays or elements already written
+  by an *earlier* instance — progress is then inductively guaranteed.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.backends import Scenario
+from repro.core import MachineConfig, named_scheme
+from repro.ir.trace import Trace, TraceBuilder
+
+__all__ = [
+    "CACHE_POLICIES",
+    "PARTITIONS",
+    "REDUCTION_STRATEGIES",
+    "machine_configs",
+    "scenarios",
+    "traces",
+]
+
+PARTITIONS = ("modulo", "block", "block-cyclic:2", "block-cyclic:4")
+CACHE_POLICIES = ("lru", "fifo", "random", "direct")
+REDUCTION_STRATEGIES = ("host", "subrange")
+
+
+@st.composite
+def machine_configs(
+    draw,
+    *,
+    cache_policies: tuple[str, ...] = CACHE_POLICIES,
+    max_pes: int = 9,
+) -> MachineConfig:
+    """A valid machine configuration anywhere in the paper's space.
+
+    Small cache sizes against small page sizes are deliberately
+    over-represented: capacities of 1-4 pages force evictions, which
+    is where replacement policies actually disagree.
+    """
+    return MachineConfig(
+        n_pes=draw(st.integers(min_value=1, max_value=max_pes)),
+        page_size=draw(st.sampled_from((2, 4, 8, 16, 32))),
+        cache_elems=draw(st.sampled_from((0, 4, 8, 16, 32, 64, 256))),
+        cache_policy=draw(st.sampled_from(cache_policies)),
+        partition=named_scheme(draw(st.sampled_from(PARTITIONS))),
+        reduction_strategy=draw(st.sampled_from(REDUCTION_STRATEGIES)),
+    )
+
+
+@st.composite
+def scenarios(
+    draw,
+    *,
+    backend: str = "untimed",
+    topologies: tuple[str, ...] = ("crossbar",),
+    modes: tuple[str, ...] = ("blocking",),
+    **config_kwargs,
+) -> Scenario:
+    """A valid :class:`Scenario` for ``backend`` (untimed by default)."""
+    return Scenario(
+        config=draw(machine_configs(**config_kwargs)),
+        backend=backend,
+        topology=draw(st.sampled_from(topologies)),
+        mode=draw(st.sampled_from(modes)),
+    )
+
+
+@st.composite
+def traces(
+    draw,
+    *,
+    timed_safe: bool = False,
+    max_arrays: int = 4,
+    max_instances: int = 48,
+    max_reads_per_instance: int = 4,
+) -> Trace:
+    """A small synthetic access trace (validated by ``freeze()``).
+
+    Arrays split into *written* arrays and at least one pure-input
+    array.  Roughly a quarter of instances are reduction folds into a
+    small pool of accumulator cells, so the subrange strategy's
+    placement and combine paths are always in play.  With
+    ``timed_safe=True`` the trace additionally respects single
+    assignment and never reads ahead of its producers (see module
+    docstring); unconstrained traces freely read cells that a later
+    instance writes — untimed replay ignores ordering, and the timed
+    machine must never be handed such a trace.
+    """
+    n_arrays = draw(st.integers(min_value=2, max_value=max_arrays))
+    sizes = tuple(
+        draw(
+            st.lists(
+                st.integers(min_value=4, max_value=96),
+                min_size=n_arrays,
+                max_size=n_arrays,
+            )
+        )
+    )
+    names = tuple(f"A{i}" for i in range(n_arrays))
+    builder = TraceBuilder(names, sizes)
+    n_written = draw(st.integers(min_value=1, max_value=n_arrays - 1))
+    written_ids = tuple(range(n_written))
+    input_ids = tuple(range(n_written, n_arrays))
+
+    # Accumulator pool for reduction folds (repeated writes are exempt
+    # from single assignment via the reduction mask).
+    accumulators: list[tuple[int, int]] = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        arr = draw(st.sampled_from(written_ids))
+        accumulators.append((arr, draw(st.integers(0, sizes[arr] - 1))))
+    accumulators = list(dict.fromkeys(accumulators))
+
+    # Cells still writable under single assignment (timed_safe mode).
+    free_cells = [
+        (arr, flat)
+        for arr in written_ids
+        for flat in range(sizes[arr])
+        if (arr, flat) not in accumulators
+    ]
+    completed: list[tuple[int, int]] = []
+
+    n_instances = draw(st.integers(min_value=0, max_value=max_instances))
+    for _ in range(n_instances):
+        is_reduction = bool(accumulators) and draw(
+            st.integers(min_value=0, max_value=3)
+        ) == 0
+        if is_reduction:
+            w_arr, w_flat = draw(st.sampled_from(accumulators))
+        elif timed_safe:
+            if not free_cells:
+                break  # every cell written once already
+            w_arr, w_flat = free_cells.pop(
+                draw(st.integers(0, len(free_cells) - 1))
+            )
+        else:
+            w_arr = draw(st.sampled_from(written_ids))
+            w_flat = draw(st.integers(0, sizes[w_arr] - 1))
+        for _ in range(
+            draw(st.integers(min_value=0, max_value=max_reads_per_instance))
+        ):
+            if timed_safe:
+                if completed and draw(st.booleans()):
+                    r_arr, r_flat = draw(st.sampled_from(completed))
+                else:
+                    r_arr = draw(st.sampled_from(input_ids))
+                    r_flat = draw(st.integers(0, sizes[r_arr] - 1))
+            else:
+                # Unconstrained: any cell of any array, including ones
+                # a later instance writes (istructure defers) or the
+                # accumulators themselves.
+                r_arr = draw(st.integers(0, n_arrays - 1))
+                r_flat = draw(st.integers(0, sizes[r_arr] - 1))
+            builder.record_read(r_arr, r_flat)
+        builder.commit_instance(
+            draw(st.integers(min_value=0, max_value=3)),
+            w_arr,
+            w_flat,
+            is_reduction,
+        )
+        if not is_reduction:
+            completed.append((w_arr, w_flat))
+    return builder.freeze()

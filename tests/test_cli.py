@@ -140,6 +140,23 @@ class TestCommands:
         assert "torus2d" in out
         assert "multithreaded" in out
 
+    def test_sweep_untimed_vec_backend(self, capsys):
+        """The columnar engine, end to end through the CLI — and its
+        extra metric column lands in the record table."""
+        assert (
+            main(
+                [
+                    "sweep", "first_diff", "--n", "300",
+                    "--backend", "untimed-vec",
+                    "--pes", "1", "4", "--page-sizes", "32",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "first_diff" in out
+        assert "page_fetches" in out
+
     def test_sweep_unknown_backend(self, capsys):
         assert main(["sweep", "iccg", "--backend", "quantum"]) == 2
         assert "unknown backend" in capsys.readouterr().err

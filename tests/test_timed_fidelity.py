@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.backends import (
@@ -37,6 +37,7 @@ from repro.core import AccessKind, MachineConfig, simulate
 from repro.ir import TraceBuilder
 from repro.kernels import get_kernel
 from repro.machine import CostModel, TimedMachine, make_topology
+from strategies import machine_configs, traces
 
 STRATEGIES = ("host", "subrange")
 TOPOLOGIES = ("crossbar", "bus", "ring", "mesh2d", "torus2d", "hypercube")
@@ -130,6 +131,43 @@ class TestDifferentialCounters:
         assert subrange.messages < host.messages
         remote_partials = int((sub_writes > 0).sum()) - 1
         assert subrange.messages == 2 * remote_partials
+
+
+class TestGenerativeDifferentialCounters:
+    """The hand-picked kernel cases above, generalised: both fidelity
+    suites now draw from the one generator in ``tests/strategies.py``.
+    ``timed_safe`` traces respect single assignment and never read
+    ahead of their producers, so the event machine always makes
+    progress (an unconstrained trace could park a PE forever)."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        trace=traces(timed_safe=True),
+        config=machine_configs(),
+        topology=st.sampled_from(TOPOLOGIES),
+    )
+    def test_no_cache_counters_bit_identical(self, trace, config, topology):
+        # The hypercube is only defined for power-of-two PE counts.
+        assume(topology != "hypercube" or config.n_pes & (config.n_pes - 1) == 0)
+        cfg = config.without_cache()
+        untimed = simulate(trace, cfg)
+        timed = TimedMachine(trace, cfg, topology=topology).run()
+        assert np.array_equal(untimed.stats.counts, timed.stats.counts)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        trace=traces(timed_safe=True),
+        config=machine_configs(),
+        mode=st.sampled_from(MODES),
+    )
+    def test_cached_counters_conserve_structural_totals(
+        self, trace, config, mode
+    ):
+        untimed = simulate(trace, config)
+        timed = TimedMachine(trace, config, topology="ring", mode=mode).run()
+        assert untimed.stats.writes == timed.stats.writes
+        assert untimed.stats.local_reads == timed.stats.local_reads
+        assert untimed.stats.total_reads == timed.stats.total_reads
 
 
 class TestDeferredReadsOnAccumulators:

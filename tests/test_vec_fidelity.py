@@ -1,0 +1,203 @@
+"""Generative differential fidelity: ``untimed`` vs ``untimed-vec``.
+
+The columnar replay engine earns its registration by being
+indistinguishable from the scalar engine on *every counter it is
+allowed to report*: the four access categories (per PE and per
+array), page fetches and distinct fetched pages, per PE.  This suite
+holds it to that contract generatively — hypothesis draws whole
+synthetic traces and machine configurations from
+``tests/strategies.py`` (kernels x cache policies x partitions x
+reduction strategies, istructure-style future reads included) — plus
+a grid of real paper kernels, the backend-level outcome comparison,
+and the unsupported-scenario backstops.
+
+Flipping the engine default later is a one-line change precisely
+because this file exists; the nightly ``vec-fuzz`` CI job re-runs it
+under the ``ci-deep`` hypothesis profile (see ``tests/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.backends import (
+    Scenario,
+    UnsupportedScenarioError,
+    evaluate_scenario,
+    get_backend,
+)
+from repro.bench import kernel_trace
+from repro.core import MachineConfig, named_scheme, simulate, simulate_vec
+from repro.ir import TraceBuilder
+from repro.kernels import get_kernel
+from strategies import CACHE_POLICIES, machine_configs, scenarios, traces
+
+# Local floor of 200 generated examples; the nightly ci-deep profile
+# raises settings.default.max_examples past it (profiles load before
+# test modules import, so this picks the active profile up).
+_EXAMPLES = max(200, settings.default.max_examples)
+
+
+def assert_identical(scalar, vec) -> None:
+    """Bit-exact equality of everything a SimResult reports."""
+    assert np.array_equal(scalar.stats.counts, vec.stats.counts)
+    assert np.array_equal(scalar.stats.by_array, vec.stats.by_array)
+    assert np.array_equal(scalar.page_fetches, vec.page_fetches)
+    assert np.array_equal(
+        scalar.distinct_pages_fetched, vec.distinct_pages_fetched
+    )
+
+
+class TestGenerativeFidelity:
+    @settings(max_examples=_EXAMPLES, deadline=None)
+    @given(trace=traces(), config=machine_configs())
+    def test_counters_bit_identical(self, trace, config):
+        """The headline property: any trace, any configuration."""
+        assert_identical(simulate(trace, config), simulate_vec(trace, config))
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=traces(), scenario=scenarios())
+    def test_backend_outcomes_bit_identical(self, trace, scenario):
+        """Same property one layer up, through the registry: stats,
+        per-PE arrays and the shared metric columns all agree."""
+        from dataclasses import replace
+
+        scalar = evaluate_scenario(trace, scenario)
+        vec = evaluate_scenario(
+            trace, replace(scenario, backend="untimed-vec")
+        )
+        assert np.array_equal(scalar.stats.counts, vec.stats.counts)
+        assert np.array_equal(scalar.stats.by_array, vec.stats.by_array)
+        for name in ("page_fetches", "distinct_pages_fetched"):
+            assert scalar.metrics[name] == vec.metrics[name]
+            assert np.array_equal(scalar.per_pe[name], vec.per_pe[name])
+        assert "vec_fallback_pes" in vec.metrics
+
+
+KERNELS = (
+    ("hydro_fragment", 120),
+    ("first_diff", 120),
+    ("inner_product", 120),
+    ("pic_1d_fragment", 120),
+    ("hydro_2d", 80),
+    ("iccg", 32),
+)
+
+
+@pytest.fixture(scope="module")
+def kernel_traces():
+    out = {}
+    for name, n in KERNELS:
+        program, inputs = get_kernel(name).build(n=n)
+        out[name] = kernel_trace(program, inputs)
+    return out
+
+
+class TestKernelGrid:
+    """Real paper kernels across the policy/partition/strategy grid."""
+
+    @pytest.mark.parametrize("policy", CACHE_POLICIES)
+    @pytest.mark.parametrize("name", [k for k, _ in KERNELS])
+    def test_kernels_bit_identical(self, kernel_traces, name, policy):
+        trace = kernel_traces[name]
+        for pes, cache, partition, strategy in itertools.product(
+            (1, 4, 7), (0, 64, 256), ("modulo", "block-cyclic:2"),
+            ("host", "subrange"),
+        ):
+            config = MachineConfig(
+                n_pes=pes,
+                page_size=16,
+                cache_elems=cache,
+                cache_policy=policy,
+                partition=named_scheme(partition),
+                reduction_strategy=strategy,
+            )
+            assert_identical(
+                simulate(trace, config), simulate_vec(trace, config)
+            )
+
+
+def _thrashing_trace(page_size: int = 4):
+    """Two full sweeps over the odd (nonlocal-to-PE-0) pages of one
+    array: with a 2-page cache every revisit's window exceeds the
+    capacity, so FIFO/random must take the scalar-replay fallback."""
+    builder = TraceBuilder(["W", "X"], [page_size, 16 * page_size])
+    for _ in range(2):
+        for page in range(1, 16, 2):
+            builder.record_read(1, page * page_size)
+            builder.commit_instance(0, 0, 0, True)
+    return builder.freeze()
+
+
+class TestFallbackPaths:
+    """The order-dependent spans really do take the scalar path —
+    and still match it bit for bit."""
+
+    @pytest.mark.parametrize("policy", CACHE_POLICIES)
+    def test_thrashing_trace_identical(self, policy):
+        trace = _thrashing_trace()
+        config = MachineConfig(
+            n_pes=2, page_size=4, cache_elems=8, cache_policy=policy
+        )
+        telemetry: dict[str, int] = {}
+        assert_identical(
+            simulate(trace, config),
+            simulate_vec(trace, config, telemetry),
+        )
+        if policy in ("fifo", "random"):
+            assert telemetry["fallback_pes"] == 1
+            assert telemetry["vectorised_pes"] == 0
+        else:  # lru decides by stack distance, direct by slot hash
+            assert telemetry["fallback_pes"] == 0
+            assert telemetry["vectorised_pes"] == 1
+
+    def test_trace_columnar_view_is_memoised(self):
+        trace = _thrashing_trace()
+        assert trace.columnar() is trace.columnar()
+        assert trace.columnar().r_instance.shape == (trace.n_reads,)
+
+    def test_empty_trace(self):
+        trace = TraceBuilder(["A"], [8]).freeze()
+        config = MachineConfig(n_pes=4, page_size=4)
+        assert_identical(simulate(trace, config), simulate_vec(trace, config))
+
+
+class TestBackendEnvelope:
+    def test_registered_with_schema(self):
+        backend = get_backend("untimed-vec")
+        assert backend.supported_reductions == ("host", "subrange")
+        assert "vec_fallback_pes" in backend.result_schema
+        assert backend.scenario_axes == ()
+
+    def test_unknown_cache_policy_is_unsupported(self, hydro_trace):
+        config = MachineConfig(n_pes=4, page_size=32, cache_elems=64)
+        object.__setattr__(config, "cache_policy", "plru")
+        with pytest.raises(UnsupportedScenarioError, match="plru"):
+            evaluate_scenario(
+                hydro_trace, Scenario(config=config, backend="untimed-vec")
+            )
+
+    def test_smuggled_reduction_strategy_is_unsupported(self, hydro_trace):
+        config = MachineConfig(n_pes=4, page_size=32)
+        object.__setattr__(config, "reduction_strategy", "tree")
+        with pytest.raises(UnsupportedScenarioError, match="untimed-vec"):
+            evaluate_scenario(
+                hydro_trace, Scenario(config=config, backend="untimed-vec")
+            )
+
+    def test_profile_adds_vec_phase_columns(self, hydro_trace, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        config = MachineConfig(
+            n_pes=2, page_size=4, cache_elems=8, cache_policy="fifo"
+        )
+        outcome = evaluate_scenario(
+            _thrashing_trace(), Scenario(config=config, backend="untimed-vec")
+        )
+        assert "profile_classify_vec_s" in outcome.metrics
+        assert "profile_cache_sim_vec_s" in outcome.metrics
+        assert "profile_fallback_scalar_s" in outcome.metrics
+        assert outcome.metrics["vec_fallback_pes"] == 1.0

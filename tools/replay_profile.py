@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Replay profiling baseline: where does evaluation time go?
 
-Runs the full replay path — interpret (trace build) plus the untimed
-simulator's classify / cache_sim / reduction phases — over
+Runs the full replay path — interpret (trace build), the untimed
+simulator's classify / cache_sim / reduction phases, and the columnar
+engine's classify_vec / cache_sim_vec / fallback_scalar phases — over
 representative kernels and reports per-phase wall seconds *and* each
 phase's share of the total.  The committed ``BENCH_replay.json`` is
 the baseline; CI's bench-smoke job re-runs this script in
@@ -29,11 +30,25 @@ import sys
 import tempfile
 import time
 
-PHASES = ("interpret", "classify", "cache_sim", "reduction")
+PHASES = (
+    "interpret",
+    "classify",
+    "cache_sim",
+    "reduction",
+    "classify_vec",
+    "cache_sim_vec",
+    "fallback_scalar",
+)
 #: relative share-drift tolerance, plus an absolute floor so phases
 #: that are a sliver of the total cannot trip the relative gate.
 REL_TOLERANCE = 0.25
 ABS_FLOOR = 0.05
+#: a baseline share at or below this is "effectively zero" — the
+#: reduction phase sits at 0.0002 in the committed baseline, and a
+#: 25%-relative band around near-nothing is noise, not a gate.  Such
+#: phases are compared against the absolute floor alone, and the
+#: failure message never divides by the baseline share.
+ZERO_SHARE = 0.01
 
 
 def fast() -> bool:
@@ -43,14 +58,21 @@ def fast() -> bool:
 def workload() -> tuple[tuple[tuple[str, int], ...], int]:
     """(kernels, repetitions) — smaller in REPRO_BENCH_FAST mode."""
     if fast():
-        return (("hydro_fragment", 400), ("first_diff", 400)), 2
-    return (("hydro_fragment", 2000), ("first_diff", 2000)), 5
+        return (
+            ("hydro_fragment", 400),
+            ("first_diff", 400),
+            ("inner_product", 400),
+        ), 2
+    return (
+        ("hydro_fragment", 2000),
+        ("first_diff", 2000),
+        ("inner_product", 2000),
+    ), 5
 
 
 def profile_replay() -> dict[str, float]:
     """Per-phase wall seconds over the workload (one fresh store)."""
-    from repro.core import MachineConfig
-    from repro.core.simulator import simulate
+    from repro.core import MachineConfig, simulate, simulate_vec
     from repro.engine import TraceStore, kernel_trace_cached
     from repro.obs import profile
 
@@ -59,6 +81,11 @@ def profile_replay() -> dict[str, float]:
     configs = (
         MachineConfig(n_pes=16, page_size=32, cache_elems=256),
         MachineConfig(n_pes=16, page_size=32, cache_elems=0),
+        # A tight FIFO cache: order-dependent spans exercise the
+        # columnar engine's scalar-replay fallback phase.
+        MachineConfig(
+            n_pes=16, page_size=32, cache_elems=64, cache_policy="fifo"
+        ),
     )
     with tempfile.TemporaryDirectory() as root:
         store = TraceStore(root)
@@ -68,10 +95,13 @@ def profile_replay() -> dict[str, float]:
             seconds["interpret"] += time.perf_counter() - t0
             for _ in range(reps):
                 for config in configs:
-                    with profile.collect() as phases:
-                        simulate(trace, config)
-                    for phase, elapsed in phases.items():
-                        seconds[phase] = seconds.get(phase, 0.0) + elapsed
+                    for engine in (simulate, simulate_vec):
+                        with profile.collect() as phases:
+                            engine(trace, config)
+                        for phase, elapsed in phases.items():
+                            seconds[phase] = (
+                                seconds.get(phase, 0.0) + elapsed
+                            )
     return seconds
 
 
@@ -109,11 +139,20 @@ def check(baseline: dict, current: dict) -> list[str]:
     for phase, base in base_phases.items():
         base_share = float(base["share"])
         cur_share = float(cur_phases[phase]["share"])
-        allowed = max(ABS_FLOOR, REL_TOLERANCE * base_share)
-        if abs(cur_share - base_share) > allowed:
+        drift = abs(cur_share - base_share)
+        if base_share <= ZERO_SHARE:
+            # Near-zero baseline: the relative band is meaningless and
+            # dividing by it is a latent ZeroDivision — absolute only.
+            allowed = ABS_FLOOR
+            detail = "near-zero baseline, absolute gate only"
+        else:
+            allowed = max(ABS_FLOOR, REL_TOLERANCE * base_share)
+            detail = f"{drift / base_share:.0%} relative"
+        if drift > allowed:
             failures.append(
                 f"phase {phase!r}: share {cur_share:.3f} vs baseline "
-                f"{base_share:.3f} (allowed drift {allowed:.3f})"
+                f"{base_share:.3f} ({detail}; allowed drift "
+                f"{allowed:.3f})"
             )
     return failures
 
