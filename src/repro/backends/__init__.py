@@ -23,8 +23,9 @@ backend a user registers — behind one contract:
 Importing this package registers the four built-ins: ``"untimed"``
 (:class:`~repro.backends.untimed.UntimedBackend`), ``"untimed-vec"``
 (:class:`~repro.backends.untimed_vec.UntimedVecBackend` — the columnar
-replay engine, bit-identical to ``"untimed"`` and held to it by the
-generative fidelity harness), ``"timed"``
+replay engine and the *default* backend, bit-identical to
+``"untimed"`` and held to it by the generative fidelity harness),
+``"timed"``
 (:class:`~repro.backends.timed.TimedBackend`) and ``"service"``
 (:class:`~repro.backends.service.ServiceBackend` — evaluations via the
 process-wide :class:`~repro.backends.service.EvalService`, a resident

@@ -187,7 +187,7 @@ class Scenario:
     """
 
     config: MachineConfig
-    backend: str = "untimed"
+    backend: str = "untimed-vec"
     topology: str = "crossbar"
     mode: str = "blocking"
     cost_model: str = "default"
@@ -260,7 +260,7 @@ class Scenario:
             raise ValueError("scenario needs a 'config' mapping")
         return Scenario(
             config=MachineConfig.from_dict(data["config"]),  # type: ignore[arg-type]
-            backend=str(data.get("backend", "untimed")),
+            backend=str(data.get("backend", "untimed-vec")),
             topology=str(data.get("topology", "crossbar")),
             mode=str(data.get("mode", "blocking")),
             cost_model=str(data.get("cost_model", "default")),

@@ -13,7 +13,7 @@ with every record.
 from __future__ import annotations
 
 from ..ir.trace import Trace
-from ..machine.msim import TimedMachine, serial_time
+from ..machine.msim import TimedMachine, run_compacted, serial_time
 from ..obs import profile
 from .base import (
     EvalOutcome,
@@ -62,7 +62,23 @@ class TimedBackend:
             )
         costs = scenario.costs
 
+        superops = trace.attached_superops()
+
         def run_machine():
+            # Traces with a super-op view take the analytic fast path
+            # when the scenario's timing decomposes into per-PE sums
+            # (run_compacted falls back to the event loop otherwise —
+            # both paths are bit-identical by construction).
+            if superops is not None and superops.ops:
+                return run_compacted(
+                    trace,
+                    superops,
+                    scenario.config,
+                    topology=scenario.topology,
+                    costs=costs,
+                    mode=scenario.mode,
+                    max_outstanding=scenario.max_outstanding,
+                )
             machine = TimedMachine(
                 trace,
                 scenario.config,

@@ -6,11 +6,17 @@ A thin adapter: :func:`repro.core.simulator.simulate` already takes
 :class:`~repro.backends.base.EvalOutcome` shape.  It consumes no
 scenario axes beyond the machine configuration — topology, mode and
 cost model do not exist in the untimed model.
+
+Traces that carry a super-op view (loaded from a v2 store shard, or
+explicitly compacted) replay through
+:func:`repro.core.superop_replay.replay_superops` instead: O(unique
+behaviour) work, counters bit-identical to the flat walk.
 """
 
 from __future__ import annotations
 
 from ..core.simulator import simulate
+from ..core.superop_replay import replay_superops
 from ..ir.trace import Trace
 from ..obs import profile
 from .base import EvalOutcome, Scenario, register_backend
@@ -35,12 +41,19 @@ class UntimedBackend:
         # them unconditionally would break the serial-vs-parallel
         # bit-exactness contract (and cached outcomes replay whatever
         # columns they were stored with).
+        superops = trace.attached_superops()
+
+        def run():
+            if superops is not None and superops.ops:
+                return replay_superops(superops, scenario.config)
+            return simulate(trace, scenario.config)
+
         phases: dict[str, float] = {}
         if profile.enabled():
             with profile.collect() as phases:
-                result = simulate(trace, scenario.config)
+                result = run()
         else:
-            result = simulate(trace, scenario.config)
+            result = run()
         metrics = {
             "page_fetches": float(result.page_fetches.sum()),
             "distinct_pages_fetched": float(

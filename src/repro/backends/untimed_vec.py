@@ -20,6 +20,7 @@ that refused it, exactly as the timed backend does.
 from __future__ import annotations
 
 from ..cache import POLICIES
+from ..core.superop_replay import replay_superops
 from ..core.vec_simulator import simulate_vec
 from ..ir.trace import Trace
 from ..obs import profile
@@ -66,14 +67,24 @@ class UntimedVecBackend:
                 supported=tuple(POLICIES),
             )
         telemetry: dict[str, int] = {}
+        superops = trace.attached_superops()
+
+        def run():
+            # A trace carrying a super-op view replays in O(unique
+            # behaviour); the engine's own scalar fallback count flows
+            # into the same vec_fallback_pes metric.
+            if superops is not None and superops.ops:
+                return replay_superops(superops, config, telemetry=telemetry)
+            return simulate_vec(trace, config, telemetry)
+
         # Same REPRO_PROFILE opt-in (and bit-exactness caveat) as the
         # scalar untimed backend.
         phases: dict[str, float] = {}
         if profile.enabled():
             with profile.collect() as phases:
-                result = simulate_vec(trace, config, telemetry)
+                result = run()
         else:
-            result = simulate_vec(trace, config, telemetry)
+            result = run()
         metrics = {
             "page_fetches": float(result.page_fetches.sum()),
             "distinct_pages_fetched": float(

@@ -176,7 +176,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # Figure-style series tables need one value per (page size, cache
     # on/off, PEs) cell; richer grids get the flat record table.
     series_friendly = (
-        spec.backend == "untimed"
+        spec.backend in ("untimed", "untimed-vec")
         and len(spec.cache_policies) == 1
         and len(spec.partitions) == 1
         and len(spec.reduction_strategies) == 1
@@ -273,6 +273,48 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
             if report.pinned_skipped
             else ""
         )
+    )
+    return 0
+
+
+def _cmd_trace_compact(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .bench import render_table
+
+    store = _store_for(args)
+    report = store.compact_traces(refs=args.refs or None)
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    if not report:
+        print("no stored traces to compact")
+        return 0
+    rows = []
+    before = after = 0
+    for row in report:
+        before += row["bytes_before"]
+        after += row["bytes_after"]
+        rows.append(
+            [
+                row["ref"][:12],
+                row["n_ops"],
+                f"{row['coverage'] * 100:.1f}%",
+                row["bytes_before"],
+                row["bytes_after"],
+            ]
+        )
+    print(
+        render_table(
+            ["ref", "super-ops", "coverage", "bytes before", "bytes after"],
+            rows,
+            title="trace compaction",
+        )
+    )
+    ratio = before / after if after else 1.0
+    print(
+        f"{len(report)} shard(s): {before} -> {after} bytes "
+        f"({ratio:.1f}x smaller)"
     )
     return 0
 
@@ -695,8 +737,11 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--n", type=int, default=None)
     swp.add_argument(
         "--backend",
-        default="untimed",
-        help="evaluation backend (untimed, untimed-vec, timed, service)",
+        default="untimed-vec",
+        help=(
+            "evaluation backend (untimed-vec [default], untimed, timed, "
+            "service)"
+        ),
     )
     swp.add_argument(
         "--pes", nargs="+", type=int, default=[1, 4, 8, 16, 32, 64]
@@ -803,6 +848,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gc.set_defaults(fn=_cmd_store_gc)
 
+    trace_parser = sub.add_parser(
+        "trace", help="inspect and rewrite stored access traces"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    tcompact = trace_sub.add_parser(
+        "compact",
+        help=(
+            "rewrite stored trace shards into the super-op v2 layout "
+            "(lossless; replay stays bit-identical)"
+        ),
+    )
+    tcompact.add_argument(
+        "--root", default=None, help="store root (default: the active store)"
+    )
+    tcompact.add_argument(
+        "refs",
+        nargs="*",
+        help="trace refs to compact (default: every stored trace)",
+    )
+    tcompact.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    tcompact.set_defaults(fn=_cmd_trace_compact)
+
     serve = sub.add_parser(
         "serve",
         help=(
@@ -851,8 +920,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--delegate",
-        default="untimed",
-        help="backend the service evaluates with (untimed, timed)",
+        default="untimed-vec",
+        help=(
+            "backend the service evaluates with "
+            "(untimed-vec [default], untimed, timed)"
+        ),
     )
     serve.add_argument(
         "--no-cache",

@@ -27,6 +27,7 @@ from .partition import (
     named_scheme,
 )
 from .simulator import MachineConfig, SimResult, simulate, simulate_program
+from .superop_replay import replay_superops
 from .vec_simulator import simulate_vec
 from .stats import AccessStats, LoadBalance
 
@@ -56,6 +57,7 @@ __all__ = [
     "classify_static",
     "hit_rate_curve",
     "named_scheme",
+    "replay_superops",
     "stack_distances",
     "screen_iterations",
     "simulate",

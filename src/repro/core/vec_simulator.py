@@ -125,13 +125,36 @@ def _count_misses_vec(
     undecided = repeats[windows >= capacity]
     misses = n_unique
     if undecided.size:
-        spans = undecided - prev[undecided] - 1
-        if int(spans.sum()) > max(_WINDOW_BUDGET, 8 * n_runs):
+        starts = prev[undecided] + 1
+        spans = undecided - starts
+        total = int(spans.sum())
+        if total > max(_WINDOW_BUDGET, 8 * n_runs):
             return None, n_unique
-        for i in undecided.tolist():
-            window = run_keys[prev[i] + 1 : i]
-            if np.unique(window).size >= capacity:
-                misses += 1
+        # One batched distinct-count over every undecided window at
+        # once: gather all window elements, tag each with its window
+        # id, and count first occurrences per (window, key) group via
+        # a single lexsort.  Replaces a per-window ``np.unique`` loop
+        # whose Python overhead dominated short-trace replays with
+        # many modest windows (the hydro_2d small-n regression).
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(spans) - spans, spans
+        )
+        flat = run_keys[np.repeat(starts, spans) + offsets]
+        win_id = np.repeat(
+            np.arange(undecided.size, dtype=np.int64), spans
+        )
+        order = np.lexsort((flat, win_id))
+        k_sorted = flat[order]
+        w_sorted = win_id[order]
+        first = np.empty(total, dtype=bool)
+        first[0] = True
+        first[1:] = (k_sorted[1:] != k_sorted[:-1]) | (
+            w_sorted[1:] != w_sorted[:-1]
+        )
+        distinct_per_window = np.bincount(
+            w_sorted[first], minlength=undecided.size
+        )
+        misses += int((distinct_per_window >= capacity).sum())
     return misses, n_unique
 
 

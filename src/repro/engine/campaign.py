@@ -127,7 +127,7 @@ class CampaignSpec:
 
     name: str
     kernels: tuple[KernelSpec, ...]
-    backend: str = "untimed"
+    backend: str = "untimed-vec"
     pes: tuple[int, ...] = DEFAULT_PES
     page_sizes: tuple[int, ...] = DEFAULT_PAGE_SIZES
     cache_elems: tuple[int, ...] = DEFAULT_CACHES

@@ -334,7 +334,8 @@ def run_grid(
     The engine primitive beneath :class:`repro.bench.Sweep`: serial by
     default (cheap grids are dominated by pool startup), parallel on
     request, identical results either way.  Bare
-    :class:`MachineConfig` items are coerced to untimed scenarios.
+    :class:`MachineConfig` items are coerced to default-backend
+    (``untimed-vec``) scenarios.
     """
     coerced = [
         s if isinstance(s, Scenario) else Scenario(config=s)

@@ -107,7 +107,7 @@ import zipfile
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterator, Mapping
+from typing import Callable, Iterable, Iterator, Mapping
 
 import numpy as np
 
@@ -115,7 +115,7 @@ from .. import obs
 from ..backends.base import EvalOutcome, Scenario
 from ..core.stats import AccessStats
 from ..ir.loops import Program
-from ..ir.trace import TRACE_FORMAT_VERSION, Trace
+from ..ir.trace import TRACE_DIGEST_VERSION, Trace
 
 __all__ = [
     "INDEX_FORMAT_VERSION",
@@ -241,7 +241,10 @@ def build_trace(program: Program, inputs: Mapping[str, np.ndarray]) -> Trace:
 class TraceKey:
     """Identity of a stored trace: kernel name + canonicalised params.
 
-    The digest covers the trace format version too, so a format bump
+    The digest covers the trace *digest* version too — the semantic
+    content version, deliberately not the on-disk layout version: the
+    super-op layout (format v2) reads back bit-identically, so
+    re-encoding a shard must never orphan it.  A digest-version bump
     invalidates every old entry instead of misreading it.
     """
 
@@ -265,7 +268,7 @@ class TraceKey:
             {
                 "kernel": self.kernel,
                 "params": list(self.params),
-                "format_version": TRACE_FORMAT_VERSION,
+                "format_version": TRACE_DIGEST_VERSION,
                 "package_version": __version__,
             },
             sort_keys=True,
@@ -1463,6 +1466,53 @@ class TraceStore:
             self._record_entry(key.ref, "trace", path)
             self._auto_gc()
         return path
+
+    def compact_traces(
+        self, refs: "Iterable[str] | None" = None
+    ) -> list[dict]:
+        """Rewrite stored traces in the super-op layout where it pays.
+
+        Loads every indexed trace shard (or only ``refs``), runs cycle
+        detection (:mod:`repro.ir.superops`) and re-saves in place —
+        the atomic-replace write and the layout-independent digests
+        mean concurrent readers see either the old or the new bytes,
+        both of which load bit-identically.  Shards that do not
+        compact are rewritten flat (a no-op apart from mtime).
+        Returns one report row per shard for the CLI.
+        """
+        wanted = None if refs is None else set(refs)
+        with self._lock:
+            entries = {
+                ref: dict(entry)
+                for ref, entry in self._index().items()
+                if entry.get("kind") == "trace"
+                and (wanted is None or ref in wanted)
+            }
+        report: list[dict] = []
+        for ref, entry in sorted(entries.items()):
+            path = self.root / entry["path"]
+            try:
+                trace = Trace.load(path)
+                bytes_before = path.stat().st_size
+            except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+                continue
+            trace.save(path, compact=True)
+            superops = trace.attached_superops()
+            n_ops = len(superops.ops) if superops is not None else 0
+            coverage = superops.coverage if superops is not None else 0.0
+            with self._lock:
+                self._record_entry(ref, "trace", path)
+            report.append(
+                {
+                    "ref": ref,
+                    "path": str(entry["path"]),
+                    "bytes_before": bytes_before,
+                    "bytes_after": path.stat().st_size,
+                    "n_ops": n_ops,
+                    "coverage": round(coverage, 4),
+                }
+            )
+        return report
 
     def get(self, key: TraceKey, builder: Callable[[], Trace]) -> Trace:
         """Memory → disk → ``builder()`` (which is then persisted).

@@ -30,6 +30,7 @@ from .interp import (
 from .loops import ArrayDecl, Loop, Program
 from .sa_check import CheckReport, Finding, Verdict, check_program
 from .stmt import Assign, Reduction, Statement
+from .superops import SuperOp, SuperOpTrace, compact
 from .trace import Trace, TraceBuilder
 from .translate import (
     TranslationError,
@@ -64,6 +65,8 @@ __all__ = [
     "Ref",
     "SingleAssignmentError",
     "Statement",
+    "SuperOp",
+    "SuperOpTrace",
     "Trace",
     "TraceBuilder",
     "TranslationError",
@@ -73,6 +76,7 @@ __all__ = [
     "as_expr",
     "auto_convert",
     "check_program",
+    "compact",
     "expand_array",
     "expansion_cost",
     "fast_trace",

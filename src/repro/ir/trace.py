@@ -26,12 +26,35 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["TRACE_FORMAT_VERSION", "Trace", "TraceBuilder", "TraceColumns"]
+__all__ = [
+    "TRACE_DIGEST_VERSION",
+    "TRACE_FORMAT_VERSION",
+    "Trace",
+    "TraceBuilder",
+    "TraceColumns",
+]
 
-#: On-disk ``.npz`` layout version.  Bump when the set of columns or
-#: their meaning changes; :meth:`Trace.load` refuses other versions so
-#: a stale store entry can never be misread silently.
-TRACE_FORMAT_VERSION = 1
+#: On-disk ``.npz`` layout version.  Version 1 is the flat columnar
+#: layout; version 2 adds the super-op layout (repeated loop bodies
+#: stored once with trip counts and strides — see
+#: :mod:`repro.ir.superops`).  :meth:`Trace.load` reads both and
+#: refuses anything else so a stale store entry can never be misread
+#: silently.
+TRACE_FORMAT_VERSION = 2
+
+#: Semantic version of trace *content*, used in digests (both
+#: :attr:`Trace.content_digest` and the store's build-parameter keys).
+#: Deliberately decoupled from :data:`TRACE_FORMAT_VERSION`: the v2
+#: layout reads back losslessly, so re-encoding a trace must not
+#: change its identity or orphan existing store entries.  Bump only
+#: when identical build parameters would yield semantically different
+#: traces.
+TRACE_DIGEST_VERSION = 1
+
+#: ``save()`` only attempts cycle detection on traces at least this
+#: long — compaction pays off on sweep-scale traces, not unit-test
+#: fixtures.
+_AUTO_COMPACT_MIN = 512
 
 #: The numpy columns of a trace, in canonical order.
 _COLUMNS = (
@@ -127,7 +150,7 @@ class Trace:
         h.update(
             json.dumps(
                 {
-                    "format_version": TRACE_FORMAT_VERSION,
+                    "format_version": TRACE_DIGEST_VERSION,
                     "array_names": list(self.array_names),
                     "array_sizes": list(self.array_sizes),
                 },
@@ -166,6 +189,23 @@ class Trace:
             object.__setattr__(self, "_columns", cached)
         return cached
 
+    # -- super-op view ---------------------------------------------------------
+    def attach_superops(self, superops) -> None:
+        """Memoise a verified super-op view of this trace.
+
+        The view (:class:`repro.ir.superops.SuperOpTrace`) is attached
+        by ``load()`` of a v2 file and by ``save()``'s auto-compaction,
+        so replay backends can take the O(unique behavior) path without
+        re-detecting cycles.  The flat columns stay authoritative —
+        the view is an acceleration structure, never a substitute.
+        """
+        object.__setattr__(self, "_superops", superops)
+
+    def attached_superops(self):
+        """The attached super-op view, or None (see
+        :meth:`attach_superops`)."""
+        return self.__dict__.get("_superops")
+
     def reads_of(self, instance: int) -> list[tuple[int, int]]:
         """(array id, flat index) pairs read by one instance."""
         lo, hi = self.r_ptr[instance], self.r_ptr[instance + 1]
@@ -182,7 +222,36 @@ class Trace:
             )
 
     # -- persistence -----------------------------------------------------------
-    def save(self, path: str | os.PathLike) -> Path:
+    def _superops_for_save(self, compact: bool | None):
+        """The super-op view ``save()`` should persist, or None.
+
+        ``compact=None`` (the default) is automatic: reuse an attached
+        view, or run detection once on traces long enough to be worth
+        it (the no-cycles outcome is attached too, so repeated saves
+        never re-scan).  ``compact=True`` forces detection;
+        ``compact=False`` forces the flat v1 layout.
+        """
+        if compact is False:
+            return None
+        superops = self.attached_superops()
+        if superops is None and (
+            compact is True or self.n_instances >= _AUTO_COMPACT_MIN
+        ):
+            from .superops import compact as _compact
+
+            superops = _compact(self)
+            self.attach_superops(superops)
+        if superops is None or not superops.ops:
+            return None
+        # Only the super-op layout when it actually pays: the v2 file
+        # stores one row per body instance plus the residual.
+        if superops.n_stored_rows > self.n_instances // 2:
+            return None
+        return superops
+
+    def save(
+        self, path: str | os.PathLike, *, compact: bool | None = None
+    ) -> Path:
         """Serialise to a compressed ``.npz`` file (atomic replace).
 
         The numpy columns keep their exact dtypes; names, sizes and the
@@ -190,17 +259,33 @@ class Trace:
         goes through a temporary file in the destination directory so
         concurrent writers (parallel sweep workers, several processes
         warming one trace store) can never leave a torn file behind.
+
+        When the trace compacts well (see :mod:`repro.ir.superops`),
+        the file uses the super-op layout of format v2 — repeated loop
+        bodies stored once with trip counts and strides, orders of
+        magnitude smaller on sweep traces.  ``compact`` overrides the
+        automatic choice (True forces detection, False forces the flat
+        layout); either way :meth:`load` returns the bit-identical
+        trace.
         """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        meta = json.dumps(
-            {
-                "format_version": TRACE_FORMAT_VERSION,
-                "array_names": list(self.array_names),
-                "array_sizes": list(self.array_sizes),
-            }
-        )
-        payload = {name: getattr(self, name) for name in _COLUMNS}
+        superops = self._superops_for_save(compact)
+        if superops is not None:
+            from .superops import payload_meta
+
+            meta = payload_meta(superops)
+            payload = superops.to_payload()
+        else:
+            meta = json.dumps(
+                {
+                    "format_version": TRACE_FORMAT_VERSION,
+                    "layout": "flat",
+                    "array_names": list(self.array_names),
+                    "array_sizes": list(self.array_sizes),
+                }
+            )
+            payload = {name: getattr(self, name) for name in _COLUMNS}
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=path.name, suffix=".tmp"
         )
@@ -216,19 +301,43 @@ class Trace:
 
     @classmethod
     def load(cls, path: str | os.PathLike) -> "Trace":
-        """Load a trace saved by :meth:`save` (validated, exact dtypes)."""
+        """Load a trace saved by :meth:`save` (validated, exact dtypes).
+
+        Reads the flat layout (format v1, and v2 files that did not
+        compact) and the super-op layout (v2) transparently; a
+        super-op file expands to the bit-identical flat trace with the
+        view attached for the replay fast paths.
+        """
         with np.load(Path(path), allow_pickle=False) as data:
             try:
                 meta = json.loads(str(data["meta"][()]))
+            except KeyError as exc:
+                raise ValueError(f"not a trace file: missing {exc}") from None
+            version = meta.get("format_version")
+            if version not in (1, TRACE_FORMAT_VERSION):
+                raise ValueError(
+                    f"unsupported trace format version {version!r} "
+                    f"(expected <= {TRACE_FORMAT_VERSION})"
+                )
+            try:
+                if meta.get("layout", "flat") == "superops":
+                    from .superops import SuperOpTrace
+
+                    superops = SuperOpTrace.from_payload(
+                        array_names=tuple(meta["array_names"]),
+                        array_sizes=tuple(
+                            int(s) for s in meta["array_sizes"]
+                        ),
+                        n_instances=int(meta["n_instances"]),
+                        data=data,
+                    )
+                    trace = superops.expand()
+                    trace.attach_superops(superops)
+                    trace.validate()
+                    return trace
                 columns = {name: data[name] for name in _COLUMNS}
             except KeyError as exc:
                 raise ValueError(f"not a trace file: missing {exc}") from None
-        version = meta.get("format_version")
-        if version != TRACE_FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported trace format version {version!r} "
-                f"(expected {TRACE_FORMAT_VERSION})"
-            )
         trace = cls(
             array_names=tuple(meta["array_names"]),
             array_sizes=tuple(int(s) for s in meta["array_sizes"]),

@@ -125,11 +125,11 @@ class TestCostModels:
 
 
 class TestScenario:
-    def test_defaults_are_untimed(self):
+    def test_defaults_are_untimed_vec(self):
         s = Scenario(config=config())
-        assert s.backend == "untimed"
+        assert s.backend == "untimed-vec"
         assert s.topology == "crossbar"
-        assert s.label().startswith("untimed ")
+        assert s.label().startswith("untimed-vec ")
 
     def test_topology_alias_canonicalised(self):
         a = Scenario(config=config(), backend="timed", topology="mesh")

@@ -141,8 +141,9 @@ class TestCommands:
         assert "multithreaded" in out
 
     def test_sweep_untimed_vec_backend(self, capsys):
-        """The columnar engine, end to end through the CLI — and its
-        extra metric column lands in the record table."""
+        """The columnar engine, end to end through the CLI.  It is the
+        default backend now, and series-friendly: a plain sweep keeps
+        the paper's figure-style table."""
         assert (
             main(
                 [
@@ -155,7 +156,27 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "first_diff" in out
-        assert "page_fetches" in out
+        assert "% of reads remote" in out
+
+    def test_sweep_untimed_vec_record_table(self, capsys, tmp_path):
+        """A multi-policy grid is not series-friendly — the columnar
+        backend's extra metric column lands in the record table."""
+        spec = {
+            "name": "vec-records",
+            "backend": "untimed-vec",
+            "kernels": [{"name": "first_diff", "n": 300}],
+            "pes": [4],
+            "page_sizes": [32],
+            "cache_elems": [64],
+            "cache_policies": ["lru", "fifo"],
+        }
+        path = tmp_path / "vec.json"
+        path.write_text(json.dumps(spec))
+        assert main(["sweep", "--campaign", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "first_diff" in out
+        assert "page_fetches" in out  # the record table, not the series view
+        assert "fifo" in out and "lru" in out
 
     def test_sweep_unknown_backend(self, capsys):
         assert main(["sweep", "iccg", "--backend", "quantum"]) == 2

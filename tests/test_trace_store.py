@@ -6,6 +6,7 @@ import json
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
 
 from repro.engine import (
     TraceKey,
@@ -20,6 +21,9 @@ from repro.engine import (
 )
 from repro.ir import TraceBuilder
 from repro.ir.trace import TRACE_FORMAT_VERSION, Trace
+from strategies import traces
+
+_STORE_EXAMPLES = max(200, settings.default.max_examples)
 
 
 def multi_array_trace() -> Trace:
@@ -305,6 +309,103 @@ class TestShardedIndex:
         fresh = TraceStore(tmp_path)
         assert len(fresh) == 0
         assert fresh.load(key) is None
+
+
+def _save_as_v1(trace: Trace, path) -> None:
+    """Write a faithful legacy (format-v1, flat-layout) shard."""
+    import repro.ir.trace as trace_mod
+
+    saved = trace_mod.TRACE_FORMAT_VERSION
+    trace_mod.TRACE_FORMAT_VERSION = 1
+    try:
+        trace.save(path, compact=False)
+    finally:
+        trace_mod.TRACE_FORMAT_VERSION = saved
+
+
+def _stencil_trace(n: int = 100) -> Trace:
+    tb = TraceBuilder(["a", "b"], [n + 2, n + 2])
+    for i in range(n):
+        tb.record_read(0, i)
+        tb.record_read(0, i + 2)
+        tb.commit_instance(0, 1, i + 1, False)
+    return tb.freeze()
+
+
+def _shard_meta(path) -> dict:
+    with np.load(path, allow_pickle=False) as data:
+        return json.loads(str(data["meta"]))
+
+
+class TestStoreFormatV2:
+    """Format-v2 (super-op layout) interop with legacy v1 shards."""
+
+    @settings(max_examples=_STORE_EXAMPLES, deadline=None)
+    @given(trace=traces())
+    def test_v1_shards_load_bit_identically(self, trace):
+        """Every v1 trace reads back bit-identically (columns, dtypes
+        and digest) under the v2 reader — no migration step."""
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.npz"
+            _save_as_v1(trace, path)
+            assert _shard_meta(path)["format_version"] == 1
+            loaded = Trace.load(path)
+        assert trace.identical(loaded)
+        assert trace.content_digest == loaded.content_digest
+
+    def test_index_rebuild_adopts_mixed_shards(self, tmp_path):
+        """A wiped index.json is rebuilt from a shard tree holding
+        both legacy v1 and compacted v2 files."""
+        store = TraceStore(tmp_path)
+        legacy_key = TraceKey.make("legacy", n=3)
+        legacy = multi_array_trace()
+        store.put(legacy_key, legacy)
+        _save_as_v1(legacy, store.path_for(legacy_key))
+
+        v2_key = TraceKey.make("stencil", n=100)
+        stencil = _stencil_trace()
+        store.put(v2_key, stencil)
+        store.compact_traces(refs=[v2_key.ref])
+
+        assert _shard_meta(store.path_for(legacy_key))["format_version"] == 1
+        v2_meta = _shard_meta(store.path_for(v2_key))
+        assert v2_meta["format_version"] == TRACE_FORMAT_VERSION
+        assert v2_meta["layout"] == "superops"
+
+        (tmp_path / "index.json").unlink()
+        fresh = TraceStore(tmp_path)
+        assert len(fresh) == 2
+
+        def explode():
+            raise AssertionError("rebuilt store must not re-interpret")
+
+        assert fresh.get(legacy_key, explode).identical(legacy)
+        recovered = fresh.get(v2_key, explode)
+        assert recovered.identical(stencil)
+        assert recovered.attached_superops() is not None
+        data = json.loads((tmp_path / "index.json").read_text())
+        assert {legacy_key.ref, v2_key.ref} <= set(data["entries"])
+
+    def test_compact_traces_reports_and_shrinks(self, tmp_path):
+        store = TraceStore(tmp_path)
+        key = TraceKey.make("stencil", n=1000)
+        trace = _stencil_trace(n=1000)
+        store.put(key, trace)
+        _save_as_v1(trace, store.path_for(key))  # pin the flat layout
+        bytes_flat = store.path_for(key).stat().st_size
+
+        (report,) = store.compact_traces()
+        assert report["ref"] == key.ref
+        assert report["bytes_before"] == bytes_flat
+        assert report["bytes_after"] < bytes_flat
+        assert report["n_ops"] == 1
+        assert report["coverage"] == 1.0
+        # The index tracks the rewritten byte size.
+        data = json.loads((tmp_path / "index.json").read_text())
+        assert data["entries"][key.ref]["bytes"] == report["bytes_after"]
 
 
 class TestMigration:

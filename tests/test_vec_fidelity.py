@@ -23,6 +23,7 @@ import itertools
 import numpy as np
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.backends import (
     Scenario,
@@ -32,6 +33,7 @@ from repro.backends import (
 )
 from repro.bench import kernel_trace
 from repro.core import MachineConfig, named_scheme, simulate, simulate_vec
+from repro.core.vec_simulator import _count_misses_scalar, _count_misses_vec
 from repro.ir import TraceBuilder
 from repro.kernels import get_kernel
 from strategies import CACHE_POLICIES, machine_configs, scenarios, traces
@@ -164,6 +166,72 @@ class TestFallbackPaths:
         trace = TraceBuilder(["A"], [8]).freeze()
         config = MachineConfig(n_pes=4, page_size=4)
         assert_identical(simulate(trace, config), simulate_vec(trace, config))
+
+
+def _rle(keys: np.ndarray) -> np.ndarray:
+    """Collapse equal-adjacent keys, as the replay engine does before
+    handing run sequences to the miss counters."""
+    change = np.empty(keys.size, dtype=bool)
+    change[0] = True
+    change[1:] = keys[1:] != keys[:-1]
+    return keys[change]
+
+
+class TestBatchedLruWindows:
+    """The batched per-window distinct counts (which replaced a
+    per-window ``np.unique`` Python loop that dominated short-trace
+    replays with many modest windows — the hydro_2d small-n
+    regression) must agree with the scalar cache replay exactly."""
+
+    @settings(max_examples=_EXAMPLES, deadline=None)
+    @given(
+        keys=st.lists(st.integers(0, 12), min_size=1, max_size=300),
+        capacity=st.integers(1, 8),
+    )
+    def test_window_counts_match_scalar(self, keys, capacity):
+        run_keys = _rle(np.asarray(keys, dtype=np.int64))
+        arrs = np.zeros_like(run_keys)
+        misses, distinct = _count_misses_vec(
+            run_keys, arrs, run_keys, "lru", capacity
+        )
+        assert distinct == np.unique(run_keys).size
+        if misses is None:  # over budget: scalar replay, covered above
+            return
+        assert misses == _count_misses_scalar(
+            arrs, run_keys, "lru", capacity
+        )
+
+    def test_window_heavy_sequence_stays_vectorised(self):
+        """The regressing shape: thousands of undecided windows, each
+        a handful of keys long.  The batched pass must decide them
+        (no wholesale fallback) and match the scalar count."""
+        rng = np.random.default_rng(7)
+        run_keys = _rle(rng.integers(0, 10, size=4000))
+        arrs = np.zeros_like(run_keys)
+        capacity = 4
+        misses, _ = _count_misses_vec(
+            run_keys, arrs, run_keys, "lru", capacity
+        )
+        assert misses is not None
+        assert misses == _count_misses_scalar(
+            arrs, run_keys, "lru", capacity
+        )
+
+    def test_hydro_2d_bench_case_is_vectorised(self):
+        """The BENCH_vec.json near-parity case: every PE's LRU walk
+        must take the columnar path, bit-identically."""
+        program, inputs = get_kernel("hydro_2d").build(n=40)
+        trace = kernel_trace(program, inputs)
+        config = MachineConfig(
+            n_pes=16, page_size=32, cache_elems=256, cache_policy="lru"
+        )
+        telemetry: dict[str, int] = {}
+        assert_identical(
+            simulate(trace, config),
+            simulate_vec(trace, config, telemetry),
+        )
+        assert telemetry["fallback_pes"] == 0
+        assert telemetry["vectorised_pes"] > 0
 
 
 class TestBackendEnvelope:
