@@ -68,7 +68,10 @@ class TimedBackend:
             # Traces with a super-op view take the analytic fast path
             # when the scenario's timing decomposes into per-PE sums
             # (run_compacted falls back to the event loop otherwise —
-            # both paths are bit-identical by construction).
+            # both paths are bit-identical by construction).  The path
+            # is cache-policy-agnostic: it consumes the untimed
+            # engine's miss ledger, so every closed form mapped in
+            # docs/fastpaths.md speeds up timed replay too.
             if superops is not None and superops.ops:
                 return run_compacted(
                     trace,

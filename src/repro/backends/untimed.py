@@ -10,7 +10,9 @@ cost model do not exist in the untimed model.
 Traces that carry a super-op view (loaded from a v2 store shard, or
 explicitly compacted) replay through
 :func:`repro.core.superop_replay.replay_superops` instead: O(unique
-behaviour) work, counters bit-identical to the flat walk.
+behaviour) work, counters bit-identical to the flat walk.  Cold and
+warm LRU ops and cold FIFO ops decide in closed form; the remaining
+per-piece walks are enumerated in ``docs/fastpaths.md``.
 """
 
 from __future__ import annotations

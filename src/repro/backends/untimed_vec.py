@@ -7,7 +7,9 @@ trace through :func:`repro.core.vec_simulator.simulate_vec`.  The two
 backends are held bit-identical by the generative differential harness
 in ``tests/test_vec_fidelity.py``; only the ``vec_fallback_pes``
 metric (how many PE cache walks needed the scalar fallback) and the
-profile phase names distinguish their outcomes.
+profile phase names distinguish their outcomes.  LRU and FIFO walks
+both solve in closed form — ``docs/fastpaths.md`` maps exactly which
+(policy, capacity, warmth) cells replay columnar and which fall back.
 
 Scenario knobs the columnar engine cannot batch raise
 :class:`~repro.backends.base.UnsupportedScenarioError` up front — an

@@ -28,19 +28,29 @@ policy's state unchanged), the remaining trips collapse into
 not reach that fixed point fall back to an explicit scalar trip loop —
 exactness first.
 
-The probes themselves are decided *columnarly* whenever the closed
-form is exact: under LRU, starting from a cold cache, with every
-piece's distinct key set fitting in the cache, a reduced run (one
-probe per steady-state window) misses iff its key is new to the op or
-at least ``capacity`` distinct keys were touched since its previous
-run — the classic stack-distance property, evaluated for every PE's
-whole op segment in a handful of array passes (the same batched
-window-distinct trick as ``vec_simulator._count_misses_vec``).  The
-exact final LRU state (the last ``capacity`` distinct keys, in
-last-touch order) is rebuilt afterwards, so later segments are none
-the wiser.  PEs the closed form cannot cover — warm caches,
-FIFO/random/direct policies, a piece outgrowing the cache — take the
-per-piece path above instead.
+The probes themselves are decided *columnarly* whenever a closed
+form is exact.  Under LRU, with every piece's distinct key set
+fitting in the cache, a reduced run (one probe per steady-state
+window) misses iff its key is new to the op or at least ``capacity``
+distinct keys were touched since its previous run — the classic
+stack-distance property, evaluated for every PE's whole op segment in
+a handful of array passes (the same batched window-distinct trick as
+``vec_simulator._count_misses_vec``).  A *warm* LRU entry cache is
+covered too: the live recency stack seeds each first-in-op touch's
+distance (the stack is, by the LRU stack property, an exact summary
+of pre-op history), so back-to-back ops over the same arrays stay on
+the fast path.  Under FIFO the miss mask is the unique fixed point of
+the eviction-epoch rule (``vec_simulator._fifo_fixed_point``), run
+over the reduced stream per PE from a cold cache, with a per-piece
+residency check guarding the all-hit fast-forward (FIFO hits never
+refresh admission epochs, so fitting in the cache is not enough).
+The exact exit state — last ``capacity`` distinct keys in last-touch
+order for LRU, last ``capacity`` admissions in admission order for
+FIFO — is rebuilt afterwards, so later segments are none the wiser.
+PEs no closed form covers — random/direct policies, warm FIFO
+caches, a piece outgrowing the cache, an over-budget or
+non-convergent profile — take the per-piece path above instead; see
+``docs/fastpaths.md`` for the full decision tree.
 
 Everything capacity- and policy-independent — piece boundaries, owner
 classification, the write/local closed-form sums, the reduced runs
@@ -68,7 +78,7 @@ from ..obs.profile import phase as _phase
 from .access import AccessKind
 from .simulator import MachineConfig, SimResult, _owners_by_array, simulate
 from .stats import AccessStats
-from .vec_simulator import _WINDOW_BUDGET
+from .vec_simulator import _WINDOW_BUDGET, _fifo_fixed_point
 
 __all__ = ["replay_superops"]
 
@@ -120,6 +130,7 @@ class _OpProgram:
         "r_pages",
         "nl_mask",
         "rpe",
+        "rq",
         "ra",
         "rp",
         "touches",
@@ -135,6 +146,8 @@ class _OpProgram:
         "tail_pos",
         "tail_pe",
         "tail_bounds",
+        "resid_pos",
+        "resid_end",
     )
 
 
@@ -169,6 +182,8 @@ class _Replay:
         self.fallback_pes: set[int] = set()
         self.n_pieces = 0
         self.n_flat_ops = 0
+        self.closed_pe_ops = 0
+        self.piece_pe_ops = 0
 
     # -- shared accounting helpers ---------------------------------------------
     def _owners(self, arr_ids: np.ndarray, pages: np.ndarray) -> np.ndarray:
@@ -329,6 +344,8 @@ class _Replay:
             return
         with _phase("cache_sim"):
             slow_pes = self._op_decide(prog)
+            self.closed_pe_ops += prog.pe_ids.size - len(slow_pes)
+            self.piece_pe_ops += len(slow_pes)
             if slow_pes:
                 slow = prog.nl_mask & np.isin(
                     prog.r_exec, sorted(slow_pes)
@@ -450,6 +467,7 @@ class _Replay:
         rq = q_s[starts]
         rpe = pe_s[starts]
         prog.rpe = rpe
+        prog.rq = rq
         prog.ra = a_s[starts]
         prog.rp = g_s[starts]
         # Each run's probe plus its (trips - 1) all-hit fast-forward.
@@ -535,38 +553,60 @@ class _Replay:
         prog.tail_bounds = np.flatnonzero(
             np.diff(np.concatenate(([-1], prog.tail_pe, [-1])))
         )
+        # FIFO residency-check sites.  The all-hit fast-forward of a
+        # multi-trip piece is exact only if its probe block ends with
+        # every one of the piece's keys still resident — which under
+        # FIFO (hits never refresh admission epochs) is *not* implied
+        # by fitting in the cache.  Record, for each (PE, piece, key)
+        # group of every multi-trip piece, the key's last in-block run
+        # and the block's final run; the replay-time check compares
+        # their fill epochs against the capacity.
+        glast = np.empty(n_runs, dtype=bool)
+        glast[-1] = True
+        glast[:-1] = fresh[1:]
+        cand = by_piece[glast]
+        cand = cand[piece_len[rq[cand]] > 1]
+        blk = np.empty(n_runs, dtype=bool)
+        blk[0] = True
+        blk[1:] = (rq[1:] != rq[:-1]) | (rpe[1:] != rpe[:-1])
+        blk_ends = np.append(np.flatnonzero(blk)[1:], n_runs) - 1
+        prog.resid_pos = cand
+        prog.resid_end = blk_ends[(np.cumsum(blk) - 1)[cand]]
         return prog
 
     def _op_decide(self, prog: "_OpProgram") -> set[int]:
         """Apply one compiled op's cache decisions columnarly.
 
-        A reduced run misses iff its key is cold or its reuse distance
-        reaches the capacity — exact for LRU from a cold cache when
-        every piece's distinct keys fit.  Returns the PEs the closed
-        form does not cover (wrong policy, warm cache, an oversized
-        piece, an over-budget distance profile); the caller replays
-        those per piece.  The exact final LRU state (each PE's last
-        ``capacity`` distinct keys, in last-touch order) is rebuilt,
-        so later segments are none the wiser.
+        Under LRU a reduced run misses iff its key is cold or its
+        reuse distance reaches the capacity; a *warm* entry cache is
+        covered by seeding each cold run's distance against the live
+        recency stack (:meth:`_seeded_cold`).  Under FIFO the miss
+        mask is the unique fixed point of the eviction-epoch rule
+        (:func:`~repro.core.vec_simulator._fifo_fixed_point`), from a
+        cold cache, with a residency check guarding each multi-trip
+        piece's all-hit fast-forward.  Returns the PEs the closed
+        forms do not cover (random/direct policies, warm FIFO caches,
+        an oversized piece, an over-budget or non-convergent
+        profile); the caller replays those per piece.  The exact exit
+        cache state is rebuilt per policy (:meth:`_rebuild_exit`), so
+        later segments are none the wiser.
         """
         capacity = self.config.cache_pages
+        policy = self.config.cache_policy
         all_pes = set(prog.pe_ids.tolist())
-        if (
-            self.config.cache_policy != "lru"
-            or capacity == 0
-            or prog.over_budget
-        ):
+        if capacity == 0:
             return all_pes
-        slow = {
-            pe
-            for pe in all_pes
-            if len(self.caches[pe]) or prog.maxdist[pe] > capacity
-        }
+        if policy == "lru":
+            decided = self._decide_lru(prog, capacity, all_pes)
+        elif policy == "fifo":
+            decided = self._decide_fifo(prog, capacity, all_pes)
+        else:
+            decided = None
+        if decided is None:
+            return all_pes
+        miss, slow = decided
         if slow == all_pes:
             return slow
-        miss = prog.cold.copy()
-        if prog.re_idx.size:
-            miss[prog.re_idx[prog.dist >= capacity]] = True
         if not slow:
             kept = None
             miss_per_pe = np.add.reduceat(
@@ -605,15 +645,184 @@ class _Replay:
         for pe, fk in prog.firsts:
             if pe not in slow:
                 self.distinct[pe].append(fk)
+        self._rebuild_exit(prog, miss, slow, capacity, policy)
+        return slow
+
+    def _decide_lru(
+        self, prog: "_OpProgram", capacity: int, all_pes: set[int]
+    ) -> tuple[np.ndarray, set[int]] | None:
+        """LRU miss mask + uncovered PEs, or None to uncover the op.
+
+        Cold caches: the compiled reuse-distance profile decides every
+        run directly.  Warm caches: exact, provided the seeded cold
+        decisions stay within budget — the in-op repeat distances are
+        unaffected by pre-op history (their windows lie entirely
+        inside the op), so only the cold runs are rescored.
+        """
+        if prog.over_budget:
+            return None
+        slow = {pe for pe in all_pes if prog.maxdist[pe] > capacity}
+        miss = prog.cold.copy()
+        if prog.re_idx.size:
+            miss[prog.re_idx[prog.dist >= capacity]] = True
+        pe_ends = np.append(prog.pe_starts[1:], prog.rpe.size)
+        for pos, pe in enumerate(prog.pe_ids.tolist()):
+            if pe in slow or not len(self.caches[pe]):
+                continue
+            lo, hi = int(prog.pe_starts[pos]), int(pe_ends[pos])
+            seeded = self._seeded_cold(pe, lo, hi, prog, capacity)
+            if seeded is None:
+                slow.add(pe)
+                continue
+            miss[lo + np.flatnonzero(prog.cold[lo:hi])] = seeded
+        return miss, slow
+
+    def _seeded_cold(
+        self, pe: int, lo: int, hi: int, prog: "_OpProgram", capacity: int
+    ) -> np.ndarray | None:
+        """Per-cold-run miss decisions for one warm LRU PE, or None.
+
+        The LRU stack property makes the entry cache a perfect
+        summary of pre-op history: a key resident at depth ``d`` from
+        the MRU end was last touched exactly ``d`` distinct keys ago
+        (anything touched after it that is *not* above it would have
+        been evicted first), and an absent key's reuse distance
+        already reached the capacity at its eviction and only grows.
+        So each cold run of an absent key is an exact miss, and each
+        cold run of a resident key scores an exact distance over the
+        *mini-stream* ``[entry stack, LRU->MRU] + [this PE's reduced
+        runs, chronological]`` — the window from the key's stack slot
+        to the run covers precisely the stack keys above it plus the
+        op keys touched before it, and the batched distinct count
+        handles their overlap.  Returns None when the windows blow
+        the budget (the caller replays the PE per piece instead).
+        """
+        stack_pairs = self.caches[pe].resident_keys()  # LRU -> MRU
+        s = len(stack_pairs)
+        stack = np.array(
+            [a * _KEY_SHIFT + g for a, g in stack_pairs], dtype=np.int64
+        )
+        seg_keys = prog.ra[lo:hi] * _KEY_SHIFT + prog.rp[lo:hi]
+        ci = np.flatnonzero(prog.cold[lo:hi])
+        cold_keys = seg_keys[ci]
+        sorter = np.argsort(stack)
+        ssorted = stack[sorter]
+        loc = np.minimum(np.searchsorted(ssorted, cold_keys), s - 1)
+        present = ssorted[loc] == cold_keys
+        miss = ~present
+        start = np.where(present, sorter[loc] + 1, 0)
+        end = s + ci  # mini-stream position of the cold run itself
+        span = end - start
+        undecided = np.flatnonzero(present & (span >= capacity))
+        if undecided.size:
+            spans = span[undecided]
+            total = int(spans.sum())
+            if total > max(_WINDOW_BUDGET, 8 * (s + hi - lo)):
+                return None
+            ministream = np.concatenate([stack, seg_keys])
+            offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(spans) - spans, spans
+            )
+            flat = ministream[np.repeat(start[undecided], spans) + offsets]
+            win = np.repeat(
+                np.arange(undecided.size, dtype=np.int64), spans
+            )
+            o = np.lexsort((flat, win))
+            kf, wf = flat[o], win[o]
+            first = np.empty(total, dtype=bool)
+            first[0] = True
+            first[1:] = (kf[1:] != kf[:-1]) | (wf[1:] != wf[:-1])
+            distinct = np.bincount(wf[first], minlength=undecided.size)
+            miss[undecided[distinct >= capacity]] = True
+        return miss
+
+    def _decide_fifo(
+        self, prog: "_OpProgram", capacity: int, all_pes: set[int]
+    ) -> tuple[np.ndarray, set[int]] | None:
+        """FIFO miss mask + uncovered PEs, or None to uncover the op.
+
+        Runs the eviction-epoch fixed point over the op's reduced-run
+        stream, segmented per PE (the per-PE caches are independent).
+        Warm PEs are uncovered — a FIFO admission queue's epochs are
+        not reconstructible from the resident set alone.  The
+        residency check uncovers a PE the moment any multi-trip piece
+        would fast-forward with an already-evicted key (``E - I > C``
+        for the block-end fill count ``E`` and the key's inclusive
+        admission epoch ``I`` at its last in-block run); decisions
+        past a PE's first violation are unreliable, which is fine
+        because that whole PE replays per piece — and up to the first
+        violation the fixed point equals the true simulation, so the
+        first violation is always detected.
+        """
+        slow = {pe for pe in all_pes if len(self.caches[pe])}
+        if slow == all_pes:
+            return None
+        keys = prog.ra * _KEY_SHIFT + prog.rp
+        solved = _fifo_fixed_point(keys, capacity, seg=prog.rpe)
+        if solved is None:
+            return None
+        miss, admit = solved
+        if prog.resid_pos.size:
+            fills = np.cumsum(miss) - miss
+            end_fills = fills[prog.resid_end] + miss[prog.resid_end]
+            viol = end_fills - admit[prog.resid_pos] > capacity
+            if viol.any():
+                slow |= set(prog.rpe[prog.resid_pos[viol]].tolist())
+        return miss, slow
+
+    def _rebuild_exit(
+        self,
+        prog: "_OpProgram",
+        miss: np.ndarray,
+        slow: set[int],
+        capacity: int,
+        policy: str,
+    ) -> None:
+        """Rebuild each covered PE's exact exit cache state.
+
+        LRU: the final stack is the last ``capacity`` distinct keys
+        in last-touch order — preceded, for a warm entry cache, by
+        its *untouched* resident keys in entry order (untouched keys
+        keep their relative recency and sit below everything the op
+        touched; re-accessing the whole virtual stack bottom-to-top
+        lets the cache itself evict whatever fell off).  FIFO: the
+        queue is the last ``capacity`` admissions in admission order,
+        i.e. the tail of the PE's miss sequence — keys within any
+        ``capacity`` consecutive admissions are distinct (a key must
+        be evicted, ``capacity`` fills after admission, before it can
+        be re-admitted), so replaying them into the cold cache is
+        exact.
+        """
+        if policy == "fifo":
+            pe_ends = np.append(prog.pe_starts[1:], prog.rpe.size)
+            for pos, pe in enumerate(prog.pe_ids.tolist()):
+                if pe in slow:
+                    continue
+                lo, hi = int(prog.pe_starts[pos]), int(pe_ends[pos])
+                mi = lo + np.flatnonzero(miss[lo:hi])
+                cache = self.caches[pe]  # cold: warm FIFO is uncovered
+                for i in mi[-capacity:].tolist():
+                    cache.access((int(prog.ra[i]), int(prog.rp[i])))
+            return
+        first_keys = dict(prog.firsts)
         tb = prog.tail_bounds
         for lo, hi in zip(tb[:-1].tolist(), tb[1:].tolist()):
             pe = int(prog.tail_pe[lo])
             if pe in slow:
                 continue
             cache = self.caches[pe]
+            if len(cache):
+                touched = set(first_keys[pe].tolist())
+                entry = [
+                    pair
+                    for pair in cache.resident_keys()
+                    if pair[0] * _KEY_SHIFT + pair[1] not in touched
+                ]
+                cache.clear()
+                for pair in entry:
+                    cache.access(pair)
             for i in prog.tail_pos[max(lo, hi - capacity) : hi].tolist():
                 cache.access((int(prog.ra[i]), int(prog.rp[i])))
-        return slow
 
     def _op_piece(
         self,
@@ -705,6 +914,8 @@ class _Replay:
             self.telemetry["superop_ops"] = len(self.sot.ops)
             self.telemetry["superop_pieces"] = self.n_pieces
             self.telemetry["superop_flat_ops"] = self.n_flat_ops
+            self.telemetry["superop_closed_pes"] = self.closed_pe_ops
+            self.telemetry["superop_piece_pes"] = self.piece_pe_ops
             self.telemetry["fallback_pes"] = len(self.fallback_pes)
         return SimResult(
             self.config, stats, self.remote.copy(), distinct

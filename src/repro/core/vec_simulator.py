@@ -22,14 +22,25 @@ policy admits a closed form:
   whose intervening window is shorter than the capacity are guaranteed
   hits; the remaining few are decided by an exact per-window distinct
   count, under a total-window budget.
+* **fifo** — not a stack algorithm (no reuse distance exists), but
+  misses are decidable from *eviction-epoch arithmetic*: every miss
+  admits its key at a monotonically increasing fill epoch, and a
+  reference hits iff its key's latest admission is within ``capacity``
+  fills of the current fill count.  :func:`_fifo_fixed_point` solves
+  that mutual recursion (epochs depend on misses depend on epochs)
+  with a budgeted whole-column fixed-point iteration whose fixed
+  points are provably unique — convergence is a certificate of
+  exactness, and non-convergence within the round budget falls back.
 
 Order-dependent spans fall back to the *scalar* engine's own
-machinery so divergence is impossible by construction: FIFO/random
-eviction sequences replay through :func:`repro.cache.make_cache`
-run-by-run, and the subrange-reduction combine is charged by the
-shared :func:`repro.core.simulator._charge_subrange_combine`.  The
-fidelity contract is enforced generatively by
-``tests/test_vec_fidelity.py``.
+machinery so divergence is impossible by construction: seeded-random
+eviction sequences (and the rare non-convergent FIFO span) replay
+through :func:`repro.cache.make_cache` run-by-run, and the
+subrange-reduction combine is charged by the shared
+:func:`repro.core.simulator._charge_subrange_combine`.  The fidelity
+contract is enforced generatively by ``tests/test_vec_fidelity.py``.
+The full decision tree across backends lives in
+``docs/fastpaths.md``.
 
 Profiling phases mirror the scalar engine's (``classify`` /
 ``cache_sim`` / ``reduction``) as ``classify_vec`` / ``cache_sim_vec``
@@ -62,6 +73,97 @@ __all__ = ["simulate_vec"]
 #: before the exact per-window distinct counts would cost more than the
 #: scalar replay they replace; past it the PE falls back wholesale.
 _WINDOW_BUDGET = 1 << 16
+
+#: Round budget for the FIFO fixed-point iteration.  Each round is a
+#: handful of O(n) column passes and the correct prefix provably grows
+#: by at least one reference per round, so convergence is guaranteed
+#: eventually — but a span still churning after this many rounds is
+#: cheaper to hand to the scalar walk than to keep iterating.
+_FIFO_ROUNDS = 32
+
+
+def _fifo_fixed_point(
+    keys: np.ndarray,
+    capacity: int,
+    seg: np.ndarray | None = None,
+    max_rounds: int = _FIFO_ROUNDS,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Exact FIFO miss mask via a budgeted fixed-point iteration.
+
+    ``keys`` is a run-length-compressed reference stream (optionally
+    split into independent contiguous segments by ``seg`` — one cold
+    FIFO cache per segment).  Returns ``(miss, admit)`` where ``miss``
+    is the boolean per-reference miss mask and ``admit[i]`` is the
+    key's *inclusive* admission epoch after reference ``i`` (its own
+    fill count if ``i`` missed, else the epoch of its latest prior
+    miss) — or ``None`` when the iteration has not stabilised within
+    ``max_rounds``.
+
+    Why iterate: FIFO admits each missing key at a monotonically
+    increasing fill epoch and evicts it exactly ``capacity`` fills
+    later, so reference ``i`` to key ``k`` hits iff ``k`` has a prior
+    miss ``j`` (same segment, no later miss of ``k``) with
+    ``fills(i) - fills(j) <= capacity``, where ``fills(x)`` counts
+    misses strictly before ``x``.  Misses determine the fill epochs
+    and the fill epochs determine the misses — a mutual recursion with
+    no closed form (FIFO is not a stack algorithm).  The iteration
+    applies that rule as an operator ``F`` on guess vectors ``m``.
+
+    Why a fixed point is *exact*: any fixed point ``m = F(m)`` equals
+    the true simulation, by induction on position.  ``F(m)[i]``
+    depends only on ``m`` at positions ``< i``; position 0 of each
+    segment is unconditionally cold under ``F``; and if ``m`` agrees
+    with the truth on every position before ``i``, the rule computes
+    ``i``'s true outcome.  So a stable ``m`` agrees with the truth at
+    position 0, hence (applying ``F`` once more, which changes
+    nothing) at position 1, and so on — convergence is a certificate,
+    never an approximation.  The same argument shows each round
+    extends the correct prefix by at least one reference, so the
+    iteration terminates in at most ``n`` rounds; in practice a
+    handful suffice because corrections propagate in large blocks.
+    """
+    n = keys.size
+    if n == 0:
+        return np.zeros(0, dtype=bool), np.zeros(0, dtype=np.int64)
+    # Group each (segment, key) chain contiguously, positions ascending
+    # (lexsort/argsort stability), so "latest prior miss of this key"
+    # becomes a shift + running max along the sorted axis.
+    if seg is None:
+        order = np.argsort(keys, kind="stable")
+        sk = keys[order]
+        chain = np.empty(n, dtype=bool)
+        chain[0] = True
+        chain[1:] = sk[1:] != sk[:-1]
+    else:
+        order = np.lexsort((keys, seg))
+        sk, ss = keys[order], seg[order]
+        chain = np.empty(n, dtype=bool)
+        chain[0] = True
+        chain[1:] = (sk[1:] != sk[:-1]) | (ss[1:] != ss[:-1])
+    # Per-chain offsets turn the global running max into a segmented
+    # one: fill epochs live in [0, n] and hit markers are -1, so with
+    # a chain stride of n + 2 no value can reach into the next chain
+    # and chain-start positions decode to "no prior miss" (< 0).
+    lim = np.int64(n + 2)
+    base = (np.cumsum(chain) - 1) * lim
+    miss = np.ones(n, dtype=bool)
+    shifted = np.empty(n, dtype=np.int64)
+    for _ in range(max_rounds):
+        fills = np.cumsum(miss) - miss  # misses strictly before i
+        f_sorted = fills[order]
+        vals = np.where(miss[order], f_sorted, -1) + base
+        shifted[0] = -2
+        shifted[1:] = vals[:-1]
+        prior = np.maximum.accumulate(shifted) - base
+        new_sorted = (prior < 0) | (f_sorted - prior > capacity)
+        new = np.empty(n, dtype=bool)
+        new[order] = new_sorted
+        if np.array_equal(new, miss):
+            admit = np.empty(n, dtype=np.int64)
+            admit[order] = np.where(new_sorted, f_sorted, prior)
+            return new, admit
+        miss = new
+    return None
 
 
 def _segments(sorted_pes: np.ndarray):
@@ -114,9 +216,14 @@ def _count_misses_vec(
     if n_unique <= capacity:
         # Fits in cache: no policy ever evicts, so every repeat hits.
         return n_unique, n_unique
+    if policy == "fifo":
+        solved = _fifo_fixed_point(run_keys, capacity)
+        if solved is None:
+            return None, n_unique
+        return int(solved[0].sum()), n_unique
     if policy != "lru":
-        # FIFO is not a stack algorithm and the random policy's seeded
-        # RNG must be consulted in eviction order: scalar replay.
+        # The random policy's seeded RNG must be consulted in eviction
+        # order: scalar replay.
         return None, n_unique
     repeats = np.flatnonzero(~cold)
     windows = repeats - prev[repeats] - 1

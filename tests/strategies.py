@@ -36,6 +36,7 @@ __all__ = [
     "cyclic_traces",
     "machine_configs",
     "scenarios",
+    "sweep_traces",
     "traces",
 ]
 
@@ -60,7 +61,9 @@ def machine_configs(
     return MachineConfig(
         n_pes=draw(st.integers(min_value=1, max_value=max_pes)),
         page_size=draw(st.sampled_from((2, 4, 8, 16, 32))),
-        cache_elems=draw(st.sampled_from((0, 4, 8, 16, 32, 64, 256))),
+        # 2-element caches (capacity 1 at the smallest page size) put
+        # maximum eviction pressure on the FIFO/LRU closed forms.
+        cache_elems=draw(st.sampled_from((0, 2, 4, 8, 16, 32, 64, 256))),
         cache_policy=draw(st.sampled_from(cache_policies)),
         partition=named_scheme(draw(st.sampled_from(PARTITIONS))),
         reduction_strategy=draw(st.sampled_from(REDUCTION_STRATEGIES)),
@@ -179,6 +182,42 @@ def traces(
         )
         if not is_reduction:
             completed.append((w_arr, w_flat))
+    return builder.freeze()
+
+
+@st.composite
+def sweep_traces(
+    draw,
+    *,
+    min_sweeps: int = 2,
+    max_sweeps: int = 3,
+) -> Trace:
+    """Back-to-back affine sweeps over one shared input array.
+
+    The shape the warm-cache super-op closed form exists for: each
+    sweep compacts into its own super-op, and every sweep after the
+    first enters with the cache still warm from the previous one —
+    touching overlapping pages of the same array, so the seeded
+    reuse-distance decisions (LRU) and the warm-FIFO wall are both
+    genuinely exercised.  Read streams are shifted well away from the
+    write stream so a healthy share of reads is *nonlocal* under any
+    partition (local reads never reach a cache), and a second read
+    stream shifted further still produces long-gap page revisits
+    within one op — the FIFO eviction-epoch arithmetic's home turf.
+    ``min_sweeps=1`` gives the cold single-op variant.
+    """
+    n = draw(st.integers(min_value=96, max_value=224))
+    n_sweeps = draw(st.integers(min_sweeps, max_sweeps))
+    shift = draw(st.sampled_from((8, 24, 40)))
+    extra = draw(st.sampled_from((0, 16, 32, 48)))
+    offsets = [0] + ([extra] if extra else [])
+    src_size = n + shift + extra + 4
+    builder = TraceBuilder(("out", "src"), (n + 4, src_size))
+    for _ in range(n_sweeps):
+        for i in range(n):
+            for off in offsets:
+                builder.record_read(1, i + shift + off)
+            builder.commit_instance(0, 0, i, False)
     return builder.freeze()
 
 

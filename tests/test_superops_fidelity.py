@@ -35,7 +35,7 @@ from repro.ir.superops import SuperOpTrace, compact
 from repro.kernels import get_kernel
 from repro.machine import CostModel, TimedMachine
 from repro.machine.msim import run_compacted
-from strategies import cyclic_traces, machine_configs
+from strategies import cyclic_traces, machine_configs, sweep_traces
 
 # Local floor of 200 generated examples; the nightly ci-deep profile
 # raises settings.default.max_examples past it.
@@ -104,6 +104,71 @@ class TestUntimedFidelity:
         assert_sim_identical(
             simulate_vec(trace, config), replay_superops(sot, config)
         )
+
+
+class TestClosedFormCoverage:
+    """The FIFO and warm-LRU closed forms actually *run* — telemetry
+    proves the decisions took the columnar path, not the per-piece
+    fallback — and the one honest wall left (warm FIFO, whose
+    admission epochs are not reconstructible from the resident set)
+    really does fall back.  Bit-identity rides along on every case."""
+
+    @settings(max_examples=_EXAMPLES, deadline=None)
+    @given(trace=sweep_traces())
+    def test_warm_lru_back_to_back_ops_stay_closed(self, trace):
+        """Every sweep after the first enters with a warm cache; the
+        seeded reuse-distance profile must keep all of them on the
+        closed form (`superop_piece_pes == 0`)."""
+        sot = compact(trace, min_trips=4, max_period=8)
+        assert len(sot.ops) >= 2
+        config = MachineConfig(
+            n_pes=2, page_size=16, cache_elems=128, cache_policy="lru"
+        )
+        telemetry: dict[str, int] = {}
+        assert_sim_identical(
+            simulate(trace, config),
+            replay_superops(sot, config, telemetry=telemetry),
+        )
+        assert telemetry["mode"] == "superop"
+        assert telemetry["superop_piece_pes"] == 0
+        assert telemetry["fallback_pes"] == 0
+        assert telemetry["superop_closed_pes"] > 0
+
+    @settings(max_examples=_EXAMPLES, deadline=None)
+    @given(trace=sweep_traces(min_sweeps=1, max_sweeps=1))
+    def test_fifo_over_capacity_stays_closed(self, trace):
+        """A cold over-capacity FIFO sweep must solve through the
+        eviction-epoch fixed point, not the per-piece walk."""
+        sot = compact(trace, min_trips=4, max_period=8)
+        config = MachineConfig(
+            n_pes=2, page_size=16, cache_elems=32, cache_policy="fifo"
+        )
+        assert config.cache_pages == 2  # far under the sweep's pages
+        telemetry: dict[str, int] = {}
+        assert_sim_identical(
+            simulate(trace, config),
+            replay_superops(sot, config, telemetry=telemetry),
+        )
+        assert telemetry["superop_piece_pes"] == 0
+        assert telemetry["fallback_pes"] == 0
+        assert telemetry["superop_closed_pes"] > 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=sweep_traces())
+    def test_warm_fifo_falls_back_per_piece(self, trace):
+        """The honest wall: sweeps after the first enter warm, and a
+        FIFO queue's epochs cannot be seeded — those PEs must take
+        the per-piece walk, bit-identically."""
+        sot = compact(trace, min_trips=4, max_period=8)
+        config = MachineConfig(
+            n_pes=2, page_size=16, cache_elems=32, cache_policy="fifo"
+        )
+        telemetry: dict[str, int] = {}
+        assert_sim_identical(
+            simulate(trace, config),
+            replay_superops(sot, config, telemetry=telemetry),
+        )
+        assert telemetry["superop_piece_pes"] > 0
 
 
 class TestTimedFidelity:

@@ -32,8 +32,13 @@ from repro.backends import (
     get_backend,
 )
 from repro.bench import kernel_trace
+from repro.cache import make_cache
 from repro.core import MachineConfig, named_scheme, simulate, simulate_vec
-from repro.core.vec_simulator import _count_misses_scalar, _count_misses_vec
+from repro.core.vec_simulator import (
+    _count_misses_scalar,
+    _count_misses_vec,
+    _fifo_fixed_point,
+)
 from repro.ir import TraceBuilder
 from repro.kernels import get_kernel
 from strategies import CACHE_POLICIES, machine_configs, scenarios, traces
@@ -126,7 +131,9 @@ class TestKernelGrid:
 def _thrashing_trace(page_size: int = 4):
     """Two full sweeps over the odd (nonlocal-to-PE-0) pages of one
     array: with a 2-page cache every revisit's window exceeds the
-    capacity, so FIFO/random must take the scalar-replay fallback."""
+    capacity.  LRU decides by stack distance, FIFO by the
+    eviction-epoch fixed point (pure thrash converges in one round);
+    only the seeded-random policy must take the scalar fallback."""
     builder = TraceBuilder(["W", "X"], [page_size, 16 * page_size])
     for _ in range(2):
         for page in range(1, 16, 2):
@@ -150,10 +157,11 @@ class TestFallbackPaths:
             simulate(trace, config),
             simulate_vec(trace, config, telemetry),
         )
-        if policy in ("fifo", "random"):
+        if policy == "random":  # the seeded RNG must replay in order
             assert telemetry["fallback_pes"] == 1
             assert telemetry["vectorised_pes"] == 0
-        else:  # lru decides by stack distance, direct by slot hash
+        else:  # lru by stack distance, fifo by eviction epochs,
+            # direct by slot hash — all closed-form
             assert telemetry["fallback_pes"] == 0
             assert telemetry["vectorised_pes"] == 1
 
@@ -234,6 +242,107 @@ class TestBatchedLruWindows:
         assert telemetry["vectorised_pes"] > 0
 
 
+class TestFifoFixedPoint:
+    """The FIFO eviction-epoch fixed point is exact whenever it
+    converges — any fixed point of the rule equals the true
+    simulation (uniqueness by induction on position), so these
+    properties hold by construction; what they actually guard is the
+    plumbing around the iteration."""
+
+    @settings(max_examples=_EXAMPLES, deadline=None)
+    @given(
+        keys=st.lists(st.integers(0, 12), min_size=1, max_size=300),
+        capacity=st.integers(1, 8),
+    )
+    def test_fixed_point_matches_scalar(self, keys, capacity):
+        run_keys = _rle(np.asarray(keys, dtype=np.int64))
+        solved = _fifo_fixed_point(run_keys, capacity)
+        if solved is None:  # budget exhausted: honest scalar fallback
+            return
+        miss, admit = solved
+        cache = make_cache("fifo", capacity)
+        truth = np.array(
+            [not cache.access((0, int(k))) for k in run_keys.tolist()]
+        )
+        assert np.array_equal(miss, truth)
+        # Inclusive admission epochs are consistent with the mask:
+        # a miss is admitted at its own fill count.
+        fills = np.cumsum(miss) - miss
+        assert np.array_equal(admit[miss], fills[miss])
+
+    @settings(max_examples=_EXAMPLES, deadline=None)
+    @given(
+        parts=st.lists(
+            st.lists(st.integers(0, 9), min_size=1, max_size=80),
+            min_size=1,
+            max_size=4,
+        ),
+        capacity=st.integers(1, 6),
+    )
+    def test_segmented_streams_are_independent(self, parts, capacity):
+        """One call over concatenated segments equals per-segment
+        simulation from a cold cache each — segments never leak."""
+        runs = [_rle(np.asarray(p, dtype=np.int64)) for p in parts]
+        keys = np.concatenate(runs)
+        seg = np.concatenate(
+            [np.full(r.size, i, dtype=np.int64) for i, r in enumerate(runs)]
+        )
+        solved = _fifo_fixed_point(keys, capacity, seg=seg)
+        if solved is None:
+            return
+        truth = []
+        for r in runs:
+            cache = make_cache("fifo", capacity)
+            truth.extend(not cache.access((0, int(k))) for k in r.tolist())
+        assert np.array_equal(solved[0], np.asarray(truth))
+
+    @settings(max_examples=_EXAMPLES, deadline=None)
+    @given(
+        keys=st.lists(st.integers(0, 20), min_size=1, max_size=300),
+        capacity=st.integers(1, 8),
+    )
+    def test_count_misses_vec_fifo_matches_scalar(self, keys, capacity):
+        run_keys = _rle(np.asarray(keys, dtype=np.int64))
+        arrs = np.zeros_like(run_keys)
+        misses, distinct = _count_misses_vec(
+            run_keys, arrs, run_keys, "fifo", capacity
+        )
+        assert distinct == np.unique(run_keys).size
+        if misses is None:  # non-convergent within budget
+            return
+        assert misses == _count_misses_scalar(
+            arrs, run_keys, "fifo", capacity
+        )
+
+    def test_over_capacity_thrash_converges_fast(self):
+        """The bench shape: heavy over-capacity streams stabilise in
+        a couple of rounds, so the closed form (not the fallback)
+        must carry them."""
+        rng = np.random.default_rng(11)
+        run_keys = _rle(rng.integers(0, 50, size=5000).astype(np.int64))
+        arrs = np.zeros_like(run_keys)
+        misses, _ = _count_misses_vec(run_keys, arrs, run_keys, "fifo", 4)
+        assert misses is not None
+        assert misses == _count_misses_scalar(arrs, run_keys, "fifo", 4)
+
+    def test_fifo_bench_case_is_vectorised(self):
+        """The BENCH_vec.json FIFO row: every PE must take the
+        columnar path now (`vec_fallback_pes == 0`), bit-identically
+        — the acceptance criterion of the fast-path widening."""
+        program, inputs = get_kernel("inner_product").build(n=4000)
+        trace = kernel_trace(program, inputs)
+        config = MachineConfig(
+            n_pes=8, page_size=32, cache_elems=64, cache_policy="fifo"
+        )
+        telemetry: dict[str, int] = {}
+        assert_identical(
+            simulate(trace, config),
+            simulate_vec(trace, config, telemetry),
+        )
+        assert telemetry["fallback_pes"] == 0
+        assert telemetry["vectorised_pes"] > 0
+
+
 class TestBackendEnvelope:
     def test_registered_with_schema(self):
         backend = get_backend("untimed-vec")
@@ -259,8 +368,11 @@ class TestBackendEnvelope:
 
     def test_profile_adds_vec_phase_columns(self, hydro_trace, monkeypatch):
         monkeypatch.setenv("REPRO_PROFILE", "1")
+        # The random policy is the one remaining order-dependent
+        # fallback (FIFO now solves in closed form), so it is what
+        # exercises the fallback_scalar phase column.
         config = MachineConfig(
-            n_pes=2, page_size=4, cache_elems=8, cache_policy="fifo"
+            n_pes=2, page_size=4, cache_elems=8, cache_policy="random"
         )
         outcome = evaluate_scenario(
             _thrashing_trace(), Scenario(config=config, backend="untimed-vec")

@@ -81,8 +81,9 @@ def profile_replay() -> dict[str, float]:
     configs = (
         MachineConfig(n_pes=16, page_size=32, cache_elems=256),
         MachineConfig(n_pes=16, page_size=32, cache_elems=0),
-        # A tight FIFO cache: order-dependent spans exercise the
-        # columnar engine's scalar-replay fallback phase.
+        # A tight FIFO cache: solved by the columnar engine's
+        # eviction-epoch fixed point, so its fallback_scalar share
+        # stays near zero (docs/fastpaths.md).
         MachineConfig(
             n_pes=16, page_size=32, cache_elems=64, cache_policy="fifo"
         ),

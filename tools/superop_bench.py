@@ -46,10 +46,13 @@ def fast() -> bool:
 def cases() -> tuple[dict, ...]:
     """(kernel, n, config knobs) per case; smaller in fast mode.
 
-    All three are stencil-style sweeps whose whole trace collapses to
-    a handful of super-ops, so replay cost tracks *unique behavior*
+    All are stencil-style sweeps whose whole trace collapses to a
+    handful of super-ops, so replay cost tracks *unique behavior*
     (steady-state windows) instead of trip counts — the speedup and
-    the shard compression both grow with n.
+    the shard compression both grow with n.  The fifo row holds the
+    eviction-epoch fixed point (``docs/fastpaths.md``) to the same
+    floors as the LRU closed form; ``run_cases`` asserts every case
+    decided columnar, never per-piece.
     """
     scale = 1 if fast() else 4
     return (
@@ -76,6 +79,14 @@ def cases() -> tuple[dict, ...]:
             "page_size": 64,
             "cache_elems": 512,
             "policy": "lru",
+        },
+        {
+            "name": "hydro_fragment",
+            "n": 50_000 * scale,
+            "pes": 8,
+            "page_size": 32,
+            "cache_elems": 64,
+            "policy": "fifo",
         },
     )
 
@@ -123,7 +134,8 @@ def run_cases() -> list[dict]:
             cache_policy=case["policy"],
         )
         flat = simulate(trace, config)
-        via_ops = replay_superops(superops, config)
+        telemetry: dict[str, int] = {}
+        via_ops = replay_superops(superops, config, telemetry=telemetry)
         if not (
             np.array_equal(flat.stats.counts, via_ops.stats.counts)
             and np.array_equal(flat.stats.by_array, via_ops.stats.by_array)
@@ -133,6 +145,15 @@ def run_cases() -> list[dict]:
             )
         ):
             raise AssertionError(f"fidelity broken on {_case_key(case)}")
+        if telemetry.get("superop_piece_pes", 0) or telemetry.get(
+            "fallback_pes", 0
+        ):
+            raise AssertionError(
+                f"{_case_key(case)}: "
+                f"{telemetry.get('superop_piece_pes', 0)} per-piece / "
+                f"{telemetry.get('fallback_pes', 0)} scalar PE(s) — "
+                "every committed case must decide in closed form"
+            )
         flat_s = _best_of(lambda: simulate(trace, config), reps)
         ops_s = _best_of(lambda: replay_superops(superops, config), reps)
 

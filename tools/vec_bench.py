@@ -44,8 +44,10 @@ def cases() -> tuple[dict, ...]:
     The inner-product cases are the headline: host reduction funnels
     every fold to PE 0, whose alternating x/y page stream the columnar
     engine classifies with short-window shortcuts — no scalar walk at
-    all.  The fifo case forces the order-dependent fallback so the
-    committed numbers also show what the escape hatch costs.
+    all.  The fifo case solves through the eviction-epoch fixed point
+    (``docs/fastpaths.md``); ``run_cases`` asserts no case touched the
+    scalar fallback, so a silent regression to the escape hatch fails
+    the bench before any timing gate does.
     """
     scale = 1 if fast() else 6
     return (
@@ -120,12 +122,19 @@ def run_cases() -> list[dict]:
             cache_policy=case["policy"],
         )
         scalar = simulate(trace, config)
-        vec = simulate_vec(trace, config)
+        telemetry: dict[str, int] = {}
+        vec = simulate_vec(trace, config, telemetry)
         if not (
             np.array_equal(scalar.stats.counts, vec.stats.counts)
             and np.array_equal(scalar.page_fetches, vec.page_fetches)
         ):
             raise AssertionError(f"fidelity broken on {_case_key(case)}")
+        if telemetry.get("fallback_pes", 0):
+            raise AssertionError(
+                f"{_case_key(case)}: {telemetry['fallback_pes']} PE(s) "
+                "took the scalar fallback — every committed case must "
+                "replay through a closed form"
+            )
         scalar_s = _best_of(lambda: simulate(trace, config), reps)
         vec_s = _best_of(lambda: simulate_vec(trace, config), reps)
         rows.append(
